@@ -1,0 +1,85 @@
+// E10 — Extension experiment: probabilistic delays via quantile
+// pseudo-bounds (§7 open question).
+//
+// When only the delay *distribution* is known, a pragmatic bridge to this
+// library is to declare [lb, Q_q] as bounds, where Q_q is the q-quantile
+// of the distribution: tighter declared bounds buy precision, but with
+// probability ~1-(1-q)^M some message exceeds Q_q and the declared
+// assumption is false — the pipeline then either rejects the views
+// (negative m̃ls cycle) or silently reports a guarantee that an adversary
+// could beat.  The experiment quantifies that trade-off, which is exactly
+// the tension the paper's open question points at.
+//
+// Expected shape: precision improves as q decreases; rejection/violation
+// rate grows; q = 1 (true bound, here the distribution is truncated so it
+// exists) is always sound.
+
+#include <cmath>
+
+#include "support.hpp"
+
+int main() {
+  using namespace cs;
+  using namespace cs::bench;
+
+  print_header("E10", "quantile pseudo-bounds under exponential delays");
+
+  constexpr double kLb = 0.002;
+  constexpr double kMean = 0.004;   // excess over lb
+  constexpr double kTrunc = 0.050;  // physical hard cap (truncated exp)
+  constexpr int kSeeds = 40;
+
+  Table table({"quantile", "declared ub (ms)", "violated", "rejected",
+               "A^max mean (ms)", "unsound instances"});
+
+  for (const double q : {0.50, 0.90, 0.99, 0.999, 1.0}) {
+    // Q_q of lb + Exp(mean) truncated at kTrunc.
+    const double ub_q =
+        (q >= 1.0) ? kTrunc
+                   : std::min(kTrunc, kLb - kMean * std::log1p(-q));
+    Accumulator a_acc;
+    int violated = 0, rejected = 0, unsound = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      // Declared model: [lb, ub_q].  True traffic: truncated exponential,
+      // which can exceed ub_q when q < 1.
+      SystemModel declared = bounded_model(make_ring(6), kLb, ub_q);
+      std::vector<std::unique_ptr<DelaySampler>> samplers;
+      for (std::size_t i = 0; i < declared.topology().link_count(); ++i)
+        samplers.push_back(
+            make_shifted_exponential_sampler(kLb, kMean, kTrunc));
+      Rng rng(static_cast<std::uint64_t>(seed) * 947);
+      SimOptions opts;
+      opts.start_offsets = random_start_offsets(6, 0.25, rng);
+      opts.seed = static_cast<std::uint64_t>(seed);
+      opts.check_admissible = false;  // assumptions may be (knowingly) false
+      PingPongParams params;
+      params.warmup = Duration{0.35};
+      const SimResult sim = simulate(declared, make_ping_pong(params),
+                                     std::move(samplers), opts);
+
+      const bool is_violated = !declared.admissible(sim.execution);
+      violated += is_violated;
+      const auto views = sim.execution.views();
+      try {
+        const SyncOutcome out = synchronize(declared, views);
+        a_acc.add(out.optimal_precision.finite() * 1e3);
+        const double realized =
+            realized_precision(sim.execution.start_times(),
+                               out.corrections);
+        if (realized > out.optimal_precision.finite() + 1e-9) ++unsound;
+      } catch (const InvalidAssumption&) {
+        ++rejected;  // pipeline detected the contradiction itself
+      }
+    }
+    table.add_row(
+        {Table::num(q, 4), Table::num(ub_q * 1e3),
+         std::to_string(violated) + "/" + std::to_string(kSeeds),
+         std::to_string(rejected) + "/" + std::to_string(kSeeds),
+         a_acc.count() ? Table::num(a_acc.mean()) : "-",
+         std::to_string(unsound)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: tighter quantiles -> better precision but more "
+               "violations/rejections; q = 1 sound with 0 violations\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E7 — Scaling microbenchmarks (google-benchmark).
+//
+// Claim exercised: the pipeline is the paper's advertised complexity —
+// Karp's cycle mean O(nm) = O(n^3) on complete shift graphs, Bellman-Ford
+// corrections O(n^3), Johnson APSP O(nm + n^2 log n) on sparse network
+// graphs — and the end-to-end correction computation for a 64-processor
+// system stays comfortably interactive.
+// Expected shape: Karp ~8x per doubling of n (cubic); Johnson much flatter
+// than Floyd-Warshall on rings; synchronize() dominated by Karp at scale.
+
+#include <benchmark/benchmark.h>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace cs;
+using namespace cs::bench;
+
+/// Random complete m̃s-like matrix: potentials + non-negative noise, so
+/// no negative 2-cycles and realistic structure.
+DistanceMatrix random_ms(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> s(n);
+  for (auto& x : s) x = rng.uniform(0.0, 0.3);
+  DistanceMatrix m(n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      if (p != q) m.at(p, q) = s[p] - s[q] + rng.uniform(0.001, 0.05);
+  return m;
+}
+
+Digraph matrix_graph(const DistanceMatrix& m) {
+  Digraph g(m.size());
+  for (std::size_t p = 0; p < m.size(); ++p)
+    for (std::size_t q = 0; q < m.size(); ++q)
+      if (p != q) g.add_edge(static_cast<NodeId>(p),
+                             static_cast<NodeId>(q), m.at(p, q));
+  return g;
+}
+
+void BM_KarpMaxCycleMean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Digraph g = matrix_graph(random_ms(n, 42));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(max_cycle_mean_karp(g));
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_KarpMaxCycleMean)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNCubed);
+
+void BM_ShiftsCorrections(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix ms = random_ms(n, 43);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_shifts(ms));
+}
+BENCHMARK(BM_ShiftsCorrections)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_JohnsonOnRing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n), rng.uniform(0.0, 1.0));
+    g.add_edge(static_cast<NodeId>((v + 1) % n), v, rng.uniform(0.0, 1.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(johnson(g));
+}
+BENCHMARK(BM_JohnsonOnRing)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FloydWarshallOnRing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n), rng.uniform(0.0, 1.0));
+    g.add_edge(static_cast<NodeId>((v + 1) % n), v, rng.uniform(0.0, 1.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(floyd_warshall(g));
+}
+BENCHMARK(BM_FloydWarshallOnRing)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndSynchronize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  SystemModel model = bounded_model(make_connected_gnp(n, 0.3, rng), 0.002,
+                                    0.010);
+  const Instance inst = probe(model, 99, 0.2, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synchronize(model, inst.views));
+}
+BENCHMARK(BM_EndToEndSynchronize)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatorPingPong(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  SystemModel model = bounded_model(make_ring(n), 0.002, 0.010);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe(model, 5, 0.2, 4));
+  }
+}
+BENCHMARK(BM_SimulatorPingPong)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

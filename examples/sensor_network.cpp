@@ -1,0 +1,65 @@
+// Sensor grid with no upper delay bounds — the regime the paper opens up.
+//
+// A 4x4 grid of sensors over a lossy radio mesh: transmission and
+// processing give a known *minimum* delay per hop, but congestion makes
+// any upper bound a lie.  Worst-case-optimal theory says "unboundable";
+// the per-instance notion (§3) still yields a concrete guarantee for each
+// actual run — and repeated synchronization epochs show the guarantee
+// varying with the network's mood, not with a pessimist's constant.
+//
+// Build & run:  ./build/examples/sensor_network
+
+#include <cstdio>
+
+#include "core/precision.hpp"
+#include "core/synchronizer.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace cs;
+
+  constexpr double kFloor = 0.0015;  // 1.5ms per-hop minimum
+  SystemModel model(make_grid(4, 4));
+  for (auto [a, b] : model.topology().links)
+    model.set_constraint(make_lower_bound_only(a, b, kFloor));
+
+  std::printf("4x4 sensor grid, lower-bound-only links (worst case: "
+              "unbounded)\n\n");
+  std::printf("epoch | congestion | guaranteed (ms) | realized (ms)\n");
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    // Every other epoch the network is congested: heavy delay tails.
+    const bool congested = epoch % 2 == 1;
+    const double tail = congested ? 0.030 : 0.004;
+
+    std::vector<std::unique_ptr<DelaySampler>> samplers;
+    for (std::size_t i = 0; i < model.topology().link_count(); ++i)
+      samplers.push_back(make_shifted_exponential_sampler(kFloor, tail));
+
+    Rng rng(100 + static_cast<std::uint64_t>(epoch));
+    SimOptions opts;
+    opts.start_offsets = random_start_offsets(16, 0.5, rng);
+    opts.seed = 100 + static_cast<std::uint64_t>(epoch);
+
+    PingPongParams probe;
+    probe.warmup = Duration{0.6};
+    probe.rounds = 8;
+    const SimResult sim = simulate(model, make_ping_pong(probe),
+                                   std::move(samplers), opts);
+    const auto views = sim.execution.views();
+    const SyncOutcome out = synchronize(model, views);
+
+    std::printf("  %d   | %-10s | %12.3f    | %10.3f\n", epoch,
+                congested ? "heavy" : "light",
+                out.optimal_precision.finite() * 1e3,
+                realized_precision(sim.execution.start_times(),
+                                   out.corrections) *
+                    1e3);
+  }
+
+  std::printf("\nNote: every guarantee above is finite and instance-exact "
+              "even though no finite worst-case bound exists for this "
+              "system.\n");
+  return 0;
+}

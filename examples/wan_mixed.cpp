@@ -1,0 +1,76 @@
+// Mixed-assumption WAN: the paper's headline use case.
+//
+// A 12-node two-level WAN where different links genuinely satisfy
+// different delay assumptions:
+//   * backbone ring links — symmetric routing, so a round-trip *bias*
+//     bound holds even though absolute delays are loose (§6.2);
+//   * stub access links — well-provisioned, tight [lb, ub] bounds (§6.1);
+//   * one congested link — only a lower bound is known.
+//
+// The optimal pipeline consumes all of it at once (decomposition theorem /
+// locality); an NTP-style baseline cannot use declared bounds at all.
+//
+// Build & run:  ./build/examples/wan_mixed
+
+#include <cstdio>
+
+#include "baselines/cristian.hpp"
+#include "core/precision.hpp"
+#include "core/synchronizer.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace cs;
+
+  Rng topo_rng(2026);
+  SystemModel model(make_wan(12, 4, topo_rng));
+
+  // Classify links: ring links among hubs {0..3} get bias bounds, the rest
+  // get tight bounds, except one "congested" stub link.
+  bool congested_assigned = false;
+  for (auto [a, b] : model.topology().links) {
+    const bool backbone = a < 4 && b < 4;
+    if (backbone) {
+      model.set_constraint(make_bias(a, b, /*bias=*/0.004));
+    } else if (!congested_assigned) {
+      model.set_constraint(make_lower_bound_only(a, b, /*lb=*/0.003));
+      congested_assigned = true;
+    } else {
+      model.set_constraint(make_bounds(a, b, 0.001, 0.006));
+    }
+  }
+
+  Rng rng(7);
+  SimOptions opts;
+  opts.start_offsets = random_start_offsets(12, /*max_skew=*/1.0, rng);
+  opts.seed = 7;
+  opts.delay_scale = 0.005;
+
+  PingPongParams probe;
+  probe.warmup = Duration{1.1};
+  probe.rounds = 6;
+  const SimResult sim = simulate(model, make_ping_pong(probe), opts);
+  const auto views = sim.execution.views();
+
+  const SyncOutcome opt = synchronize(model, views);
+  const auto ntp = cristian_corrections(model, views);
+
+  const auto starts = sim.execution.start_times();
+  std::printf("12-node WAN, %zu links (bias backbone + bounded stubs + one "
+              "lower-bound-only)\n\n",
+              model.topology().link_count());
+  std::printf("%-22s | %-14s | %-14s\n", "", "optimal", "NTP-style");
+  std::printf("%-22s | %12.3f   | %12.3f\n", "guaranteed (ms)",
+              opt.optimal_precision.finite() * 1e3,
+              guaranteed_precision(opt.ms_estimates, ntp).finite() * 1e3);
+  std::printf("%-22s | %12.3f   | %12.3f\n", "realized (ms)",
+              realized_precision(starts, opt.corrections) * 1e3,
+              realized_precision(starts, ntp) * 1e3);
+
+  std::printf("\nper-processor corrections (s):\n");
+  for (std::size_t p = 0; p < 12; ++p)
+    std::printf("  p%-2zu  start %+8.4f   optimal %+8.4f   ntp %+8.4f\n", p,
+                starts[p].sec, opt.corrections[p], ntp[p]);
+  return 0;
+}

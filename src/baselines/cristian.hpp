@@ -1,0 +1,32 @@
+// Cristian/NTP-style baseline.
+//
+// The estimator practitioners actually deploy [Cristian 89; Mills, NTPv2]:
+// assume the fastest observed delay in each direction of a link is about
+// symmetric, estimate the peer offset as half the difference of the two
+// minimal one-way estimated delays, and propagate over a spanning tree.
+//
+//   Δ̂(p,q) = ( d̃min(p,q) - d̃min(q,p) ) / 2   (≈ S_p - S_q when the fastest
+//                                              delays in both directions
+//                                              happen to match)
+//
+// It uses no declared bounds at all, so it is well-defined under every
+// delay model — and it is exactly the algorithm the optimal pipeline is
+// benchmarked against in experiments E5/E6.  Its error on a link is half
+// the asymmetry of the realized fastest delays, which the optimal
+// algorithm provably never exceeds (and often beats by exploiting bounds
+// and cross-link structure).
+#pragma once
+
+#include <span>
+
+#include "delaymodel/assignment.hpp"
+
+namespace cs {
+
+/// Throws InvalidExecution if some tree link carries no traffic in one of
+/// the two directions (the estimator is undefined there).
+std::vector<double> cristian_corrections(const SystemModel& model,
+                                         std::span<const View> views,
+                                         ProcessorId root = 0);
+
+}  // namespace cs

@@ -1,0 +1,25 @@
+// Halpern–Megiddo–Munshi one-shot baseline.
+//
+// The paper situates [3] as the special case of its framework "where
+// exactly one message is sent on each link and upper and lower bounds on
+// delays are known".  This baseline realizes that case on arbitrary views:
+// it discards all but the *first* message per direction of every link and
+// runs the full optimal pipeline on what remains.  Comparing it against the
+// all-messages pipeline isolates the value of per-instance adaptivity —
+// extra probes tighten d̃min/d̃max and hence Ã^max (experiments E2/E5).
+#pragma once
+
+#include <span>
+
+#include "core/synchronizer.hpp"
+
+namespace cs {
+
+/// Optimal corrections computed from the one-message-per-direction
+/// restriction of the views.  The returned outcome's optimal_precision is
+/// optimal *for the restricted information*, an upper bound on the full
+/// pipeline's.
+SyncOutcome hmm_one_shot(const SystemModel& model, std::span<const View> views,
+                         const SyncOptions& options = {});
+
+}  // namespace cs

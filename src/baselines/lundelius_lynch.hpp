@@ -1,0 +1,26 @@
+// Lundelius–Lynch averaging baseline (complete graphs).
+//
+// [Lundelius & Lynch 84] synchronize a complete graph of n processors with
+// known delay bounds to worst-case precision (1 - 1/n)(ub - lb), which they
+// prove worst-case optimal for that setting.  Their algorithm averages the
+// per-peer midpoint offset estimates:
+//
+//   x_p = (1/n) * Σ_q Δ̂(p, q),   Δ̂ the per-link midpoint (midpoint.hpp).
+//
+// The contrast with SHIFTS is the paper's headline: worst-case-optimal
+// algorithms leave precision on the table in favorable instances, while the
+// per-instance-optimal pipeline adapts (experiments E5/E6; the worst-case
+// bound itself is checked as a property test).
+#pragma once
+
+#include <span>
+
+#include "delaymodel/assignment.hpp"
+
+namespace cs {
+
+/// Requires a complete topology (throws InvalidAssumption otherwise).
+std::vector<double> lundelius_lynch_corrections(const SystemModel& model,
+                                                std::span<const View> views);
+
+}  // namespace cs

@@ -1,0 +1,33 @@
+// Midpoint offset estimation and the spanning-tree-midpoint baseline.
+//
+// From the views, the feasible set of the relative start offset
+// Δ(p,q) = S_p - S_q of two neighbors is exactly the interval
+// [-m̃ls(q,p), +m̃ls(p,q)] — shifting q within its maximal local shifts
+// sweeps the perceived offset over precisely that range.  The minimax
+// per-link estimate is the interval midpoint:
+//
+//   Δ̂(p,q) = ( m̃ls(p,q) - m̃ls(q,p) ) / 2.
+//
+// TreeMidpoint propagates these down a BFS tree.  It is "locally optimal,
+// globally naive": on trees it matches the optimal pipeline, but it ignores
+// cycles and cross-link structure, which is where SHIFTS wins (experiment
+// E5 shows the gap opening as topologies gain cycles).
+#pragma once
+
+#include <span>
+
+#include "delaymodel/assignment.hpp"
+#include "delaymodel/link_stats.hpp"
+
+namespace cs {
+
+/// Midpoint estimate of S_p - S_q for a link {p, q}.  If one side's m̃ls is
+/// infinite the finite endpoint is returned; if both are infinite, 0.
+double midpoint_delta(const SystemModel& model, const LinkStats& stats,
+                      ProcessorId p, ProcessorId q);
+
+std::vector<double> tree_midpoint_corrections(const SystemModel& model,
+                                              std::span<const View> views,
+                                              ProcessorId root = 0);
+
+}  // namespace cs

@@ -1,0 +1,30 @@
+#include "baselines/spanning_tree.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace cs {
+
+std::vector<double> tree_corrections(const Topology& topo, ProcessorId root,
+                                     const DeltaEstimator& delta) {
+  assert(root < topo.node_count);
+  const auto adj = topo.adjacency();
+  std::vector<double> x(topo.node_count, 0.0);
+  std::vector<bool> seen(topo.node_count, false);
+  std::deque<ProcessorId> queue{root};
+  seen[root] = true;
+  while (!queue.empty()) {
+    const ProcessorId p = queue.front();
+    queue.pop_front();
+    for (ProcessorId q : adj[p]) {
+      if (seen[q]) continue;
+      seen[q] = true;
+      // S_p - x_p == S_q - x_q  =>  x_q = x_p - (S_p - S_q).
+      x[q] = x[p] - delta(p, q);
+      queue.push_back(q);
+    }
+  }
+  return x;
+}
+
+}  // namespace cs

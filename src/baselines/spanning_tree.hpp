@@ -1,0 +1,26 @@
+// Shared scaffolding for tree-propagation baselines.
+//
+// Several classical algorithms share one shape: estimate the relative start
+// offset Δ(p,q) = S_p - S_q per link, then propagate corrections down a BFS
+// spanning tree (x_root = 0, x_child = x_parent - Δ(parent, child)).  The
+// baselines differ only in the per-link Δ estimator.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "model/ids.hpp"
+
+namespace cs {
+
+/// Δ estimator for a directed pair (p, q) sharing a link: an estimate of
+/// S_p - S_q from whatever that baseline measures.
+using DeltaEstimator = std::function<double(ProcessorId p, ProcessorId q)>;
+
+/// BFS-tree correction propagation.  Disconnected nodes (impossible for
+/// connected topologies) keep correction 0.
+std::vector<double> tree_corrections(const Topology& topo, ProcessorId root,
+                                     const DeltaEstimator& delta);
+
+}  // namespace cs

@@ -1,0 +1,44 @@
+// Error handling policy.
+//
+// Per the Core Guidelines (E.*): exceptions for errors that the immediate
+// caller cannot be expected to handle (malformed inputs crossing a public API
+// boundary), assertions for internal invariants.  All library exceptions
+// derive from cs::Error so applications can catch one type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cs {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The views/trace handed to the pipeline violate the execution model
+/// (unmatched messages, negative measured delay under a non-negative model,
+/// duplicate message ids, ...).
+class InvalidExecution : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A delay-assumption configuration is self-contradictory (e.g. lb > ub), or
+/// the observed execution is not admissible under the declared assumptions.
+class InvalidAssumption : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Requested a computation that is undefined for this instance, e.g. finite
+/// corrections for a pair whose maximal shift estimate is +inf.
+class UnboundedInstance : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throw helper that keeps call sites one line.
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace cs

@@ -1,0 +1,15 @@
+#include "common/extreal.hpp"
+
+#include <sstream>
+
+namespace cs {
+
+std::string ExtReal::str() const {
+  if (is_pos_inf()) return "+inf";
+  if (is_neg_inf()) return "-inf";
+  std::ostringstream os;
+  os << v_;
+  return os.str();
+}
+
+}  // namespace cs

@@ -1,0 +1,79 @@
+// Extended reals: R ∪ {−∞, +∞} with checked arithmetic.
+//
+// The theory makes essential use of infinities:
+//   * an upper delay bound ub(p,q) may be +∞ (lower-bound-only / no-bounds
+//     models, §6.1);
+//   * when no message was received on a direction, d̃max = −∞ and d̃min = +∞
+//     (paper's convention before Lemma 6.2);
+//   * maximal shifts ms / mls may be +∞, in which case the instance has
+//     unbounded precision and SHIFTS must degrade gracefully.
+//
+// Raw IEEE doubles would mostly work, but (+∞) + (−∞) = NaN silently poisons
+// shortest-path computations.  ExtReal makes that case a programming error
+// caught at the call site.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace cs {
+
+class ExtReal {
+ public:
+  constexpr ExtReal() = default;
+  constexpr ExtReal(double v) : v_(v) { assert(!std::isnan(v)); }  // NOLINT(google-explicit-constructor)
+
+  static constexpr ExtReal infinity() {
+    return ExtReal{std::numeric_limits<double>::infinity()};
+  }
+  static constexpr ExtReal neg_infinity() {
+    return ExtReal{-std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr double value() const { return v_; }
+  constexpr bool is_finite() const { return std::isfinite(v_); }
+  constexpr bool is_pos_inf() const {
+    return v_ == std::numeric_limits<double>::infinity();
+  }
+  constexpr bool is_neg_inf() const {
+    return v_ == -std::numeric_limits<double>::infinity();
+  }
+
+  /// Finite value accessor; asserts finiteness.
+  constexpr double finite() const {
+    assert(is_finite());
+    return v_;
+  }
+
+  constexpr auto operator<=>(const ExtReal&) const = default;
+
+  /// Addition is defined except for (+∞) + (−∞), which is asserted against.
+  constexpr ExtReal operator+(ExtReal o) const {
+    assert(!((is_pos_inf() && o.is_neg_inf()) ||
+             (is_neg_inf() && o.is_pos_inf())));
+    return ExtReal{v_ + o.v_};
+  }
+  constexpr ExtReal operator-(ExtReal o) const { return *this + (-o); }
+  constexpr ExtReal operator-() const { return ExtReal{-v_}; }
+  constexpr ExtReal& operator+=(ExtReal o) { return *this = *this + o; }
+
+  /// Division by a positive finite scalar (used for cycle means and the
+  /// γ-scaling in Lemma 5.3).
+  constexpr ExtReal operator/(double k) const {
+    assert(k > 0.0 && std::isfinite(k));
+    return ExtReal{v_ / k};
+  }
+
+  std::string str() const;
+
+ private:
+  double v_{0.0};
+};
+
+constexpr ExtReal min(ExtReal a, ExtReal b) { return a < b ? a : b; }
+constexpr ExtReal max(ExtReal a, ExtReal b) { return a < b ? b : a; }
+
+}  // namespace cs

@@ -1,0 +1,45 @@
+// Closed extended-real intervals [lo, hi], the natural carrier for delay
+// bounds: lb(p,q) >= 0 and ub(p,q) <= +inf per §6.1.
+#pragma once
+
+#include <cassert>
+
+#include "common/extreal.hpp"
+
+namespace cs {
+
+class Interval {
+ public:
+  /// Default: [0, +inf), the "no bounds" model of §6.1.
+  constexpr Interval() : lo_(0.0), hi_(ExtReal::infinity()) {}
+
+  constexpr Interval(ExtReal lo, ExtReal hi) : lo_(lo), hi_(hi) {
+    assert(lo_ <= hi_);
+  }
+
+  constexpr ExtReal lo() const { return lo_; }
+  constexpr ExtReal hi() const { return hi_; }
+
+  constexpr bool contains(ExtReal x) const { return lo_ <= x && x <= hi_; }
+  constexpr bool contains(double x) const { return contains(ExtReal{x}); }
+
+  constexpr ExtReal width() const { return hi_ - lo_; }
+  constexpr bool is_point() const { return lo_ == hi_; }
+
+  /// Intersection; empty intersections are a caller error (asserted).  Used
+  /// by the decomposition theorem machinery when combining bound sets.
+  constexpr Interval intersect(Interval o) const {
+    const ExtReal lo = max(lo_, o.lo_);
+    const ExtReal hi = min(hi_, o.hi_);
+    assert(lo <= hi);
+    return Interval{lo, hi};
+  }
+
+  constexpr bool operator==(const Interval&) const = default;
+
+ private:
+  ExtReal lo_;
+  ExtReal hi_;
+};
+
+}  // namespace cs

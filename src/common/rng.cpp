@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace cs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  // Seed the state with splitmix64, the recommended initialization.
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // All-zero state is invalid for xoshiro; splitmix64 never yields it for
+  // four consecutive outputs, but keep a belt-and-braces fix.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  // xoshiro256++
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % n;
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1-u) with u in [0,1) keeps the argument in (0,1].
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 == 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::pareto(double xm, double a) {
+  assert(xm > 0.0 && a > 0.0);
+  double u = uniform01();
+  while (u == 0.0) u = uniform01();
+  return xm / std::pow(u, 1.0 / a);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  std::uint64_t x = seed_ ^ (0x5851f42d4c957f2dULL * (stream + 1));
+  return Rng(splitmix64(x));
+}
+
+}  // namespace cs

@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace cs {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  assert(n_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  assert(n_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  assert(n_ > 0);
+  return max_;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= v.size()) return v.back();
+  const double frac = pos - static_cast<double>(i);
+  return v[i] * (1.0 - frac) + v[i + 1] * frac;
+}
+
+double mean(std::span<const double> xs) {
+  Accumulator a;
+  for (double x : xs) a.add(x);
+  return a.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  Accumulator a;
+  for (double x : xs) a.add(x);
+  return a.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(lo < hi && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(bins());
+}
+
+std::vector<std::string> Histogram::render(std::size_t width) const {
+  std::vector<std::string> lines;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%8.4g, %8.4g) %6zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    lines.push_back(std::string(buf) + std::string(bar, '#'));
+  }
+  return lines;
+}
+
+}  // namespace cs

@@ -1,0 +1,61 @@
+// Descriptive statistics for experiment tables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cs {
+
+/// Online accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Percentile with linear interpolation; q in [0, 1].  Copies and sorts.
+double percentile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range clamp to the end buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// ASCII rendering for experiment logs, one line per bucket.
+  std::vector<std::string> render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace cs

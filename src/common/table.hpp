@@ -1,0 +1,31 @@
+// Minimal fixed-width table printer for experiment binaries.  Benches print
+// human-readable tables (the "rows the paper reports" analogue); keeping the
+// formatter here avoids each bench reinventing column alignment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells are preformatted strings.  Row length must match
+  /// the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string num(const class ExtReal& v, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cs

@@ -1,0 +1,66 @@
+// Strong time types.
+//
+// The paper's central hygiene rule is the distinction between *real time*
+// (visible only to an outside observer) and *clock time* (the only notion of
+// time a processor can see).  A correction function must be computable from
+// clock times alone (Claim 3.1).  We enforce this statically: RealTime and
+// ClockTime are distinct vocabulary types that do not convert into each
+// other; the only bridge is Clock (sim/clock.hpp), which models the paper's
+// "clock time = real time - start time" relation.
+//
+// All quantities are in seconds, stored as double.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace cs {
+
+/// A length of time (difference of two instants), in seconds.
+struct Duration {
+  double sec{0.0};
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {sec + o.sec}; }
+  constexpr Duration operator-(Duration o) const { return {sec - o.sec}; }
+  constexpr Duration operator-() const { return {-sec}; }
+  constexpr Duration operator*(double k) const { return {sec * k}; }
+  constexpr Duration operator/(double k) const { return {sec / k}; }
+  constexpr Duration& operator+=(Duration o) { sec += o.sec; return *this; }
+  constexpr Duration& operator-=(Duration o) { sec -= o.sec; return *this; }
+};
+
+constexpr Duration operator*(double k, Duration d) { return {k * d.sec}; }
+
+/// Convenience literal-ish constructors.
+constexpr Duration seconds(double s) { return Duration{s}; }
+constexpr Duration millis(double ms) { return Duration{ms * 1e-3}; }
+constexpr Duration micros(double us) { return Duration{us * 1e-6}; }
+
+/// An instant on the outside observer's absolute timeline.  Processors never
+/// see RealTime values; they exist in traces and in the shifting machinery.
+struct RealTime {
+  double sec{0.0};
+
+  constexpr auto operator<=>(const RealTime&) const = default;
+
+  constexpr RealTime operator+(Duration d) const { return {sec + d.sec}; }
+  constexpr RealTime operator-(Duration d) const { return {sec - d.sec}; }
+  constexpr Duration operator-(RealTime o) const { return {sec - o.sec}; }
+};
+
+/// An instant on one processor's local clock.  Comparable and subtractable
+/// only against other ClockTime values (of the same processor, by
+/// convention; the type system cannot distinguish processors).
+struct ClockTime {
+  double sec{0.0};
+
+  constexpr auto operator<=>(const ClockTime&) const = default;
+
+  constexpr ClockTime operator+(Duration d) const { return {sec + d.sec}; }
+  constexpr ClockTime operator-(Duration d) const { return {sec - d.sec}; }
+  constexpr Duration operator-(ClockTime o) const { return {sec - o.sec}; }
+};
+
+}  // namespace cs

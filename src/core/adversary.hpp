@@ -1,0 +1,25 @@
+// Adversarial shift construction (the constructive half of Lemma 5.3).
+//
+// Given the *actual* mls graph of an admissible execution, the shift vector
+// s_i = dist_mls(p, i) / γ (γ > 1) produces an equivalent execution that is
+// again admissible, in which q has moved s_q ≈ ms(p, q)/γ later relative to
+// p.  This is how the lower bound (Theorem 4.4) is realized concretely, and
+// how the tests manufacture worst-case-equivalent executions to check that
+// no algorithm's guaranteed precision is violated at run time.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+/// Shift vector realizing (1/γ of) the maximal admissible shifts away from
+/// anchor p.  Nodes unreachable from p in the mls graph get shift 0 (their
+/// pairs are unbounded; any value would do, 0 keeps them admissible).
+/// Requires γ > 1; γ -> 1 approaches the supremum.
+std::vector<Duration> adversarial_shifts(const Digraph& mls_actual,
+                                         NodeId anchor, double gamma);
+
+}  // namespace cs

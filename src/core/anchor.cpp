@@ -1,0 +1,24 @@
+#include "core/anchor.hpp"
+
+#include "common/error.hpp"
+
+namespace cs {
+
+std::vector<double> anchor_to_reference(std::span<const double> corrections,
+                                        const SccResult& components,
+                                        NodeId reference,
+                                        double reference_offset) {
+  if (reference >= corrections.size())
+    throw Error("anchor_to_reference: reference out of range");
+  if (components.component.size() != corrections.size())
+    throw Error("anchor_to_reference: component map size mismatch");
+
+  std::vector<double> out(corrections.begin(), corrections.end());
+  const std::size_t comp = components.component[reference];
+  const double delta = reference_offset - corrections[reference];
+  for (std::size_t p = 0; p < out.size(); ++p)
+    if (components.component[p] == comp) out[p] += delta;
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,33 @@
+// Anchoring corrections to an external time reference.
+//
+// The paper synchronizes clocks *to each other*; its introduction notes
+// that "it is easy to adapt our results to obtain [closeness to real
+// time] if a perfect real time clock is available".  This is that
+// adaptation: corrections are unique only up to a per-component additive
+// constant (the gauge), so if one processor knows its absolute offset —
+// from GPS, a radio clock, an NTP stratum-0 source — re-gauging makes
+// every corrected clock track real time, with pairwise precision
+// untouched.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace cs {
+
+/// Re-gauge `corrections` so that `reference`'s correction becomes
+/// `reference_offset` (the externally known adjustment that makes the
+/// reference's corrected clock read real time).  Only the reference's
+/// finiteness component is shifted: other components share no finite
+/// constraint chain with the reference, so anchoring them to it would
+/// assert precision that does not exist.  Pass the components from the
+/// SyncOutcome; for bounded instances there is exactly one.
+std::vector<double> anchor_to_reference(std::span<const double> corrections,
+                                        const SccResult& components,
+                                        NodeId reference,
+                                        double reference_offset);
+
+}  // namespace cs

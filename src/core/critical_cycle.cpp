@@ -1,0 +1,81 @@
+#include "core/critical_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+std::vector<NodeId> critical_cycle(const DistanceMatrix& ms, double a_max,
+                                   double tolerance) {
+  const std::size_t n = ms.size();
+  if (n < 2) return {};
+
+  // Graph of finite entries under w = a_max - m̃s.
+  Digraph g(n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      if (p != q && ms.at(p, q) != kInfDist)
+        g.add_edge(static_cast<NodeId>(p), static_cast<NodeId>(q),
+                   a_max - ms.at(p, q));
+
+  // Potentials via a super-source (h is finite everywhere reachable; every
+  // node is, by construction of the augmented graph).
+  Digraph aug(n + 1);
+  for (const Edge& e : g.edges()) aug.add_edge(e.from, e.to, e.weight);
+  const NodeId s = static_cast<NodeId>(n);
+  for (NodeId v = 0; v < n; ++v) aug.add_edge(s, v, 0.0);
+  const auto sp = bellman_ford(aug, s);
+  if (!sp) return {};  // inconsistent matrix (negative cycle): no witness
+  const std::vector<double>& h = sp->dist;
+
+  // Tight subgraph: reduced weight ~ 0.
+  std::vector<std::vector<NodeId>> tight(n);
+  for (const Edge& e : g.edges()) {
+    const double reduced = e.weight + h[e.from] - h[e.to];
+    if (std::fabs(reduced) <= tolerance) tight[e.from].push_back(e.to);
+  }
+
+  // Any cycle in the tight subgraph attains the mean a_max.  Iterative DFS
+  // with an on-stack marker.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeId> parent(n, 0);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [v, pos] = stack.back();
+      if (pos < tight[v].size()) {
+        const NodeId w = tight[v][pos++];
+        if (color[w] == Color::kGray) {
+          // Found a cycle: unwind from v back to w.
+          std::vector<NodeId> cycle{w};
+          NodeId cur = v;
+          while (cur != w) {
+            cycle.push_back(cur);
+            cur = parent[cur];
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          parent[w] = v;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace cs

@@ -1,0 +1,31 @@
+#include "core/epochs.hpp"
+
+#include "common/error.hpp"
+
+namespace cs {
+
+std::vector<EpochOutcome> epochal_synchronize(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+  for (std::size_t i = 1; i < boundaries.size(); ++i)
+    if (!(boundaries[i - 1] < boundaries[i]))
+      throw Error("epoch boundaries must be strictly increasing");
+
+  SyncOptions epoch_options = options;
+  epoch_options.match = MatchPolicy::kDropOrphans;
+
+  std::vector<EpochOutcome> out;
+  out.reserve(boundaries.size());
+  std::vector<View> prefixes(views.size());
+  for (const ClockTime boundary : boundaries) {
+    for (std::size_t p = 0; p < views.size(); ++p)
+      prefixes[p] = views[p].prefix(boundary);
+    EpochOutcome epoch;
+    epoch.boundary = boundary;
+    epoch.sync = synchronize(model, prefixes, epoch_options);
+    out.push_back(std::move(epoch));
+  }
+  return out;
+}
+
+}  // namespace cs

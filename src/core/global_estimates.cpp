@@ -1,0 +1,37 @@
+#include "core/global_estimates.hpp"
+
+#include "common/error.hpp"
+#include "graph/johnson.hpp"
+
+namespace cs {
+
+DistanceMatrix global_shift_estimates(const Digraph& mls_graph,
+                                      ApspAlgorithm algorithm) {
+  // Measured delays carry ~1 ulp of float noise, so executions that sit
+  // exactly on their bounds can produce m̃ls cycles of weight ~-1e-16 where
+  // the theory guarantees >= 0.  A picosecond of per-edge slack keeps the
+  // matrix a valid (conservative) over-approximation — negligible against
+  // any physical delay scale — while real assumption violations still
+  // produce decisively negative cycles and are rejected below.
+  constexpr double kSlack = 1e-12;
+  Digraph relaxed(mls_graph.node_count());
+  for (const Edge& e : mls_graph.edges())
+    relaxed.add_edge(e.from, e.to, e.weight + kSlack);
+
+  std::optional<DistanceMatrix> m;
+  switch (algorithm) {
+    case ApspAlgorithm::kJohnson:
+      m = johnson(relaxed);
+      break;
+    case ApspAlgorithm::kFloydWarshall:
+      m = floyd_warshall(relaxed);
+      break;
+  }
+  if (!m)
+    throw InvalidAssumption(
+        "negative m̃ls cycle: the observed execution contradicts the "
+        "declared delay assumptions");
+  return *m;
+}
+
+}  // namespace cs

@@ -1,0 +1,27 @@
+// Step 2: GLOBAL ESTIMATES (Theorem 5.5).
+//
+// In a local system, the maximal global shift is the shortest-path distance
+// over maximal local shifts (Lemma 5.3), and the same holds verbatim for
+// the estimated quantities because start-time terms telescope along paths.
+// So m̃s = APSP(m̃ls graph), with +inf for pairs no constraint chain
+// connects.
+#pragma once
+
+#include "graph/floyd_warshall.hpp"
+
+namespace cs {
+
+enum class ApspAlgorithm {
+  kJohnson,        ///< default: O(nm + n^2 log n), right for sparse networks
+  kFloydWarshall,  ///< O(n^3) reference; ablation bench E8 compares
+};
+
+/// Throws InvalidAssumption if the m̃ls graph has a negative cycle — that is
+/// a proof the observed execution is not admissible under the declared
+/// assumptions (cycle weights are invariant between mls and m̃ls, and true
+/// mls cycles are non-negative).
+DistanceMatrix global_shift_estimates(
+    const Digraph& mls_graph,
+    ApspAlgorithm algorithm = ApspAlgorithm::kJohnson);
+
+}  // namespace cs

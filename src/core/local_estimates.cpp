@@ -1,0 +1,49 @@
+#include "core/local_estimates.hpp"
+
+#include "delaymodel/link_stats.hpp"
+
+namespace cs {
+
+Digraph mls_graph_from_stats(const SystemModel& model,
+                             const LinkStats& stats) {
+  Digraph g(model.processor_count());
+  for (auto [a, b] : model.topology().links) {
+    const LinkConstraint& c = model.constraint(a, b);
+    const DirectedStats& ab = stats.direction(a, b);
+    const DirectedStats& ba = stats.direction(b, a);
+    const ExtReal mls_ab = c.mls(a, ab, ba);  // shift of b w.r.t. a
+    const ExtReal mls_ba = c.mls(b, ba, ab);  // shift of a w.r.t. b
+    if (mls_ab.is_finite()) g.add_edge(a, b, mls_ab.finite());
+    if (mls_ba.is_finite()) g.add_edge(b, a, mls_ba.finite());
+  }
+  return g;
+}
+
+Digraph mls_graph_from_traffic(const SystemModel& model,
+                               const LinkTraffic& traffic) {
+  Digraph g(model.processor_count());
+  for (auto [a, b] : model.topology().links) {
+    const LinkConstraint& c = model.constraint(a, b);
+    const auto ab = traffic.direction(a, b);
+    const auto ba = traffic.direction(b, a);
+    const ExtReal mls_ab = c.mls_timed(a, ab, ba);
+    const ExtReal mls_ba = c.mls_timed(b, ba, ab);
+    if (mls_ab.is_finite()) g.add_edge(a, b, mls_ab.finite());
+    if (mls_ba.is_finite()) g.add_edge(b, a, mls_ba.finite());
+  }
+  return g;
+}
+
+Digraph local_shift_estimates(const SystemModel& model,
+                              std::span<const View> views,
+                              MatchPolicy policy) {
+  return mls_graph_from_traffic(
+      model, LinkTraffic::estimated_from_views(views, policy));
+}
+
+Digraph local_shifts_actual(const SystemModel& model, const Execution& exec) {
+  return mls_graph_from_traffic(model,
+                                LinkTraffic::actual_from_execution(exec));
+}
+
+}  // namespace cs

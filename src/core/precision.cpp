@@ -1,0 +1,52 @@
+#include "core/precision.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cs {
+
+double realized_precision(std::span<const RealTime> starts,
+                          std::span<const double> x) {
+  assert(starts.size() == x.size());
+  double worst = 0.0;
+  for (std::size_t p = 0; p < starts.size(); ++p)
+    for (std::size_t q = p + 1; q < starts.size(); ++q) {
+      const double d =
+          (starts[p].sec - x[p]) - (starts[q].sec - x[q]);
+      worst = std::max(worst, std::fabs(d));
+    }
+  return worst;
+}
+
+ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
+                             std::span<const double> x) {
+  const std::size_t n = ms_estimates.size();
+  assert(x.size() == n);
+  ExtReal worst{0.0};
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (ms_estimates.at(p, q) == kInfDist) return ExtReal::infinity();
+      worst = max(worst, ExtReal{ms_estimates.at(p, q) - x[p] + x[q]});
+    }
+  return worst;
+}
+
+double guaranteed_precision_finite(const DistanceMatrix& ms_estimates,
+                                   std::span<const double> x) {
+  const std::size_t n = ms_estimates.size();
+  assert(x.size() == n);
+  double worst = 0.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (ms_estimates.at(p, q) == kInfDist ||
+          ms_estimates.at(q, p) == kInfDist)
+        continue;
+      worst = std::max(worst, ms_estimates.at(p, q) - x[p] + x[q]);
+    }
+  return worst;
+}
+
+}  // namespace cs

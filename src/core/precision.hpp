@@ -1,0 +1,42 @@
+// Precision evaluation (§3).
+//
+// Two quantities matter:
+//
+//   ρ(α, x)   — the realized discrepancy in one concrete execution:
+//               max_{p,q} |(S_p - x_p) - (S_q - x_q)|.  Ground-truth-only.
+//
+//   ρ̄_α(x)    — the guaranteed precision over the whole equivalence class:
+//               sup{ρ(α', x) : α' ≡ α}.  By Claim 4.2 this equals
+//               max_{p≠q} [ m̃s(p,q) - x_p + x_q ], so — pleasingly — it is
+//               computable from the views alone, like the corrections
+//               themselves.
+//
+// Theorems 4.4/4.6 in these terms: ρ̄_α(x) >= A^max for every x, with
+// equality for the SHIFTS corrections.  The property tests check exactly
+// that, plus ρ <= ρ̄ on adversarially shifted equivalent executions.
+#pragma once
+
+#include <span>
+
+#include "common/extreal.hpp"
+#include "common/time.hpp"
+#include "graph/floyd_warshall.hpp"
+
+namespace cs {
+
+/// Realized discrepancy of corrections x in an execution with the given
+/// start times.
+double realized_precision(std::span<const RealTime> starts,
+                          std::span<const double> x);
+
+/// Guaranteed precision ρ̄ of corrections x given the m̃s estimate matrix.
+/// +inf if any pair with infinite m̃s exists (n >= 2).
+ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
+                             std::span<const double> x);
+
+/// As above, restricted to pairs with finite m̃s both ways — the meaningful
+/// quantity on unbounded instances synchronized per component.
+double guaranteed_precision_finite(const DistanceMatrix& ms_estimates,
+                                   std::span<const double> x);
+
+}  // namespace cs

@@ -1,0 +1,25 @@
+// Human-readable synchronization reports and Graphviz export.
+//
+// Operators debugging a deployment need to see what the pipeline saw: the
+// per-orientation shift estimates, which pairs are unbounded, where the
+// critical cycle runs, and what each processor should adjust by.  These
+// helpers render exactly that — as text for logs, and as DOT for eyes.
+#pragma once
+
+#include <string>
+
+#include "core/synchronizer.hpp"
+
+namespace cs {
+
+/// Multi-line text report: precision, per-processor corrections,
+/// finiteness components (when unbounded), the critical cycle, and the
+/// m̃ls edges that fed the computation.
+std::string format_report(const SystemModel& model, const SyncOutcome& out);
+
+/// Graphviz DOT of the m̃ls estimate graph.  Nodes are processors labeled
+/// with corrections; edges carry m̃ls weights; critical-cycle edges are
+/// highlighted.  Render with `dot -Tsvg`.
+std::string to_dot(const SyncOutcome& out);
+
+}  // namespace cs

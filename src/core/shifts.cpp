@@ -1,0 +1,128 @@
+#include "core/shifts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/cycle_mean.hpp"
+
+namespace cs {
+namespace {
+
+/// Builds the digraph of finite m̃s entries (off-diagonal).
+Digraph finite_ms_graph(const DistanceMatrix& ms) {
+  const std::size_t n = ms.size();
+  Digraph g(n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      if (p != q && ms.at(p, q) != kInfDist)
+        g.add_edge(static_cast<NodeId>(p), static_cast<NodeId>(q),
+                   ms.at(p, q));
+  return g;
+}
+
+/// Corrections within one component: Bellman–Ford distances from the
+/// component root under weights (a_max - m̃s).  Retries with a slightly
+/// inflated a_max if float rounding manufactures a spurious negative cycle
+/// (mathematically the max-mean cycle has weight exactly 0).
+void component_corrections(const DistanceMatrix& ms,
+                           const std::vector<NodeId>& members, NodeId root,
+                           double a_max, std::vector<double>& corrections) {
+  if (members.size() == 1) {
+    corrections[members[0]] = 0.0;
+    return;
+  }
+  std::vector<std::size_t> local(ms.size(),
+                                 std::numeric_limits<std::size_t>::max());
+  for (std::size_t i = 0; i < members.size(); ++i) local[members[i]] = i;
+
+  double bump = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Digraph g(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = 0; j < members.size(); ++j)
+        if (i != j)
+          g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                     a_max + bump - ms.at(members[i], members[j]));
+    const auto sp = bellman_ford(g, static_cast<NodeId>(local[root]));
+    if (sp) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        assert(sp->dist[i] != kInfDist);
+        corrections[members[i]] = sp->dist[i];
+      }
+      return;
+    }
+    bump = (bump == 0.0) ? 1e-12 * std::max(1.0, std::fabs(a_max))
+                         : bump * 1e3;
+  }
+  throw Error(
+      "SHIFTS: persistent negative cycle under w = a_max - m̃s; "
+      "m̃s matrix is inconsistent");
+}
+
+}  // namespace
+
+ShiftsResult compute_shifts(const DistanceMatrix& ms, NodeId root,
+                            CycleMeanAlgorithm algorithm) {
+  const std::size_t n = ms.size();
+  if (n == 0) throw Error("compute_shifts: empty instance");
+  if (root >= n) throw Error("compute_shifts: root out of range");
+
+  ShiftsResult res;
+  res.corrections.assign(n, 0.0);
+
+  const Digraph g = finite_ms_graph(ms);
+  res.components = strongly_connected_components(g);
+  const auto groups = res.components.members();
+  res.component_a_max.assign(groups.size(), 0.0);
+
+  bool bounded = groups.size() == 1;
+
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    const auto& members = groups[c];
+    double a_max_c = 0.0;
+    if (members.size() > 1) {
+      // Max mean cycle within the component.  The m̃s entries between
+      // component members are all finite (strong connectivity of the
+      // finite graph + the matrix being a shortest-path closure).
+      Digraph sub(members.size());
+      std::vector<std::size_t> local(n,
+                                     std::numeric_limits<std::size_t>::max());
+      for (std::size_t i = 0; i < members.size(); ++i)
+        local[members[i]] = i;
+      for (std::size_t i = 0; i < members.size(); ++i)
+        for (std::size_t j = 0; j < members.size(); ++j)
+          if (i != j) {
+            const double w = ms.at(members[i], members[j]);
+            if (w == kInfDist)
+              throw Error(
+                  "compute_shifts: m̃s matrix is not a shortest-path "
+                  "closure (finite component with infinite entry)");
+            sub.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), w);
+          }
+      const auto mean = (algorithm == CycleMeanAlgorithm::kKarp)
+                            ? max_cycle_mean_karp(sub)
+                            : max_cycle_mean_howard(sub);
+      assert(mean.has_value());
+      a_max_c = *mean;
+    }
+    res.component_a_max[c] = a_max_c;
+
+    // Per-component root: the global root if it lives here, else the
+    // smallest member (gauge choice only).
+    const NodeId comp_root =
+        (res.components.component[root] == c) ? root : members.front();
+    component_corrections(ms, members, comp_root, a_max_c, res.corrections);
+  }
+
+  if (bounded) {
+    res.a_max = ExtReal{res.component_a_max[0]};
+  } else {
+    res.a_max = ExtReal::infinity();
+  }
+  return res;
+}
+
+}  // namespace cs

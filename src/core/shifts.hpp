@@ -1,0 +1,60 @@
+// Step 3: Function SHIFTS (§4.4, Theorem 4.6).
+//
+// Inputs: the matrix of estimated maximal global shifts m̃s(p, q).
+// Outputs: the optimal corrections and their precision Ã^max = A^max.
+//
+//   1. Ã^max = maximum mean cycle of the shift graph (Karp).
+//   2. correction(p) = dist_w(root, p) under w(p,q) = Ã^max - m̃s(p,q)
+//      (Bellman–Ford: weights may be negative; Theorem 4.6 guarantees no
+//      negative cycles).
+//
+// Unbounded instances: if some pair's m̃s is +inf, A^max = +inf — no finite
+// precision can be guaranteed across that pair (§3's motivation).  SHIFTS
+// then degrades gracefully: the strongly connected components of the
+// finite-m̃s graph ("finiteness components") are synchronized independently,
+// each with its own optimal per-component precision; the reported overall
+// a_max is +inf.  Within a component the corrections coincide with what
+// SHIFTS would produce on that component's sub-instance, so per-component
+// optimality is preserved.
+#pragma once
+
+#include <vector>
+
+#include "common/extreal.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "graph/scc.hpp"
+
+namespace cs {
+
+struct ShiftsResult {
+  /// The instance-optimal precision Ã^max; +inf on unbounded instances.
+  ExtReal a_max{0.0};
+
+  /// Correction offset per processor.  The corrected logical clock of p is
+  /// its local clock plus corrections[p] (Definition 2.1).
+  std::vector<double> corrections;
+
+  /// Finiteness components of the m̃s graph (a single component iff the
+  /// instance is bounded).
+  SccResult components;
+
+  /// Optimal precision within each component (0 for singletons).
+  std::vector<double> component_a_max;
+
+  bool bounded() const { return a_max.is_finite(); }
+};
+
+/// Which maximum-cycle-mean algorithm drives step 1.  Karp is the paper's
+/// prescription and the default; Howard's policy iteration is measurably
+/// faster on large dense instances (bench E8a) with identical results.
+enum class CycleMeanAlgorithm { kKarp, kHoward };
+
+/// `ms` is the m̃s matrix from global_shift_estimates (diagonal 0, +inf for
+/// unconstrained pairs).  `root` breaks the additive-constant gauge freedom;
+/// any root yields corrections differing by a per-component constant, which
+/// does not affect pairwise precision.
+ShiftsResult compute_shifts(
+    const DistanceMatrix& ms, NodeId root = 0,
+    CycleMeanAlgorithm algorithm = CycleMeanAlgorithm::kKarp);
+
+}  // namespace cs

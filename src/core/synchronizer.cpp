@@ -1,0 +1,29 @@
+#include "core/synchronizer.hpp"
+
+#include "common/error.hpp"
+#include "core/local_estimates.hpp"
+
+namespace cs {
+
+SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
+                        const SyncOptions& options) {
+  if (views.size() != model.processor_count())
+    throw InvalidExecution("need exactly one view per processor");
+  for (std::size_t i = 0; i < views.size(); ++i)
+    if (views[i].pid != i)
+      throw InvalidExecution("views must be ordered by processor id");
+
+  SyncOutcome out;
+  out.mls_graph = local_shift_estimates(model, views, options.match);
+  out.ms_estimates = global_shift_estimates(out.mls_graph, options.apsp);
+
+  ShiftsResult shifts =
+      compute_shifts(out.ms_estimates, options.root, options.cycle_mean);
+  out.corrections = std::move(shifts.corrections);
+  out.optimal_precision = shifts.a_max;
+  out.components = std::move(shifts.components);
+  out.component_precision = std::move(shifts.component_a_max);
+  return out;
+}
+
+}  // namespace cs

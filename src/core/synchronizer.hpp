@@ -1,0 +1,59 @@
+// The end-to-end optimal clock synchronization pipeline — the library's
+// primary public API.
+//
+//   views ──(Lemma 6.1 + §6 closed forms)──► m̃ls graph
+//         ──(GLOBAL ESTIMATES, Thm 5.5)───► m̃s matrix
+//         ──(SHIFTS, Thm 4.6)─────────────► corrections + Ã^max
+//
+// The input is deliberately std::span<const View>: the correction function
+// may depend on nothing else (Claim 3.1).  The SystemModel supplies the
+// delay assumptions A; the paper's "interactive part" (which messages were
+// sent) is whatever produced the views — any protocol, any message pattern,
+// including none.
+#pragma once
+
+#include <span>
+
+#include "core/global_estimates.hpp"
+#include "core/shifts.hpp"
+#include "delaymodel/assignment.hpp"
+
+namespace cs {
+
+struct SyncOptions {
+  /// Root processor for the gauge choice (correction of root is 0).
+  NodeId root{0};
+  ApspAlgorithm apsp{ApspAlgorithm::kJohnson};
+  CycleMeanAlgorithm cycle_mean{CycleMeanAlgorithm::kKarp};
+  /// kDropOrphans when the views are epoch-boundary prefixes.
+  MatchPolicy match{MatchPolicy::kStrict};
+};
+
+struct SyncOutcome {
+  /// Correction offset per processor; corrected clock = local clock +
+  /// correction (Definition 2.1).
+  std::vector<double> corrections;
+
+  /// The instance-optimal guaranteed precision Ã^max = A^max.  +inf when
+  /// the views give no finite bound for some pair (the instance is then
+  /// synchronized per finiteness component).
+  ExtReal optimal_precision{0.0};
+
+  /// Per-component data for unbounded instances (see shifts.hpp).
+  SccResult components;
+  std::vector<double> component_precision;
+
+  /// Intermediate products, exposed for inspection, evaluation and tests.
+  Digraph mls_graph;
+  DistanceMatrix ms_estimates;
+
+  bool bounded() const { return optimal_precision.is_finite(); }
+};
+
+/// Compute optimal corrections for the given views under the given system
+/// assumptions.  Throws InvalidAssumption if the views contradict the
+/// assumptions, InvalidExecution if the views are malformed.
+SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
+                        const SyncOptions& options = {});
+
+}  // namespace cs

@@ -1,0 +1,63 @@
+#include "delaymodel/assignment.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cs {
+
+SystemModel::SystemModel(Topology topo) : topo_(std::move(topo)) {
+  for (auto [a, b] : topo_.links)
+    constraints_[key(a, b)] = make_no_bounds(a, b);
+}
+
+bool SystemModel::has_link(ProcessorId a, ProcessorId b) const {
+  return constraints_.contains(key(a, b));
+}
+
+void SystemModel::set_constraint(std::unique_ptr<LinkConstraint> c) {
+  const auto k = key(c->a(), c->b());
+  const auto it = constraints_.find(k);
+  if (it == constraints_.end())
+    throw InvalidAssumption("constraint endpoints are not a topology link");
+  it->second = std::move(c);
+}
+
+const LinkConstraint& SystemModel::constraint(ProcessorId a,
+                                              ProcessorId b) const {
+  const auto it = constraints_.find(key(a, b));
+  if (it == constraints_.end()) throw InvalidAssumption("no such link");
+  return *it->second;
+}
+
+LinkDelays SystemModel::link_delays(const Execution& exec, ProcessorId a,
+                                    ProcessorId b) const {
+  if (a > b) std::swap(a, b);
+  LinkDelays out;
+  for (const TracedMessage& t : trace_messages(exec)) {
+    if (t.msg.from == a && t.msg.to == b)
+      out.a_to_b.push_back(t.delay().sec);
+    else if (t.msg.from == b && t.msg.to == a)
+      out.b_to_a.push_back(t.delay().sec);
+  }
+  return out;
+}
+
+bool SystemModel::admissible(const Execution& exec) const {
+  // Bucket timed delays per link once rather than re-scanning per link.
+  std::unordered_map<std::uint64_t, TimedLinkDelays> delays;
+  for (const TracedMessage& t : trace_messages(exec)) {
+    const ProcessorId a = std::min(t.msg.from, t.msg.to);
+    const ProcessorId b = std::max(t.msg.from, t.msg.to);
+    if (!has_link(a, b))
+      throw InvalidExecution("message sent between non-adjacent processors");
+    TimedLinkDelays& d = delays[key(a, b)];
+    (t.msg.from == a ? d.a_to_b : d.b_to_a)
+        .push_back(TimedObs{t.send_real.sec, t.delay().sec});
+  }
+  for (const auto& [k, d] : delays)
+    if (!constraints_.at(k)->admits_timed(d)) return false;
+  return true;
+}
+
+}  // namespace cs

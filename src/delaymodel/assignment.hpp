@@ -1,0 +1,57 @@
+// SystemModel: the pair (G, A) — a topology plus one delay constraint per
+// link.  This is the object both the simulator (to generate admissible
+// executions) and the pipeline (to compute m̃ls) are configured with.
+//
+// Every link starts under the weakest assumption, "no bounds" (delays are
+// only non-negative); callers strengthen links individually, which is how
+// the paper's mixed/heterogeneous systems are expressed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "delaymodel/constraint.hpp"
+#include "graph/topology.hpp"
+#include "model/execution.hpp"
+
+namespace cs {
+
+class SystemModel {
+ public:
+  explicit SystemModel(Topology topo);
+
+  std::size_t processor_count() const { return topo_.node_count; }
+  const Topology& topology() const { return topo_; }
+
+  bool has_link(ProcessorId a, ProcessorId b) const;
+
+  /// Replace the constraint on the link (c->a(), c->b()); the link must
+  /// exist in the topology.
+  void set_constraint(std::unique_ptr<LinkConstraint> c);
+
+  /// Constraint of link {a, b} (order-insensitive).  Throws if not a link.
+  const LinkConstraint& constraint(ProcessorId a, ProcessorId b) const;
+
+  /// Observed actual delays of link {a, b} in an execution, oriented
+  /// canonically (min endpoint -> max endpoint).
+  LinkDelays link_delays(const Execution& exec, ProcessorId a,
+                         ProcessorId b) const;
+
+  /// Is the execution admissible under this system?  Locality (§5.1): true
+  /// iff each link's constraint admits that link's delays.  Throws
+  /// InvalidExecution if a message crosses a non-link pair.
+  bool admissible(const Execution& exec) const;
+
+ private:
+  static std::uint64_t key(ProcessorId a, ProcessorId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Topology topo_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkConstraint>>
+      constraints_;
+};
+
+}  // namespace cs

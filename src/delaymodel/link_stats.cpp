@@ -1,0 +1,59 @@
+#include "delaymodel/link_stats.hpp"
+
+namespace cs {
+
+const DirectedStats& LinkStats::direction(ProcessorId p,
+                                          ProcessorId q) const {
+  static const DirectedStats kEmpty;
+  const auto it = stats_.find(key(p, q));
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+void LinkStats::add(ProcessorId p, ProcessorId q, double delay) {
+  stats_[key(p, q)].add(delay);
+}
+
+LinkStats LinkStats::estimated_from_views(std::span<const View> views,
+                                          MatchPolicy policy) {
+  LinkStats s;
+  for (const PairedMessage& m : pair_messages(views, policy))
+    s.add(m.from, m.to, m.estimated_delay().sec);
+  return s;
+}
+
+LinkStats LinkStats::actual_from_execution(const Execution& exec) {
+  LinkStats s;
+  for (const TracedMessage& t : trace_messages(exec))
+    s.add(t.msg.from, t.msg.to, t.delay().sec);
+  return s;
+}
+
+std::span<const TimedObs> LinkTraffic::direction(ProcessorId p,
+                                                 ProcessorId q) const {
+  const auto it = traffic_.find(key(p, q));
+  if (it == traffic_.end()) return {};
+  return it->second;
+}
+
+void LinkTraffic::add(ProcessorId p, ProcessorId q, TimedObs obs) {
+  traffic_[key(p, q)].push_back(obs);
+}
+
+LinkTraffic LinkTraffic::estimated_from_views(std::span<const View> views,
+                                              MatchPolicy policy) {
+  LinkTraffic t;
+  for (const PairedMessage& m : pair_messages(views, policy))
+    t.add(m.from, m.to,
+          TimedObs{m.send_clock.sec, m.estimated_delay().sec});
+  return t;
+}
+
+LinkTraffic LinkTraffic::actual_from_execution(const Execution& exec) {
+  LinkTraffic t;
+  for (const TracedMessage& tm : trace_messages(exec))
+    t.add(tm.msg.from, tm.msg.to,
+          TimedObs{tm.send_real.sec, tm.delay().sec});
+  return t;
+}
+
+}  // namespace cs

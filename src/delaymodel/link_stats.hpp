@@ -1,0 +1,94 @@
+// Per-direction delay statistics.
+//
+// Lemmas 6.2 and 6.5 show that for both the bounds model and the bias model
+// the maximal local shift depends on the observed delays only through the
+// per-direction extremes d_min(p,q) and d_max(p,q).  LinkStats is exactly
+// that sufficient statistic.  It can be built from views (estimated delays,
+// what the pipeline uses) or from an execution (actual delays, used for
+// admissibility checking and test oracles).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+
+#include "common/extreal.hpp"
+#include "model/execution.hpp"
+#include "model/pairing.hpp"
+
+namespace cs {
+
+struct DirectedStats {
+  /// Minimum observed delay on the direction; +inf when no message.
+  ExtReal dmin = ExtReal::infinity();
+  /// Maximum observed delay; -inf when no message (paper's convention).
+  ExtReal dmax = ExtReal::neg_infinity();
+  std::size_t count = 0;
+
+  void add(double delay) {
+    dmin = min(dmin, ExtReal{delay});
+    dmax = max(dmax, ExtReal{delay});
+    ++count;
+  }
+};
+
+class LinkStats {
+ public:
+  /// Stats for direction p -> q; a zero-message DirectedStats if none.
+  const DirectedStats& direction(ProcessorId p, ProcessorId q) const;
+
+  void add(ProcessorId p, ProcessorId q, double delay);
+
+  /// Estimated delays d̃(m) from views only (Lemma 6.1) — the pipeline path.
+  static LinkStats estimated_from_views(
+      std::span<const View> views,
+      MatchPolicy policy = MatchPolicy::kStrict);
+
+  /// Actual delays d(m) from ground truth — observer-only path.
+  static LinkStats actual_from_execution(const Execution& exec);
+
+ private:
+  static std::uint64_t key(ProcessorId p, ProcessorId q) {
+    return (static_cast<std::uint64_t>(p) << 32) | q;
+  }
+  std::unordered_map<std::uint64_t, DirectedStats> stats_;
+};
+
+/// A delay observation with its send time.  Two flavors share the type:
+/// *actual* observations carry real send times and actual delays (the
+/// admissibility side), *estimated* observations carry the sender's send
+/// clock time and the estimated delay d̃ (the estimator side).  All §6
+/// formulas are form-identical between the two (the S-terms telescope),
+/// and that extends to the windowed-bias model — see windowed_bias.cpp for
+/// the derivation.
+struct TimedObs {
+  double send{0.0};
+  double delay{0.0};
+};
+
+/// Full per-direction observation lists with send times — the sufficient
+/// statistic for *time-aware* models (windowed bias), where the extremes
+/// alone are not enough.  Same two construction paths as LinkStats.
+class LinkTraffic {
+ public:
+  /// Observations for direction p -> q, in insertion order.
+  std::span<const TimedObs> direction(ProcessorId p, ProcessorId q) const;
+
+  void add(ProcessorId p, ProcessorId q, TimedObs obs);
+
+  /// Estimated observations (send clock of the sender, d̃) from views.
+  static LinkTraffic estimated_from_views(
+      std::span<const View> views,
+      MatchPolicy policy = MatchPolicy::kStrict);
+
+  /// Actual observations (real send time, actual delay) from ground truth.
+  static LinkTraffic actual_from_execution(const Execution& exec);
+
+ private:
+  static std::uint64_t key(ProcessorId p, ProcessorId q) {
+    return (static_cast<std::uint64_t>(p) << 32) | q;
+  }
+  std::unordered_map<std::uint64_t, std::vector<TimedObs>> traffic_;
+};
+
+}  // namespace cs

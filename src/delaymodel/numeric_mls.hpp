@@ -1,0 +1,48 @@
+// Numeric maximal-local-shift oracle.
+//
+// The closed forms of §6 (Lemmas 6.2, 6.5) are easy to get subtly wrong —
+// a sign error survives superficially plausible runs.  This oracle computes
+// mls(p, q) directly from its definition: the sup of shifts s such that the
+// link stays locally admissible when q's history is shifted by s, found by
+// exponential + binary search over the admits() predicate.  Assumption 1
+// (the admissible shifts form an interval) makes bisection sound; every
+// constraint in this library satisfies it.
+//
+// Used by property tests and available to users adding new constraint types
+// without a closed form.
+#pragma once
+
+#include "common/extreal.hpp"
+#include "delaymodel/constraint.hpp"
+
+namespace cs {
+
+/// Computes mls(p, q) for the link of `c` (q is the other endpoint).
+/// `observed` are the link's delays in the unshifted execution, canonically
+/// oriented; it must be admissible under `c` (throws otherwise).  Shifts
+/// with |s| > cap are reported as +inf.
+ExtReal numeric_mls(const LinkConstraint& c, const LinkDelays& observed,
+                    ProcessorId p, double cap = 1e9, double tol = 1e-9);
+
+/// Applies a relative shift of q w.r.t. p to a link's delay multiset:
+/// p->q delays shrink by s, q->p delays grow by s (the sign convention of
+/// §4.1 under shift(pi, s) moving events earlier).
+LinkDelays shift_link_delays(const LinkDelays& observed, ProcessorId p,
+                             ProcessorId a, double s);
+
+/// Timed analogue: additionally, q's send times move s earlier.
+TimedLinkDelays shift_timed_link_delays(const TimedLinkDelays& observed,
+                                        ProcessorId p, ProcessorId a,
+                                        double s);
+
+/// Timed oracle against admits_timed().  Time-aware models can violate
+/// Assumption 1 (the admissible-shift set may not be an interval), so this
+/// oracle computes sup{s admissible} by a fine forward scan plus local
+/// bisection instead of assuming bisectability.  `resolution` bounds the
+/// width of any admissible island the scan can miss.
+ExtReal numeric_mls_timed(const LinkConstraint& c,
+                          const TimedLinkDelays& observed, ProcessorId p,
+                          double cap = 10.0, double resolution = 1e-3,
+                          double tol = 1e-9);
+
+}  // namespace cs

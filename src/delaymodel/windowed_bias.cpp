@@ -1,0 +1,161 @@
+#include "delaymodel/windowed_bias.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Derivation of the shift characterization.
+//
+// Shift q by s relative to p (events of q move s earlier).  For a message
+// i: p->q with actual delay d_i and a message j: q->p with delay d_j:
+//   * delays:       d_i' = d_i - s,   d_j' = d_j + s;
+//   * send gap:     Δt_ij' = (t_i) - (t_j - s) = Δt_ij + s.
+// The windowed bias condition on the shifted pair is therefore
+//   |Δt_ij + s| <= W   ==>   |(d_i - d_j) - 2s| <= b,
+// plus non-negativity  d_i - s >= 0  and  d_j + s >= 0.
+//
+// In estimated space, substitute σ = s + (S_p - S_q), Δc_ij = clock-send
+// difference and D_ij = d̃_i - d̃_j: every S-term cancels and the system
+// becomes
+//   σ <= min_i d̃_i,   σ >= -min_j d̃_j,
+//   |Δc_ij + σ| <= W  ==>  |D_ij - 2σ| <= b,
+// so the admissible-σ set — and hence m̃ls(p,q) = mls(p,q) + S_p - S_q as
+// its supremum — is computable from the views alone.
+//
+// The set is a finite union of closed intervals whose endpoints lie among
+// the constraint breakpoints below, so the supremum is attained at a
+// breakpoint (or at the non-negativity ceiling).
+
+struct Pair {
+  double gap;   // Δ (send_i - send_j)
+  double diff;  // D (delay_i - delay_j)
+};
+
+/// sup{σ admissible} given the forward/backward observations for the
+/// orientation being queried.  `fwd` are p->q messages, `bwd` q->p.
+ExtReal sup_admissible(std::span<const TimedObs> fwd,
+                       std::span<const TimedObs> bwd, double bias,
+                       double window) {
+  // Non-negativity bounds.
+  double ceil = std::numeric_limits<double>::infinity();
+  for (const TimedObs& o : fwd) ceil = std::min(ceil, o.delay);
+  double floor = -std::numeric_limits<double>::infinity();
+  for (const TimedObs& o : bwd) floor = std::max(floor, -o.delay);
+
+  std::vector<Pair> pairs;
+  pairs.reserve(fwd.size() * bwd.size());
+  for (const TimedObs& i : fwd)
+    for (const TimedObs& j : bwd)
+      pairs.push_back({i.send - j.send, i.delay - j.delay});
+
+  if (!std::isfinite(ceil)) {
+    // No forward messages: no pair constraints, no ceiling.
+    return ExtReal::infinity();
+  }
+
+  const auto admissible = [&](double sigma) {
+    if (sigma < floor - kTol || sigma > ceil + kTol) return false;
+    for (const Pair& pr : pairs) {
+      if (std::fabs(pr.gap + sigma) <= window + kTol &&
+          std::fabs(pr.diff - 2.0 * sigma) > bias + kTol)
+        return false;
+    }
+    return true;
+  };
+
+  // Candidate suprema: the ceiling, plus every σ where a pair enters or
+  // leaves the window (±W - Δ) or where its bias condition becomes tight
+  // ((D ± b) / 2).
+  std::vector<double> candidates{ceil};
+  if (std::isfinite(floor)) candidates.push_back(floor);
+  for (const Pair& pr : pairs) {
+    candidates.push_back(window - pr.gap);
+    candidates.push_back(-window - pr.gap);
+    candidates.push_back((pr.diff + bias) / 2.0);
+    candidates.push_back((pr.diff - bias) / 2.0);
+  }
+
+  bool any = false;
+  double best = 0.0;
+  for (double c : candidates) {
+    if (c > ceil) c = ceil;  // clamp window/bias breakpoints to the ceiling
+    if (std::isfinite(floor) && c < floor) c = floor;
+    if (admissible(c) && (!any || c > best)) {
+      any = true;
+      best = c;
+    }
+  }
+  if (!any)
+    throw InvalidAssumption(
+        "windowed-bias observations admit no shift at all; the execution "
+        "contradicts the declared assumptions");
+  return ExtReal{best};
+}
+
+}  // namespace
+
+WindowedBiasConstraint::WindowedBiasConstraint(ProcessorId a, ProcessorId b,
+                                               double bias, double window)
+    : LinkConstraint(a, b), bias_(bias), window_(window) {
+  if (bias < 0.0) throw InvalidAssumption("bias bound must be non-negative");
+  if (window < 0.0)
+    throw InvalidAssumption("window width must be non-negative");
+}
+
+bool WindowedBiasConstraint::admits(const LinkDelays& delays) const {
+  // Conservative: pretend all pairs are in-window (W = inf).  Never
+  // accepts an execution the timed predicate would reject.
+  const BiasConstraint all_pairs(a(), b(), bias_);
+  return all_pairs.admits(delays);
+}
+
+ExtReal WindowedBiasConstraint::mls(ProcessorId /*p*/,
+                                    const DirectedStats& pq,
+                                    const DirectedStats& /*qp*/) const {
+  // Sound upper envelope without timing: only non-negativity is certain.
+  return pq.dmin;
+}
+
+bool WindowedBiasConstraint::admits_timed(
+    const TimedLinkDelays& delays) const {
+  const auto nonneg = [](const std::vector<TimedObs>& os) {
+    return std::all_of(os.begin(), os.end(),
+                       [](const TimedObs& o) { return o.delay >= -kTol; });
+  };
+  if (!nonneg(delays.a_to_b) || !nonneg(delays.b_to_a)) return false;
+  for (const TimedObs& i : delays.a_to_b)
+    for (const TimedObs& j : delays.b_to_a)
+      if (std::fabs(i.send - j.send) <= window_ + kTol &&
+          std::fabs(i.delay - j.delay) > bias_ + kTol)
+        return false;
+  return true;
+}
+
+ExtReal WindowedBiasConstraint::mls_timed(ProcessorId /*p*/,
+                                          std::span<const TimedObs> pq,
+                                          std::span<const TimedObs> qp) const {
+  return sup_admissible(pq, qp, bias_, window_);
+}
+
+std::string WindowedBiasConstraint::describe() const {
+  std::ostringstream os;
+  os << "wbias[" << bias_ << ",W=" << window_ << "]";
+  return os.str();
+}
+
+std::unique_ptr<LinkConstraint> make_windowed_bias(ProcessorId a,
+                                                   ProcessorId b, double bias,
+                                                   double window) {
+  return std::make_unique<WindowedBiasConstraint>(a, b, bias, window);
+}
+
+}  // namespace cs

@@ -1,0 +1,38 @@
+// Single-source shortest paths with negative edge weights.
+//
+// SHIFTS needs distances under weights w(p,q) = Ã^max − m̃s(p,q), which are
+// negative whenever a pair's shift estimate exceeds the optimum cycle mean —
+// the common case.  Theorem 4.6's argument guarantees no negative cycles;
+// we still detect them and report, because a negative cycle reaching the
+// pipeline indicates a broken estimator (or an inadmissible execution) and
+// must not be silently absorbed.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+struct ShortestPaths {
+  /// dist[v] = distance from source; +inf when unreachable.
+  std::vector<double> dist;
+  /// pred[v] = edge id of the last edge on a shortest path, or no value for
+  /// the source / unreachable nodes.
+  std::vector<std::optional<EdgeId>> pred;
+};
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Runs Bellman–Ford from `source`.  Returns std::nullopt iff a negative
+/// cycle is reachable from the source.
+std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source);
+
+/// True iff the graph contains a negative-weight cycle anywhere (adds a
+/// virtual super-source).  `epsilon` guards against float noise: cycles with
+/// weight >= -epsilon are not reported.
+bool has_negative_cycle(const Digraph& g, double epsilon = 0.0);
+
+}  // namespace cs

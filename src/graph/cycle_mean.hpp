@@ -1,0 +1,43 @@
+// Maximum (and minimum) mean cycle of a weighted digraph.
+//
+// This is the computational heart of SHIFTS: the optimal achievable
+// precision on an instance is exactly
+//
+//   Ã^max = max over cycles θ of ( Σ m̃s-weights on θ / |θ| )     (§4.4)
+//
+// The paper prescribes Karp's O(nm) characterization [Karp, Disc. Math. 23
+// (1978)].  We provide Karp as the primary implementation, a binary-search
+// (Lawler-style) alternative used for the E8 ablation, and an exhaustive
+// enumerator used as a test oracle on small graphs.
+#pragma once
+
+#include <optional>
+
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+/// Maximum cycle mean over all directed cycles; std::nullopt if acyclic.
+/// Decomposes by SCC internally, so the graph need not be strongly
+/// connected.  Exact up to float rounding.
+std::optional<double> max_cycle_mean_karp(const Digraph& g);
+
+/// Minimum cycle mean, by negation.
+std::optional<double> min_cycle_mean_karp(const Digraph& g);
+
+/// Binary search on mu using positive-cycle detection: mu* is the largest mu
+/// such that weights (w - mu) still admit a non-negative cycle.  Converges
+/// to `tolerance`; ablation comparator for Karp (bench E8).
+std::optional<double> max_cycle_mean_bsearch(const Digraph& g,
+                                             double tolerance = 1e-9);
+
+/// Howard's policy iteration (max-plus spectral algorithm) — the fastest
+/// known cycle-mean algorithm in practice [Dasdan's experimental studies],
+/// exact like Karp.  Second ablation arm of bench E8.
+std::optional<double> max_cycle_mean_howard(const Digraph& g);
+
+/// Exhaustive enumeration of simple cycles (test oracle; exponential, keep
+/// node_count small).
+std::optional<double> max_cycle_mean_brute(const Digraph& g);
+
+}  // namespace cs

@@ -1,0 +1,30 @@
+#include "graph/digraph.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cs {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, double weight) {
+  assert(from < node_count() && to < node_count());
+  assert(std::isfinite(weight));
+  edges_.push_back(Edge{from, to, weight});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[from].push_back(id);
+  return id;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(node_count());
+  for (const Edge& e : edges_) r.add_edge(e.to, e.from, e.weight);
+  return r;
+}
+
+}  // namespace cs

@@ -1,0 +1,55 @@
+// Weighted directed graph, adjacency-list representation.
+//
+// Used in two roles by the pipeline:
+//   * the *network graph* G = (V, E) whose edges carry m̃ls weights
+//     (GLOBAL ESTIMATES, Theorem 5.5), and
+//   * the *complete shift graph* on processors whose edges carry m̃s weights
+//     (SHIFTS, Theorem 4.6, and Karp's cycle-mean computation).
+//
+// Edge weights are finite doubles; "+inf" weights in the theory are
+// represented by *absence* of the edge, which keeps every algorithm here
+// free of extended-real arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cs {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+  double weight;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count);
+
+  NodeId add_node();
+  EdgeId add_edge(NodeId from, NodeId to, double weight);
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  void set_weight(EdgeId e, double w) { edges_[e].weight = w; }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<const EdgeId> out_edges(NodeId v) const { return out_[v]; }
+
+  /// Graph with every edge reversed (same ids); used by SCC and by
+  /// single-sink distance computations.
+  Digraph reversed() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace cs

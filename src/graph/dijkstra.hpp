@@ -1,0 +1,13 @@
+// Dijkstra single-source shortest paths (non-negative weights).  Building
+// block of Johnson's APSP; also used directly on reweighted graphs.
+#pragma once
+
+#include "graph/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+/// Precondition: all edge weights >= 0 (asserted in debug builds).
+ShortestPaths dijkstra(const Digraph& g, NodeId source);
+
+}  // namespace cs

@@ -1,0 +1,38 @@
+// Floyd–Warshall all-pairs shortest paths.
+//
+// The reference implementation for GLOBAL ESTIMATES (Theorem 5.5): m̃s(p,q)
+// is exactly the p→q distance under edge weights m̃ls.  The pipeline uses
+// Johnson's algorithm for sparse networks; Floyd–Warshall serves dense
+// graphs and is the oracle both are tested against.
+#pragma once
+
+#include <vector>
+
+#include "graph/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+/// Row-major n*n distance matrix; +inf = unreachable; diagonal 0.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(std::size_t n)
+      : n_(n), d_(n * n, kInfDist) {
+    for (std::size_t i = 0; i < n; ++i) at(i, i) = 0.0;
+  }
+
+  std::size_t size() const { return n_; }
+  double& at(std::size_t i, std::size_t j) { return d_[i * n_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return d_[i * n_ + j]; }
+
+ private:
+  std::size_t n_{0};
+  std::vector<double> d_;
+};
+
+/// Returns std::nullopt iff the graph has a negative cycle (detected by a
+/// negative diagonal entry).
+std::optional<DistanceMatrix> floyd_warshall(const Digraph& g);
+
+}  // namespace cs

@@ -1,0 +1,45 @@
+#include "graph/johnson.hpp"
+
+#include "graph/bellman_ford.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace cs {
+
+std::optional<DistanceMatrix> johnson(const Digraph& g) {
+  const std::size_t n = g.node_count();
+
+  // Augmented graph with a super-source connected to every node by a
+  // zero-weight edge; its Bellman–Ford distances are valid potentials.
+  Digraph aug(n + 1);
+  for (const Edge& e : g.edges()) aug.add_edge(e.from, e.to, e.weight);
+  const NodeId s = static_cast<NodeId>(n);
+  for (NodeId v = 0; v < n; ++v) aug.add_edge(s, v, 0.0);
+
+  const auto pot = bellman_ford(aug, s);
+  if (!pot) return std::nullopt;  // negative cycle
+  const std::vector<double>& h = pot->dist;
+
+  // Reweight: w'(u,v) = w(u,v) + h(u) - h(v) >= 0.
+  Digraph rw(n);
+  for (const Edge& e : g.edges()) {
+    double w = e.weight + h[e.from] - h[e.to];
+    // Clamp tiny negative float residue so Dijkstra's precondition holds.
+    if (w < 0.0 && w > -1e-9) w = 0.0;
+    rw.add_edge(e.from, e.to, w);
+  }
+
+  DistanceMatrix m(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const ShortestPaths sp = dijkstra(rw, u);
+    for (NodeId v = 0; v < n; ++v) {
+      if (sp.dist[v] == kInfDist) {
+        m.at(u, v) = (u == v) ? 0.0 : kInfDist;
+      } else {
+        m.at(u, v) = sp.dist[v] - h[u] + h[v];
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace cs

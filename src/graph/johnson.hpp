@@ -1,0 +1,16 @@
+// Johnson's all-pairs shortest paths: one Bellman–Ford pass to compute
+// potentials, then Dijkstra from every node on the reweighted graph.
+// Asymptotically better than Floyd–Warshall on the sparse network graphs
+// GLOBAL ESTIMATES runs over (O(nm + n^2 log n) vs O(n^3)).
+#pragma once
+
+#include <optional>
+
+#include "graph/floyd_warshall.hpp"
+
+namespace cs {
+
+/// Returns std::nullopt iff the graph has a negative cycle.
+std::optional<DistanceMatrix> johnson(const Digraph& g);
+
+}  // namespace cs

@@ -1,0 +1,77 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cs {
+
+std::vector<std::vector<NodeId>> SccResult::members() const {
+  std::vector<std::vector<NodeId>> out(component_count);
+  for (NodeId v = 0; v < component.size(); ++v)
+    out[component[v]].push_back(v);
+  return out;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+
+  SccResult res;
+  res.component.assign(n, kUnset);
+
+  std::vector<std::size_t> index(n, kUnset);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS stack: (node, position in its out-edge list).
+  struct Frame {
+    NodeId v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto out = g.out_edges(f.v);
+      if (f.edge_pos < out.size()) {
+        const NodeId w = g.edge(out[f.edge_pos++]).to;
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const NodeId v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty())
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it off the Tarjan stack.
+          const std::size_t id = res.component_count++;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            res.component[w] = id;
+          } while (w != v);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace cs

@@ -1,0 +1,28 @@
+// Strongly connected components (Tarjan, iterative).
+//
+// Cycle-mean computations decompose by SCC: every cycle lies inside one
+// component, so Ã^max over a shift graph with missing (infinite) edges is
+// the max over per-SCC cycle means.  SCCs of the finite-m̃s graph are also
+// the "finiteness components" within which corrections remain well-defined
+// when the instance as a whole is unbounded (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace cs {
+
+struct SccResult {
+  /// component[v] = id of v's SCC; ids are in reverse topological order
+  /// (an edge u->v between different SCCs has component[u] > component[v]).
+  std::vector<std::size_t> component;
+  std::size_t component_count{0};
+
+  /// Nodes of each component, grouped.
+  std::vector<std::vector<NodeId>> members() const;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+}  // namespace cs

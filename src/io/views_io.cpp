@@ -1,0 +1,300 @@
+#include "io/views_io.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "delaymodel/windowed_bias.hpp"
+
+namespace cs {
+namespace {
+
+constexpr const char* kViewsHeader = "chronosync-views v1";
+constexpr const char* kModelHeader = "chronosync-model v1";
+
+std::string fmt(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& tok, std::size_t line_no) {
+  if (tok == "inf") return std::numeric_limits<double>::infinity();
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != tok.size())
+    throw Error("parse error at line " + std::to_string(line_no) +
+                ": bad number '" + tok + "'");
+  return v;
+}
+
+/// Reads the next meaningful line (skipping comments/blanks); false at EOF.
+bool next_line(std::istream& is, std::string& line, std::size_t& line_no) {
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size() || line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+  throw Error("parse error at line " + std::to_string(line_no) + ": " +
+              what);
+}
+
+}  // namespace
+
+void save_views(std::ostream& os, std::span<const View> views) {
+  os << kViewsHeader << '\n';
+  os << "processors " << views.size() << '\n';
+  for (const View& v : views) {
+    os << "view " << v.pid << ' ' << v.events.size() << '\n';
+    for (const ViewEvent& e : v.events) {
+      switch (e.kind) {
+        case EventKind::kStart:
+          os << "S " << fmt(e.when.sec) << '\n';
+          break;
+        case EventKind::kSend:
+          os << "D " << fmt(e.when.sec) << ' ' << e.msg << ' ' << e.peer
+             << '\n';
+          break;
+        case EventKind::kReceive:
+          os << "R " << fmt(e.when.sec) << ' ' << e.msg << ' ' << e.peer
+             << '\n';
+          break;
+        case EventKind::kTimerSet:
+          os << "T " << fmt(e.when.sec) << ' ' << fmt(e.timer_at.sec)
+             << '\n';
+          break;
+        case EventKind::kTimerFire:
+          os << "F " << fmt(e.when.sec) << ' ' << fmt(e.timer_at.sec)
+             << '\n';
+          break;
+      }
+    }
+  }
+}
+
+std::vector<View> load_views(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_line(is, line, line_no) || tokens_of(line) != tokens_of(kViewsHeader))
+    throw Error("not a chronosync-views v1 stream");
+
+  if (!next_line(is, line, line_no)) parse_fail(line_no, "missing processors");
+  auto toks = tokens_of(line);
+  if (toks.size() != 2 || toks[0] != "processors")
+    parse_fail(line_no, "expected 'processors <n>'");
+  const auto n = static_cast<std::size_t>(parse_double(toks[1], line_no));
+
+  std::vector<View> views(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!next_line(is, line, line_no)) parse_fail(line_no, "missing view");
+    toks = tokens_of(line);
+    if (toks.size() != 3 || toks[0] != "view")
+      parse_fail(line_no, "expected 'view <pid> <events>'");
+    const auto pid =
+        static_cast<ProcessorId>(parse_double(toks[1], line_no));
+    if (pid != i) parse_fail(line_no, "views must appear in pid order");
+    const auto count =
+        static_cast<std::size_t>(parse_double(toks[2], line_no));
+    View& v = views[i];
+    v.pid = pid;
+    v.events.reserve(count);
+    for (std::size_t e = 0; e < count; ++e) {
+      if (!next_line(is, line, line_no)) parse_fail(line_no, "missing event");
+      toks = tokens_of(line);
+      if (toks.empty()) parse_fail(line_no, "empty event");
+      ViewEvent ev;
+      if (toks[0] == "S" && toks.size() == 2) {
+        ev.kind = EventKind::kStart;
+        ev.when = ClockTime{parse_double(toks[1], line_no)};
+      } else if ((toks[0] == "D" || toks[0] == "R") && toks.size() == 4) {
+        ev.kind = toks[0] == "D" ? EventKind::kSend : EventKind::kReceive;
+        ev.when = ClockTime{parse_double(toks[1], line_no)};
+        ev.msg = static_cast<MessageId>(
+            std::strtoull(toks[2].c_str(), nullptr, 10));
+        ev.peer = static_cast<ProcessorId>(parse_double(toks[3], line_no));
+      } else if ((toks[0] == "T" || toks[0] == "F") && toks.size() == 3) {
+        ev.kind =
+            toks[0] == "T" ? EventKind::kTimerSet : EventKind::kTimerFire;
+        ev.when = ClockTime{parse_double(toks[1], line_no)};
+        ev.timer_at = ClockTime{parse_double(toks[2], line_no)};
+      } else {
+        parse_fail(line_no, "malformed event '" + line + "'");
+      }
+      v.events.push_back(ev);
+    }
+  }
+  return views;
+}
+
+namespace {
+
+/// Emits one or more `link` lines for a constraint (composites recurse).
+void emit_constraint(std::ostream& os, const LinkConstraint& c) {
+  if (const auto* comp = dynamic_cast<const CompositeConstraint*>(&c)) {
+    for (std::size_t i = 0; i < comp->part_count(); ++i)
+      emit_constraint(os, comp->part(i));
+    return;
+  }
+  os << "link " << c.a() << ' ' << c.b() << ' ';
+  if (const auto* bounds = dynamic_cast<const BoundsConstraint*>(&c)) {
+    const Interval& ab = bounds->bounds(bounds->a());
+    const Interval& ba = bounds->bounds(bounds->b());
+    if (!(ab == ba))
+      throw Error("model format v1 cannot express asymmetric bounds");
+    if (ab.hi().is_pos_inf() && ab.lo() == ExtReal{0.0}) {
+      os << "none\n";
+    } else if (ab.hi().is_pos_inf()) {
+      os << "lower " << fmt(ab.lo().finite()) << '\n';
+    } else {
+      os << "bounds " << fmt(ab.lo().finite()) << ' '
+         << fmt(ab.hi().finite()) << '\n';
+    }
+    return;
+  }
+  if (const auto* wb = dynamic_cast<const WindowedBiasConstraint*>(&c)) {
+    os << "wbias " << fmt(wb->bias()) << ' ' << fmt(wb->window()) << '\n';
+    return;
+  }
+  if (const auto* bias = dynamic_cast<const BiasConstraint*>(&c)) {
+    os << "bias " << fmt(bias->bias()) << '\n';
+    return;
+  }
+  throw Error("model format v1 cannot express constraint: " + c.describe());
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, const SystemModel& model) {
+  os << kModelHeader << '\n';
+  os << "processors " << model.processor_count() << '\n';
+  for (auto [a, b] : model.topology().links)
+    emit_constraint(os, model.constraint(a, b));
+}
+
+SystemModel load_model(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_line(is, line, line_no) ||
+      tokens_of(line) != tokens_of(kModelHeader))
+    throw Error("not a chronosync-model v1 stream");
+
+  if (!next_line(is, line, line_no)) parse_fail(line_no, "missing processors");
+  auto toks = tokens_of(line);
+  if (toks.size() != 2 || toks[0] != "processors")
+    parse_fail(line_no, "expected 'processors <n>'");
+  const auto n = static_cast<std::size_t>(parse_double(toks[1], line_no));
+
+  // Gather constraint specs per link; repeated lines conjoin (Thm 5.6).
+  struct Spec {
+    ProcessorId a, b;
+    std::vector<std::unique_ptr<LinkConstraint>> parts;
+  };
+  std::vector<Spec> specs;
+  auto find_spec = [&](ProcessorId a, ProcessorId b) -> Spec& {
+    for (Spec& s : specs)
+      if (s.a == a && s.b == b) return s;
+    specs.push_back(Spec{a, b, {}});
+    return specs.back();
+  };
+
+  while (next_line(is, line, line_no)) {
+    toks = tokens_of(line);
+    if (toks.size() < 4 || toks[0] != "link")
+      parse_fail(line_no, "expected 'link <a> <b> <kind> ...'");
+    auto a = static_cast<ProcessorId>(parse_double(toks[1], line_no));
+    auto b = static_cast<ProcessorId>(parse_double(toks[2], line_no));
+    if (a > b) std::swap(a, b);
+    if (b >= n) parse_fail(line_no, "link endpoint out of range");
+    const std::string& kind = toks[3];
+    std::unique_ptr<LinkConstraint> c;
+    if (kind == "none" && toks.size() == 4) {
+      c = make_no_bounds(a, b);
+    } else if (kind == "lower" && toks.size() == 5) {
+      c = make_lower_bound_only(a, b, parse_double(toks[4], line_no));
+    } else if (kind == "bounds" && toks.size() == 6) {
+      c = make_bounds(a, b, parse_double(toks[4], line_no),
+                      parse_double(toks[5], line_no));
+    } else if (kind == "bias" && toks.size() == 5) {
+      c = make_bias(a, b, parse_double(toks[4], line_no));
+    } else if (kind == "wbias" && toks.size() == 6) {
+      c = make_windowed_bias(a, b, parse_double(toks[4], line_no),
+                             parse_double(toks[5], line_no));
+    } else {
+      parse_fail(line_no, "unknown link kind '" + kind + "'");
+    }
+    find_spec(a, b).parts.push_back(std::move(c));
+  }
+
+  Topology topo;
+  topo.node_count = n;
+  for (const Spec& s : specs) topo.links.emplace_back(s.a, s.b);
+  SystemModel model(std::move(topo));
+  for (Spec& s : specs) {
+    if (s.parts.size() == 1) {
+      model.set_constraint(std::move(s.parts.front()));
+    } else {
+      model.set_constraint(make_composite(s.a, s.b, std::move(s.parts)));
+    }
+  }
+  return model;
+}
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void save_views_file(const std::string& path, std::span<const View> views) {
+  auto os = open_out(path);
+  save_views(os, views);
+}
+
+std::vector<View> load_views_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_views(is);
+}
+
+void save_model_file(const std::string& path, const SystemModel& model) {
+  auto os = open_out(path);
+  save_model(os, model);
+}
+
+SystemModel load_model_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_model(is);
+}
+
+}  // namespace cs

@@ -1,0 +1,46 @@
+#include "model/execution.hpp"
+
+#include <cassert>
+
+#include "common/error.hpp"
+
+namespace cs {
+
+Execution::Execution(std::vector<History> histories)
+    : histories_(std::move(histories)) {
+  for (std::size_t i = 0; i < histories_.size(); ++i)
+    if (histories_[i].pid() != i)
+      throw InvalidExecution("histories must be indexed by processor id");
+}
+
+std::vector<RealTime> Execution::start_times() const {
+  std::vector<RealTime> s;
+  s.reserve(histories_.size());
+  for (const History& h : histories_) s.push_back(h.start());
+  return s;
+}
+
+std::vector<View> Execution::views() const {
+  std::vector<View> v;
+  v.reserve(histories_.size());
+  for (const History& h : histories_) v.push_back(h.view());
+  return v;
+}
+
+Execution Execution::shifted(std::span<const Duration> shifts) const {
+  assert(shifts.size() == histories_.size());
+  std::vector<History> out;
+  out.reserve(histories_.size());
+  for (std::size_t i = 0; i < histories_.size(); ++i)
+    out.push_back(histories_[i].shifted(shifts[i]));
+  return Execution(std::move(out));
+}
+
+bool Execution::equivalent_to(const Execution& other) const {
+  if (processor_count() != other.processor_count()) return false;
+  for (std::size_t i = 0; i < histories_.size(); ++i)
+    if (histories_[i].view() != other.histories_[i].view()) return false;
+  return true;
+}
+
+}  // namespace cs

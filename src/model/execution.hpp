@@ -1,0 +1,48 @@
+// Executions: one history per processor plus the (implicit) message
+// correspondence.
+//
+// Message uniqueness makes the send/receive correspondence implicit: the
+// receive of message id m pairs with the unique send of m.  An Execution is
+// the outside observer's object — it knows real times — and is therefore
+// only available to the simulator, the shifting machinery, and evaluation
+// code; the pipeline proper sees views().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/history.hpp"
+#include "model/view.hpp"
+
+namespace cs {
+
+class Execution {
+ public:
+  Execution() = default;
+
+  /// Histories must be indexed by pid: histories[i].pid() == i (checked).
+  explicit Execution(std::vector<History> histories);
+
+  std::size_t processor_count() const { return histories_.size(); }
+  const History& history(ProcessorId p) const { return histories_[p]; }
+
+  /// S_{alpha,p} for every p.
+  std::vector<RealTime> start_times() const;
+
+  /// The processor-visible projection, input to correction functions.
+  std::vector<View> views() const;
+
+  /// shift(alpha, S): shift each processor p's history by shifts[p]
+  /// (Lemma 4.1 componentwise; the message correspondence is retained
+  /// because message ids are unchanged).  The result is equivalent to
+  /// *this by construction.
+  Execution shifted(std::span<const Duration> shifts) const;
+
+  /// Equivalence (§2.1): identical views for every processor.
+  bool equivalent_to(const Execution& other) const;
+
+ private:
+  std::vector<History> histories_;
+};
+
+}  // namespace cs

@@ -1,0 +1,36 @@
+#include "model/history.hpp"
+
+#include <cassert>
+
+#include "common/error.hpp"
+
+namespace cs {
+
+History::History(ProcessorId pid, RealTime start) : pid_(pid), start_(start) {
+  ViewEvent start_ev;
+  start_ev.kind = EventKind::kStart;
+  start_ev.when = ClockTime{0.0};
+  events_.push_back(start_ev);
+}
+
+void History::append(ViewEvent ev) {
+  if (ev.kind == EventKind::kStart)
+    throw InvalidExecution("history already has a start event");
+  if (!events_.empty() && ev.when < events_.back().when)
+    throw InvalidExecution("events must be appended in clock-time order");
+  if (ev.when < ClockTime{0.0})
+    throw InvalidExecution("event precedes the start event");
+  events_.push_back(ev);
+}
+
+View History::view() const { return View{pid_, events_}; }
+
+History History::shifted(Duration s) const {
+  History h;
+  h.pid_ = pid_;
+  h.start_ = start_ - s;
+  h.events_ = events_;
+  return h;
+}
+
+}  // namespace cs

@@ -1,0 +1,56 @@
+// Histories: a processor's timeline as seen by the outside observer.
+//
+// A history fixes the real time of every step; the paper's invariant (§2.1,
+// condition 4) ties the two timelines together: the clock time of a step at
+// real time t is exactly t - S, where S is the real start time.  History
+// stores S plus the events with their clock times and maintains that
+// invariant; real times are derived, never stored separately, so the
+// invariant cannot drift.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "model/step.hpp"
+#include "model/view.hpp"
+
+namespace cs {
+
+class History {
+ public:
+  History() = default;
+  History(ProcessorId pid, RealTime start);
+
+  ProcessorId pid() const { return pid_; }
+
+  /// S_pi: real time of the start event.
+  RealTime start() const { return start_; }
+
+  /// Append an event at the given clock time.  Events must be appended in
+  /// nondecreasing clock-time order (checked).
+  void append(ViewEvent ev);
+
+  const std::vector<ViewEvent>& events() const { return events_; }
+
+  /// Real time at which the i-th event occurred: start + clock time.
+  RealTime real_time_of(std::size_t i) const {
+    return start_ + (events_[i].when - ClockTime{});
+  }
+
+  /// The processor-visible projection (drops S, keeps clock times).
+  View view() const;
+
+  /// Lemma 4.1: shift(pi, s) moves every step s earlier in real time
+  /// (later if s is negative); the result is again a history of the same
+  /// processor with S' = S - s.  Clock times are untouched — this is the
+  /// whole point: the shifted history is indistinguishable to the
+  /// processor.
+  History shifted(Duration s) const;
+
+ private:
+  ProcessorId pid_{0};
+  RealTime start_{};
+  std::vector<ViewEvent> events_;
+};
+
+}  // namespace cs

@@ -1,0 +1,17 @@
+// Identifier vocabulary types for the execution model.
+#pragma once
+
+#include <cstdint>
+
+namespace cs {
+
+/// Index of a processor in V = {p_0, ..., p_{n-1}}.  Matches graph NodeId so
+/// processors index directly into topology/graph structures.
+using ProcessorId = std::uint32_t;
+
+/// Globally unique message identifier.  The paper assumes messages are
+/// unique so that the send/receive correspondence of an execution is
+/// uniquely defined (§2.1); we realize that assumption by construction.
+using MessageId = std::uint64_t;
+
+}  // namespace cs

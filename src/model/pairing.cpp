@@ -1,0 +1,73 @@
+#include "model/pairing.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+struct SendRecord {
+  ProcessorId from;
+  ProcessorId to;
+  ClockTime when;
+};
+
+std::unordered_map<MessageId, SendRecord> index_sends(
+    std::span<const View> views) {
+  std::unordered_map<MessageId, SendRecord> sends;
+  for (const View& v : views) {
+    for (const ViewEvent& e : v.events) {
+      if (e.kind != EventKind::kSend) continue;
+      const auto [it, inserted] =
+          sends.emplace(e.msg, SendRecord{v.pid, e.peer, e.when});
+      if (!inserted)
+        throw InvalidExecution("duplicate message id among sends");
+      (void)it;
+    }
+  }
+  return sends;
+}
+
+}  // namespace
+
+std::vector<PairedMessage> pair_messages(std::span<const View> views,
+                                         MatchPolicy policy) {
+  const auto sends = index_sends(views);
+  std::vector<PairedMessage> out;
+  std::unordered_map<MessageId, bool> received;
+  for (const View& v : views) {
+    for (const ViewEvent& e : v.events) {
+      if (e.kind != EventKind::kReceive) continue;
+      const auto it = sends.find(e.msg);
+      if (it == sends.end()) {
+        if (policy == MatchPolicy::kDropOrphans) continue;
+        throw InvalidExecution("receive event with no matching send");
+      }
+      const SendRecord& s = it->second;
+      if (s.to != v.pid || s.from != e.peer)
+        throw InvalidExecution("message endpoints disagree between views");
+      if (!received.emplace(e.msg, true).second)
+        throw InvalidExecution("message received twice");
+      out.push_back(PairedMessage{e.msg, s.from, v.pid, s.when, e.when});
+    }
+  }
+  return out;
+}
+
+std::vector<TracedMessage> trace_messages(const Execution& exec) {
+  const std::vector<View> views = exec.views();
+  const std::vector<PairedMessage> paired = pair_messages(views);
+  std::vector<TracedMessage> out;
+  out.reserve(paired.size());
+  for (const PairedMessage& m : paired) {
+    TracedMessage t;
+    t.msg = m;
+    t.send_real = exec.history(m.from).start() + (m.send_clock - ClockTime{});
+    t.recv_real = exec.history(m.to).start() + (m.recv_clock - ClockTime{});
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace cs

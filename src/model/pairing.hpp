@@ -1,0 +1,61 @@
+// Message pairing and delay estimation.
+//
+// Lemma 6.1: given the views of sender and receiver, the *estimated delay*
+// d̃(m) = d(m) + S_send - S_recv of any message is computable — it is simply
+// the receive clock time minus the send clock time.  PairedMessage is that
+// view-level object.  TracedMessage additionally carries ground-truth real
+// times (observer-only) and hence the actual delay d(m); it exists for the
+// simulator, admissibility checks, and evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/view.hpp"
+
+namespace cs {
+
+struct PairedMessage {
+  MessageId id{0};
+  ProcessorId from{0};
+  ProcessorId to{0};
+  ClockTime send_clock{};
+  ClockTime recv_clock{};
+
+  /// d̃(m) = T_recv - T_send in clock times (Lemma 6.1).  May be negative:
+  /// the receiver's clock can be behind the sender's.
+  Duration estimated_delay() const { return recv_clock - send_clock; }
+};
+
+struct TracedMessage {
+  PairedMessage msg;
+  RealTime send_real{};
+  RealTime recv_real{};
+
+  /// Actual delay d(m); non-negative in physical executions, but possibly
+  /// negative in shifted executions probed by the admissibility machinery.
+  Duration delay() const { return recv_real - send_real; }
+};
+
+/// What to do with a receive event whose matching send is absent from the
+/// given views.  In a complete execution that is a malformation (kStrict);
+/// in per-processor view *prefixes* taken at an epoch boundary it is
+/// normal — the receiver may have cut its snapshot later in real time than
+/// the sender did, so the send legitimately falls outside the prefix
+/// (kDropOrphans).
+enum class MatchPolicy { kStrict, kDropOrphans };
+
+/// Pair sends with receives across the given views.  Messages sent but not
+/// (yet) received are dropped — they carry no delay information.  Under
+/// kStrict, throws InvalidExecution on: a receive with no matching send,
+/// duplicate message ids, or mismatched endpoint metadata.  Under
+/// kDropOrphans, sendless receives are skipped instead (the other two
+/// malformations still throw).
+std::vector<PairedMessage> pair_messages(
+    std::span<const View> views, MatchPolicy policy = MatchPolicy::kStrict);
+
+/// As above, with ground-truth real times attached from the histories.
+std::vector<TracedMessage> trace_messages(const Execution& exec);
+
+}  // namespace cs

@@ -1,0 +1,33 @@
+// Events and steps as observed by a processor.
+//
+// The paper models a step as (s, T, i, s', M, TS).  For clock
+// synchronization only the *observable timeline* matters: which events
+// happened at which clock times.  ViewEvent is that projection — it is what
+// a view (§2.1) is made of, and by Claim 3.1 it is the only thing a
+// correction function may read.
+#pragma once
+
+#include "common/time.hpp"
+#include "model/ids.hpp"
+
+namespace cs {
+
+enum class EventKind : std::uint8_t {
+  kStart,        ///< processor begins executing; clock reads 0
+  kSend,         ///< message `msg` sent to `peer`
+  kReceive,      ///< message `msg` received from `peer`
+  kTimerSet,     ///< timer armed for clock time `timer_at`
+  kTimerFire,    ///< timer armed for `timer_at` goes off
+};
+
+struct ViewEvent {
+  EventKind kind{EventKind::kStart};
+  ClockTime when{};       ///< local clock time of the event
+  MessageId msg{0};       ///< valid for kSend / kReceive
+  ProcessorId peer{0};    ///< kSend: destination; kReceive: source
+  ClockTime timer_at{};   ///< valid for kTimerSet / kTimerFire
+
+  bool operator==(const ViewEvent&) const = default;
+};
+
+}  // namespace cs

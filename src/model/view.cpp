@@ -1,0 +1,29 @@
+#include "model/view.hpp"
+
+namespace cs {
+
+std::vector<ViewEvent> View::sends() const {
+  std::vector<ViewEvent> out;
+  for (const ViewEvent& e : events)
+    if (e.kind == EventKind::kSend) out.push_back(e);
+  return out;
+}
+
+std::vector<ViewEvent> View::receives() const {
+  std::vector<ViewEvent> out;
+  for (const ViewEvent& e : events)
+    if (e.kind == EventKind::kReceive) out.push_back(e);
+  return out;
+}
+
+View View::prefix(ClockTime cutoff) const {
+  View out;
+  out.pid = pid;
+  for (const ViewEvent& e : events) {
+    if (e.kind == EventKind::kStart || e.when < cutoff)
+      out.events.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,35 @@
+// Views: everything a processor knows after the interactive part.
+//
+// A view is the sequence of a processor's events with their *clock* times;
+// real times of occurrence are deliberately absent (§2.1).  Two executions
+// are equivalent iff all views coincide, and a correction function is a map
+// from views to corrections (§3) — so View is the sole input type of the
+// synchronization pipeline.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "model/step.hpp"
+
+namespace cs {
+
+struct View {
+  ProcessorId pid{0};
+  std::vector<ViewEvent> events;
+
+  bool operator==(const View&) const = default;
+
+  /// All send events, in order.
+  std::vector<ViewEvent> sends() const;
+  /// All receive events, in order.
+  std::vector<ViewEvent> receives() const;
+
+  /// The view as it existed when this processor's clock read `cutoff`:
+  /// events strictly before the cutoff (the start event is always kept).
+  /// This is what a processor can hand to the pipeline at an epoch
+  /// boundary of a periodically re-synchronizing deployment.
+  View prefix(ClockTime cutoff) const;
+};
+
+}  // namespace cs

@@ -1,0 +1,41 @@
+#include "proto/beacon.hpp"
+
+namespace cs {
+namespace {
+
+class BeaconAutomaton final : public Automaton {
+ public:
+  BeaconAutomaton(ProcessorId self, BeaconParams params)
+      : params_(params),
+        silent_(!params.everyone_beacons && (self % 2 == 1)) {}
+
+  void on_start(Context& ctx) override {
+    if (!silent_ && params_.count > 0)
+      ctx.set_timer(ctx.now() + params_.warmup);
+  }
+
+  void on_timer(Context& ctx, ClockTime) override {
+    Payload beacon;
+    beacon.tag = kTagBeacon;
+    beacon.data = {ctx.now().sec};
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, beacon);
+    if (++sent_ < params_.count) ctx.set_timer(ctx.now() + params_.period);
+  }
+
+  void on_message(Context&, const Message&) override {}
+
+ private:
+  BeaconParams params_;
+  bool silent_;
+  std::size_t sent_{0};
+};
+
+}  // namespace
+
+AutomatonFactory make_beacon(BeaconParams params) {
+  return [params](ProcessorId self) {
+    return std::make_unique<BeaconAutomaton>(self, params);
+  };
+}
+
+}  // namespace cs

@@ -1,0 +1,27 @@
+// One-way periodic beacons.
+//
+// No replies at all: each processor periodically announces itself to its
+// neighbors.  Under asymmetric-information models (e.g. lower bounds only)
+// one-way traffic already produces finite m̃ls in the receiving direction,
+// so beaconing is the minimal-cost interactive part; it also exercises the
+// pipeline's handling of links with traffic in a single direction.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace cs {
+
+struct BeaconParams {
+  Duration warmup{0.5};
+  Duration period{0.1};
+  std::size_t count{5};
+  /// When false, processors with odd ids stay silent — producing
+  /// one-directional traffic on every link of a bipartite-ish topology.
+  bool everyone_beacons{true};
+};
+
+inline constexpr std::uint32_t kTagBeacon = 3;
+
+AutomatonFactory make_beacon(BeaconParams params);
+
+}  // namespace cs

@@ -1,0 +1,214 @@
+#include "proto/coordinator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/global_estimates.hpp"
+#include "core/local_estimates.hpp"
+#include "core/shifts.hpp"
+
+namespace cs {
+
+bool CoordinatorResults::complete() const {
+  return claimed_precision.has_value() &&
+         std::all_of(corrections.begin(), corrections.end(),
+                     [](const auto& c) { return c.has_value(); });
+}
+
+namespace {
+
+/// One incoming direction's running aggregate at a processor.
+struct InStats {
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+  std::size_t count = 0;
+
+  void add(double d) {
+    dmin = std::min(dmin, d);
+    dmax = std::max(dmax, d);
+    ++count;
+  }
+};
+
+class CoordinatorAutomaton final : public Automaton {
+ public:
+  CoordinatorAutomaton(ProcessorId self, const SystemModel* model,
+                       CoordinatorParams params, CoordinatorResults* results)
+      : self_(self), model_(model), params_(params), results_(results) {}
+
+  void on_start(Context& ctx) override {
+    report_clock_ = ClockTime{} + params_.report_at;
+    if (params_.rounds > 0) ctx.set_timer(ctx.now() + params_.warmup);
+    ctx.set_timer(report_clock_);
+  }
+
+  void on_timer(Context& ctx, ClockTime at) override {
+    if (at >= report_clock_) {
+      send_report(ctx);
+      return;
+    }
+    Payload ping;
+    ping.tag = kTagCoordPing;
+    ping.data = {ctx.now().sec};
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, ping);
+    if (++sent_rounds_ < params_.rounds)
+      ctx.set_timer(ctx.now() + params_.spacing);
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    switch (msg.payload.tag) {
+      case kTagCoordPing: {
+        record_probe(ctx, msg);
+        Payload pong;
+        pong.tag = kTagCoordPong;
+        pong.data = {ctx.now().sec};
+        ctx.send(msg.from, pong);
+        break;
+      }
+      case kTagCoordPong:
+        record_probe(ctx, msg);
+        break;
+      case kTagCoordReport:
+        handle_report(ctx, msg);
+        break;
+      case kTagCoordCorrections:
+        handle_corrections(ctx, msg);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void record_probe(Context& ctx, const Message& msg) {
+    if (reported_) return;  // probe-phase snapshot already taken
+    if (msg.payload.data.empty()) return;
+    const double d_est = ctx.now().sec - msg.payload.data[0];
+    incoming_[msg.from].add(d_est);
+  }
+
+  // Report payload layout: [origin, k, then k tuples (from, dmin, dmax,
+  // count)] — the stats of directions *into* origin.
+  void send_report(Context& ctx) {
+    if (reported_) return;
+    reported_ = true;
+
+    Payload report;
+    report.tag = kTagCoordReport;
+    report.data = {static_cast<double>(self_),
+                   static_cast<double>(incoming_.size())};
+    for (const auto& [from, st] : incoming_) {
+      report.data.push_back(static_cast<double>(from));
+      report.data.push_back(st.dmin);
+      report.data.push_back(st.dmax);
+      report.data.push_back(static_cast<double>(st.count));
+    }
+
+    if (self_ == params_.leader) {
+      absorb_report(report.data);
+      maybe_compute(ctx);
+    } else {
+      seen_reports_.insert(self_);
+      for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, report);
+    }
+  }
+
+  void handle_report(Context& ctx, const Message& msg) {
+    const auto& d = msg.payload.data;
+    if (d.size() < 2) return;
+    const auto origin = static_cast<ProcessorId>(d[0]);
+    if (!seen_reports_.insert(origin).second) return;  // duplicate
+
+    if (self_ == params_.leader) {
+      absorb_report(d);
+      maybe_compute(ctx);
+    } else {
+      for (ProcessorId nb : ctx.neighbors())
+        if (nb != msg.from) ctx.send(nb, msg.payload);
+    }
+  }
+
+  void absorb_report(const std::vector<double>& d) {
+    const auto origin = static_cast<ProcessorId>(d[0]);
+    const auto k = static_cast<std::size_t>(d[1]);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t base = 2 + 4 * i;
+      if (base + 4 > d.size()) break;
+      const auto from = static_cast<ProcessorId>(d[base]);
+      const auto count = static_cast<std::size_t>(d[base + 3]);
+      if (count == 0) continue;
+      // Re-expand min/max into the stats aggregate: adding the two
+      // extremes reproduces the same DirectedStats.
+      gathered_.add(from, origin, d[base + 1]);
+      gathered_.add(from, origin, d[base + 2]);
+    }
+    ++reports_absorbed_;
+  }
+
+  void maybe_compute(Context& ctx) {
+    if (computed_ || reports_absorbed_ < model_->processor_count()) return;
+    computed_ = true;
+
+    const Digraph mls = mls_graph_from_stats(*model_, gathered_);
+    const DistanceMatrix ms = global_shift_estimates(mls);
+    const ShiftsResult shifts = compute_shifts(ms, params_.leader);
+
+    results_->claimed_precision = shifts.a_max.value();
+    results_->corrections[self_] = shifts.corrections[self_];
+
+    Payload out;
+    out.tag = kTagCoordCorrections;
+    out.data.assign(shifts.corrections.begin(), shifts.corrections.end());
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, out);
+  }
+
+  void handle_corrections(Context& ctx, const Message& msg) {
+    if (have_corrections_) return;
+    have_corrections_ = true;
+    if (self_ < msg.payload.data.size())
+      results_->corrections[self_] = msg.payload.data[self_];
+    for (ProcessorId nb : ctx.neighbors())
+      if (nb != msg.from) ctx.send(nb, msg.payload);
+  }
+
+  ProcessorId self_;
+  const SystemModel* model_;
+  CoordinatorParams params_;
+  CoordinatorResults* results_;
+
+  ClockTime report_clock_{};
+  std::size_t sent_rounds_{0};
+  bool reported_{false};
+  bool computed_{false};
+  bool have_corrections_{false};
+
+  std::map<ProcessorId, InStats> incoming_;
+  std::set<ProcessorId> seen_reports_;
+  LinkStats gathered_;
+  std::size_t reports_absorbed_{0};
+};
+
+}  // namespace
+
+AutomatonFactory make_coordinator(const SystemModel* model,
+                                  CoordinatorParams params,
+                                  CoordinatorResults* results) {
+  if (model == nullptr || results == nullptr)
+    throw Error("make_coordinator: model and results must be non-null");
+  if (params.report_at.sec <=
+      params.warmup.sec +
+          static_cast<double>(params.rounds) * params.spacing.sec)
+    throw Error("report_at must come after the probe phase completes");
+  if (params.leader >= model->processor_count())
+    throw Error("leader id out of range");
+  results->corrections.assign(model->processor_count(), std::nullopt);
+  results->claimed_precision.reset();
+  return [model, params, results](ProcessorId self) {
+    return std::make_unique<CoordinatorAutomaton>(self, model, params,
+                                                  results);
+  };
+}
+
+}  // namespace cs

@@ -1,0 +1,58 @@
+// The distributed coordinator protocol sketched in the paper's §7.
+//
+// Phases (all driven by local clocks, no real-time access):
+//   1. Probe: every processor ping-pongs with its neighbors; every probe
+//      carries its send clock time, so the *receiver* can accumulate the
+//      estimated delays d̃ = T_recv - T_send of its incoming directions
+//      (Lemma 6.1 done online).
+//   2. Report: at clock time `report_at`, each processor snapshots its
+//      incoming-direction statistics and floods them; reports are forwarded
+//      once per origin.
+//   3. Compute: when the leader holds all n reports it runs the pipeline
+//      (m̃ls -> GLOBAL ESTIMATES -> SHIFTS) and floods the corrections.
+//
+// As §7 observes, the precision claimed by the leader is optimal only with
+// respect to the probe-phase traffic; the report/correction messages extend
+// the views, so an offline run of the pipeline over the *full* views can
+// only be at least as tight.  The integration tests check both facts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/extreal.hpp"
+#include "delaymodel/assignment.hpp"
+#include "sim/simulator.hpp"
+
+namespace cs {
+
+struct CoordinatorParams {
+  Duration warmup{0.5};
+  Duration spacing{0.05};
+  std::size_t rounds{4};
+  /// Clock time at which processors snapshot and flood their statistics.
+  /// Must exceed warmup + rounds * spacing (checked).
+  Duration report_at{2.0};
+  ProcessorId leader{0};
+};
+
+/// Sink filled in as the protocol completes; owned by the caller and shared
+/// by all automata of one run (the simulator is single-threaded).
+struct CoordinatorResults {
+  std::vector<std::optional<double>> corrections;
+  std::optional<double> claimed_precision;  ///< +inf encodes unbounded
+
+  bool complete() const;
+};
+
+inline constexpr std::uint32_t kTagCoordPing = 10;
+inline constexpr std::uint32_t kTagCoordPong = 11;
+inline constexpr std::uint32_t kTagCoordReport = 12;
+inline constexpr std::uint32_t kTagCoordCorrections = 13;
+
+/// `model` and `results` must outlive the simulation.
+AutomatonFactory make_coordinator(const SystemModel* model,
+                                  CoordinatorParams params,
+                                  CoordinatorResults* results);
+
+}  // namespace cs

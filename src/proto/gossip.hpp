@@ -1,0 +1,31 @@
+// Randomized gossip probing.
+//
+// Each processor periodically picks one *random* neighbor and exchanges a
+// timestamped probe with it (the neighbor answers).  Traffic is therefore
+// irregular per link — some links see many samples, some few, some only
+// one direction for a while — which is the stress shape for the estimators
+// and the integration tests, and a realistic model of piggybacked
+// timestamps on application traffic.
+//
+// Randomness comes from a per-processor seed (deterministic given the
+// factory seed), not from the delay RNG, so gossip choices never perturb
+// delay draws.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace cs {
+
+struct GossipParams {
+  Duration warmup{0.5};
+  Duration period{0.05};
+  std::size_t rounds{16};
+  std::uint64_t seed{1};
+};
+
+inline constexpr std::uint32_t kTagGossipProbe = 20;
+inline constexpr std::uint32_t kTagGossipReply = 21;
+
+AutomatonFactory make_gossip(GossipParams params);
+
+}  // namespace cs

@@ -1,0 +1,46 @@
+#include "proto/ping_pong.hpp"
+
+namespace cs {
+namespace {
+
+class PingPongAutomaton final : public Automaton {
+ public:
+  explicit PingPongAutomaton(PingPongParams params) : params_(params) {}
+
+  void on_start(Context& ctx) override {
+    if (params_.rounds > 0) ctx.set_timer(ctx.now() + params_.warmup);
+  }
+
+  void on_timer(Context& ctx, ClockTime) override {
+    Payload ping;
+    ping.tag = kTagPing;
+    ping.data = {ctx.now().sec};
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, ping);
+    if (++sent_rounds_ < params_.rounds)
+      ctx.set_timer(ctx.now() + params_.spacing);
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    if (msg.payload.tag == kTagPing) {
+      Payload pong;
+      pong.tag = kTagPong;
+      pong.data = {ctx.now().sec};
+      ctx.send(msg.from, pong);
+    }
+    // Pongs need no reply; their receive events already enrich the view.
+  }
+
+ private:
+  PingPongParams params_;
+  std::size_t sent_rounds_{0};
+};
+
+}  // namespace
+
+AutomatonFactory make_ping_pong(PingPongParams params) {
+  return [params](ProcessorId) {
+    return std::make_unique<PingPongAutomaton>(params);
+  };
+}
+
+}  // namespace cs

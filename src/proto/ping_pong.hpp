@@ -1,0 +1,35 @@
+// Ping-pong probing: the canonical "interactive part".
+//
+// Each processor waits out a warmup (so that no probe is sent before every
+// peer has started), then sends `rounds` pings to each neighbor, spaced by
+// `spacing` on its clock; a neighbor answers each ping with an immediate
+// pong.  Both directions of every link thus carry 2*rounds messages, which
+// is what the §6 estimators feed on: more probes tighten d̃min/d̃max and so
+// tighten the achievable precision — experiment E2 measures exactly that.
+//
+// The paper separates the interactive part from the correction computation
+// (§3); this protocol makes no decisions beyond generating traffic, and the
+// pipeline consumes whatever views result.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace cs {
+
+struct PingPongParams {
+  /// Clock time of the first probe; choose >= the maximum start skew so
+  /// probes never race a peer's start event.
+  Duration warmup{0.5};
+  /// Gap between probe rounds on the sender's clock.
+  Duration spacing{0.05};
+  /// Number of probe rounds per neighbor.
+  std::size_t rounds{4};
+};
+
+/// Payload tags used by this protocol.
+inline constexpr std::uint32_t kTagPing = 1;
+inline constexpr std::uint32_t kTagPong = 2;
+
+AutomatonFactory make_ping_pong(PingPongParams params);
+
+}  // namespace cs

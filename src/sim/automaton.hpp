@@ -1,0 +1,42 @@
+// Processor automata, the paper's model of computation (§2.1).
+//
+// A processor is an automaton whose transition function consumes interrupt
+// events (start, message receipt, timer) together with the current *clock*
+// time, and emits message-send and timer-set actions.  Context is the
+// capability handed to the transition: it exposes exactly what the model
+// allows a processor to observe (its clock, its id, its neighbors) and the
+// two actions.  There is deliberately no way to read real time through it.
+#pragma once
+
+#include <span>
+
+#include "common/time.hpp"
+#include "sim/event.hpp"
+
+namespace cs {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessorId self() const = 0;
+  virtual ClockTime now() const = 0;
+  virtual std::span<const ProcessorId> neighbors() const = 0;
+
+  /// Send a message to an adjacent processor (checked by the simulator).
+  virtual void send(ProcessorId to, Payload payload) = 0;
+
+  /// Arm a timer for a future clock time (must be >= now()).
+  virtual void set_timer(ClockTime at) = 0;
+};
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+  virtual void on_timer(Context& ctx, ClockTime at) = 0;
+};
+
+}  // namespace cs

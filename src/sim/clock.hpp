@@ -1,0 +1,46 @@
+// The (hardware) clock of one processor: never adjustable, and — in the
+// paper's model — drift-free.
+//
+// The paper's clock reads t - S at real time t (§2.1 condition 4).  Clock
+// is the only type in the library that converts between the two timelines;
+// it lives in the simulator layer, i.e. on the outside-observer side of
+// the fence.  Algorithm code never holds a Clock.
+//
+// Extension (experiment E9): a clock may run at a constant rate 1 + ρ
+// instead of exactly 1, reading (t - S)(1 + ρ).  This steps outside the
+// paper's model — the theory's shift arguments assume rate exactly 1 — and
+// exists to measure empirically how gracefully the optimal algorithm
+// degrades under the small drifts footnote 1 says practice handles by
+// periodic re-synchronization.
+#pragma once
+
+#include <cassert>
+
+#include "common/time.hpp"
+
+namespace cs {
+
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(RealTime start, double rate = 1.0)
+      : start_(start), rate_(rate) {
+    assert(rate > 0.0);
+  }
+
+  RealTime start() const { return start_; }
+  double rate() const { return rate_; }
+
+  ClockTime at(RealTime t) const {
+    return ClockTime{(t - start_).sec * rate_};
+  }
+  RealTime real(ClockTime c) const {
+    return start_ + Duration{c.sec / rate_};
+  }
+
+ private:
+  RealTime start_{};
+  double rate_{1.0};
+};
+
+}  // namespace cs

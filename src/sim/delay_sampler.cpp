@@ -1,0 +1,294 @@
+#include "sim/delay_sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+class ConstantSampler final : public DelaySampler {
+ public:
+  ConstantSampler(double ab, double ba) : ab_(ab), ba_(ba) {}
+  double sample(bool a_to_b, RealTime, Rng&) override {
+    return a_to_b ? ab_ : ba_;
+  }
+
+ private:
+  double ab_, ba_;
+};
+
+class UniformSampler final : public DelaySampler {
+ public:
+  UniformSampler(double lo_ab, double hi_ab, double lo_ba, double hi_ba)
+      : lo_ab_(lo_ab), hi_ab_(hi_ab), lo_ba_(lo_ba), hi_ba_(hi_ba) {
+    assert(lo_ab <= hi_ab && lo_ba <= hi_ba);
+  }
+  double sample(bool a_to_b, RealTime, Rng& rng) override {
+    return a_to_b ? rng.uniform(lo_ab_, hi_ab_)
+                  : rng.uniform(lo_ba_, hi_ba_);
+  }
+
+ private:
+  double lo_ab_, hi_ab_, lo_ba_, hi_ba_;
+};
+
+class ShiftedExponentialSampler final : public DelaySampler {
+ public:
+  ShiftedExponentialSampler(double lb, double mean_excess, double ub)
+      : lb_(lb), rate_(1.0 / mean_excess), ub_(ub) {
+    assert(mean_excess > 0.0 && ub >= lb);
+  }
+  double sample(bool, RealTime, Rng& rng) override {
+    return std::min(ub_, lb_ + rng.exponential(rate_));
+  }
+
+ private:
+  double lb_, rate_, ub_;
+};
+
+class ShiftedParetoSampler final : public DelaySampler {
+ public:
+  ShiftedParetoSampler(double lb, double xm, double shape, double ub)
+      : lb_(lb), xm_(xm), shape_(shape), ub_(ub) {
+    assert(xm > 0.0 && shape > 0.0 && ub >= lb);
+  }
+  double sample(bool, RealTime, Rng& rng) override {
+    return std::min(ub_, lb_ + (rng.pareto(xm_, shape_) - xm_));
+  }
+
+ private:
+  double lb_, xm_, shape_, ub_;
+};
+
+class BiasCorrelatedSampler final : public DelaySampler {
+ public:
+  BiasCorrelatedSampler(double center, double bias, double floor)
+      : lo_(std::max(floor, center - bias / 2.0)),
+        hi_(center + bias / 2.0) {
+    assert(hi_ >= lo_);
+  }
+  double sample(bool, RealTime, Rng& rng) override { return rng.uniform(lo_, hi_); }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Per-direction interval sampler constrained to a shared window (for
+/// composite bounds-and-bias constraints).
+class WindowedSampler final : public DelaySampler {
+ public:
+  WindowedSampler(double lo_ab, double hi_ab, double lo_ba, double hi_ba)
+      : inner_(lo_ab, hi_ab, lo_ba, hi_ba) {}
+  double sample(bool a_to_b, RealTime now, Rng& rng) override {
+    return inner_.sample(a_to_b, now, rng);
+  }
+
+ private:
+  UniformSampler inner_;
+};
+
+/// Flattened summary of a (possibly composite) constraint: intersected
+/// per-direction bounds plus the tightest bias bound.
+struct FlatConstraint {
+  Interval ab;
+  Interval ba;
+  double bias = std::numeric_limits<double>::infinity();
+};
+
+void flatten(const LinkConstraint& c, FlatConstraint& out) {
+  if (const auto* bounds = dynamic_cast<const BoundsConstraint*>(&c)) {
+    out.ab = out.ab.intersect(bounds->bounds(bounds->a()));
+    out.ba = out.ba.intersect(bounds->bounds(bounds->b()));
+    return;
+  }
+  if (const auto* bias = dynamic_cast<const BiasConstraint*>(&c)) {
+    out.bias = std::min(out.bias, bias->bias());
+    return;
+  }
+  if (const auto* wbias = dynamic_cast<const WindowedBiasConstraint*>(&c)) {
+    // Keeping *all* delays within a width-b window satisfies the windowed
+    // constraint a fortiori (pairs outside the window are unconstrained).
+    out.bias = std::min(out.bias, wbias->bias());
+    return;
+  }
+  if (const auto* comp = dynamic_cast<const CompositeConstraint*>(&c)) {
+    for (std::size_t i = 0; i < comp->part_count(); ++i)
+      flatten(comp->part(i), out);
+    return;
+  }
+  throw InvalidAssumption(
+      "make_admissible_sampler: unknown constraint type " + c.describe());
+}
+
+}  // namespace
+
+std::unique_ptr<DelaySampler> make_constant_sampler(double d_ab,
+                                                    double d_ba) {
+  return std::make_unique<ConstantSampler>(d_ab, d_ba);
+}
+
+std::unique_ptr<DelaySampler> make_uniform_sampler(double lo_ab, double hi_ab,
+                                                   double lo_ba,
+                                                   double hi_ba) {
+  return std::make_unique<UniformSampler>(lo_ab, hi_ab, lo_ba, hi_ba);
+}
+
+std::unique_ptr<DelaySampler> make_shifted_exponential_sampler(
+    double lb, double mean_excess, double ub) {
+  return std::make_unique<ShiftedExponentialSampler>(lb, mean_excess, ub);
+}
+
+std::unique_ptr<DelaySampler> make_shifted_pareto_sampler(double lb,
+                                                          double xm,
+                                                          double shape,
+                                                          double ub) {
+  return std::make_unique<ShiftedParetoSampler>(lb, xm, shape, ub);
+}
+
+std::unique_ptr<DelaySampler> make_bias_correlated_sampler(double center,
+                                                           double bias,
+                                                           double floor) {
+  return std::make_unique<BiasCorrelatedSampler>(center, bias, floor);
+}
+
+namespace {
+
+class DriftingCongestionSampler final : public DelaySampler {
+ public:
+  DriftingCongestionSampler(double base, double amplitude, double period,
+                            double jitter)
+      : base_(base), amplitude_(amplitude), period_(period),
+        jitter_(jitter) {
+    assert(base - amplitude - jitter / 2.0 >= 0.0 &&
+           "delays must stay non-negative at the trough");
+    assert(period > 0.0 && jitter >= 0.0 && amplitude >= 0.0);
+  }
+  double sample(bool, RealTime now, Rng& rng) override {
+    const double center =
+        base_ + amplitude_ * std::sin(2.0 * std::numbers::pi * now.sec /
+                                      period_);
+    return center + rng.uniform(-jitter_ / 2.0, jitter_ / 2.0);
+  }
+
+ private:
+  double base_, amplitude_, period_, jitter_;
+};
+
+class LossySampler final : public DelaySampler {
+ public:
+  LossySampler(std::unique_ptr<DelaySampler> inner, double loss)
+      : inner_(std::move(inner)), loss_(loss) {
+    assert(loss >= 0.0 && loss <= 1.0);
+  }
+  double sample(bool a_to_b, RealTime now, Rng& rng) override {
+    // Draw the inner delay first so the delay stream stays aligned across
+    // runs with different loss rates.
+    const double d = inner_->sample(a_to_b, now, rng);
+    if (rng.uniform01() < loss_)
+      return std::numeric_limits<double>::infinity();
+    return d;
+  }
+
+ private:
+  std::unique_ptr<DelaySampler> inner_;
+  double loss_;
+};
+
+}  // namespace
+
+std::unique_ptr<DelaySampler> make_drifting_congestion_sampler(
+    double base, double amplitude, double period, double jitter) {
+  return std::make_unique<DriftingCongestionSampler>(base, amplitude,
+                                                     period, jitter);
+}
+
+std::unique_ptr<DelaySampler> make_lossy_sampler(
+    std::unique_ptr<DelaySampler> inner, double loss_probability) {
+  return std::make_unique<LossySampler>(std::move(inner), loss_probability);
+}
+
+std::unique_ptr<DelaySampler> make_admissible_sampler(
+    const LinkConstraint& constraint, double scale, Rng& rng) {
+  FlatConstraint flat;
+  flatten(constraint, flat);
+
+  const bool has_bias = std::isfinite(flat.bias);
+
+  if (!has_bias) {
+    // Pure bounds: sample each direction independently within its interval,
+    // exponential tail when the upper bound is infinite.
+    auto one = [&](const Interval& iv) -> std::pair<double, double> {
+      const double lb = iv.lo().finite();
+      const double hi = iv.hi().is_finite()
+                            ? iv.hi().finite()
+                            : std::numeric_limits<double>::infinity();
+      return {lb, hi};
+    };
+    const auto [lb_ab, ub_ab] = one(flat.ab);
+    const auto [lb_ba, ub_ba] = one(flat.ba);
+    if (std::isfinite(ub_ab) && std::isfinite(ub_ba))
+      return make_uniform_sampler(lb_ab, ub_ab, lb_ba, ub_ba);
+    // Mixed finite/infinite uppers: exponential tail clipped per direction.
+    struct Mixed final : DelaySampler {
+      double lb_ab, ub_ab, lb_ba, ub_ba, mean;
+      double sample(bool a_to_b, RealTime, Rng& r) override {
+        const double lb = a_to_b ? lb_ab : lb_ba;
+        const double ub = a_to_b ? ub_ab : ub_ba;
+        return std::min(ub, lb + r.exponential(1.0 / mean));
+      }
+    };
+    auto s = std::make_unique<Mixed>();
+    s->lb_ab = lb_ab;
+    s->ub_ab = ub_ab;
+    s->lb_ba = lb_ba;
+    s->ub_ba = ub_ba;
+    s->mean = scale;
+    return s;
+  }
+
+  // Bias present: pick a center c so that the bias window [c-b/2, c+b/2]
+  // meets both directions' bounds, then sample each direction uniformly in
+  // the intersection.  Every emitted delay lies in the window, so all
+  // opposite-direction differences are <= b.
+  const double b = flat.bias;
+  const double lo_c =
+      std::max(flat.ab.lo().finite(), flat.ba.lo().finite()) - b / 2.0;
+  const double hi_c =
+      std::min(flat.ab.hi().is_finite()
+                   ? flat.ab.hi().finite()
+                   : std::numeric_limits<double>::infinity(),
+               flat.ba.hi().is_finite()
+                   ? flat.ba.hi().finite()
+                   : std::numeric_limits<double>::infinity()) +
+      b / 2.0;
+  if (lo_c > hi_c)
+    throw InvalidAssumption(
+        "bias and bounds constraints jointly unsatisfiable on this link");
+  double center = std::isfinite(hi_c)
+                      ? rng.uniform(std::max(lo_c, 0.0),
+                                    std::max(lo_c, std::min(hi_c, lo_c + 2.0 * scale)))
+                      : std::max(lo_c, 0.0) + rng.uniform(0.0, 2.0 * scale);
+  center = std::clamp(center, std::max(lo_c, 0.0),
+                      std::isfinite(hi_c) ? hi_c : center);
+
+  auto clip = [&](const Interval& iv) -> std::pair<double, double> {
+    const double lo = std::max(iv.lo().finite(), center - b / 2.0);
+    const double hi =
+        std::min(iv.hi().is_finite() ? iv.hi().finite()
+                                     : std::numeric_limits<double>::infinity(),
+                 center + b / 2.0);
+    if (lo > hi)
+      throw InvalidAssumption(
+          "internal: empty bias window after center choice");
+    return {lo, hi};
+  };
+  const auto [lo_ab, hi_ab] = clip(flat.ab);
+  const auto [lo_ba, hi_ba] = clip(flat.ba);
+  return std::make_unique<WindowedSampler>(lo_ab, hi_ab, lo_ba, hi_ba);
+}
+
+}  // namespace cs

@@ -1,0 +1,84 @@
+// Delay samplers: the adversary/environment side of a link.
+//
+// A sampler draws the delay of each message on a link, per direction.  The
+// simulator guarantees nothing about samplers — experiments must pair each
+// link's sampler with its declared constraint so that generated executions
+// are admissible; make_admissible_sampler() builds such a pairing for every
+// constraint shipped with the library, and the simulator (optionally) and
+// the tests verify admissibility after the fact via SystemModel::admissible.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "delaymodel/constraint.hpp"
+#include "delaymodel/windowed_bias.hpp"
+
+namespace cs {
+
+class DelaySampler {
+ public:
+  virtual ~DelaySampler() = default;
+
+  /// Delay for the next message in the given direction of the link
+  /// (a_to_b refers to the link's canonical endpoints a < b).  `now` is
+  /// the real send time — most samplers ignore it, but time-varying
+  /// processes (drifting congestion, diurnal load) condition on it; the
+  /// windowed-bias delay model exists precisely for such links.
+  virtual double sample(bool a_to_b, RealTime now, Rng& rng) = 0;
+};
+
+/// Fixed delay per direction.
+std::unique_ptr<DelaySampler> make_constant_sampler(double d_ab, double d_ba);
+
+/// Uniform in [lo, hi] per direction.
+std::unique_ptr<DelaySampler> make_uniform_sampler(double lo_ab, double hi_ab,
+                                                   double lo_ba,
+                                                   double hi_ba);
+
+/// lb + Exp(1/mean_excess), optionally clipped at ub (WAN-ish tail).
+std::unique_ptr<DelaySampler> make_shifted_exponential_sampler(
+    double lb, double mean_excess,
+    double ub = std::numeric_limits<double>::infinity());
+
+/// lb + Pareto(xm, shape) - xm, optionally clipped at ub (heavy tail).
+std::unique_ptr<DelaySampler> make_shifted_pareto_sampler(
+    double lb, double xm, double shape,
+    double ub = std::numeric_limits<double>::infinity());
+
+/// Correlated bidirectional sampler guaranteeing every pair of opposite
+/// delays differs by at most `bias`: delays are uniform within
+/// [max(floor, center - bias/2), center + bias/2] for a fixed center.
+std::unique_ptr<DelaySampler> make_bias_correlated_sampler(double center,
+                                                           double bias,
+                                                           double floor = 0.0);
+
+/// Time-varying congestion: delays are uniform in a width-`jitter` band
+/// around a center that oscillates sinusoidally,
+///   center(t) = base + amplitude * sin(2*pi*t / period).
+/// Messages sent within a window W satisfy a bias bound of roughly
+///   jitter + amplitude * 2*pi*W / period   (slope bound),
+/// so pair it with make_windowed_bias accordingly.  This is the honest
+/// generator for the §6.2 windowed model: no fixed bias bound holds
+/// globally, a windowed one does.
+std::unique_ptr<DelaySampler> make_drifting_congestion_sampler(
+    double base, double amplitude, double period, double jitter);
+
+/// Failure injection: each message is lost with the given probability
+/// (sampled delay +inf — the simulator records the send and never
+/// delivers).  Lost messages carry no delay information, so they never
+/// violate a delay assumption; they only starve the estimators, which is
+/// precisely the failure mode to test (precision degrades, soundness must
+/// not).
+std::unique_ptr<DelaySampler> make_lossy_sampler(
+    std::unique_ptr<DelaySampler> inner, double loss_probability);
+
+/// Builds a sampler whose output is admissible under the given constraint,
+/// dispatching on the concrete constraint type.  `scale` sets the typical
+/// magnitude of delays where the constraint leaves freedom (e.g. above a
+/// lower bound with no upper bound).  `rng` drives one-off parameter draws
+/// (e.g. the bias sampler's center).
+std::unique_ptr<DelaySampler> make_admissible_sampler(
+    const LinkConstraint& constraint, double scale, Rng& rng);
+
+}  // namespace cs

@@ -1,0 +1,39 @@
+// Simulator-internal events and the protocol message type.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "model/ids.hpp"
+
+namespace cs {
+
+/// Application payload carried by protocol messages.  A small tag plus a
+/// vector of doubles covers every protocol in this library (probe ids,
+/// correction values, serialized mls tables) without a serialization layer.
+struct Payload {
+  std::uint32_t tag{0};
+  std::vector<double> data;
+
+  bool operator==(const Payload&) const = default;
+};
+
+struct Message {
+  MessageId id{0};
+  ProcessorId from{0};
+  ProcessorId to{0};
+  Payload payload;
+};
+
+/// Scheduler event.  Start events kick off each processor at its (real)
+/// start time; Delivery hands a message to the destination automaton; Timer
+/// fires a timer previously set by the automaton.
+struct SimEvent {
+  enum class Kind : std::uint8_t { kStart, kDelivery, kTimer } kind{};
+  ProcessorId processor{0};
+  Message message;      ///< kDelivery only
+  ClockTime timer_at{};  ///< kTimer only (destination clock time)
+};
+
+}  // namespace cs

@@ -1,0 +1,19 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cs {
+
+void EventQueue::push(RealTime at, SimEvent ev) {
+  heap_.push(Entry{at, next_seq_++, std::move(ev)});
+}
+
+SimEvent EventQueue::pop() {
+  assert(!heap_.empty());
+  SimEvent ev = heap_.top().ev;
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace cs

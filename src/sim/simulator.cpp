@@ -1,0 +1,278 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace cs {
+namespace {
+
+class SimulatorImpl {
+ public:
+  SimulatorImpl(const SystemModel& model, const AutomatonFactory& factory,
+                std::vector<std::unique_ptr<DelaySampler>> samplers,
+                const SimOptions& options)
+      : model_(model), samplers_(std::move(samplers)), options_(options) {
+    const std::size_t n = model.processor_count();
+    if (options.start_offsets.size() != n)
+      throw Error("start_offsets size must equal processor count");
+    if (samplers_.size() != model.topology().link_count())
+      throw Error("need exactly one sampler per topology link");
+
+    const Rng master(options.seed);
+    link_rngs_.reserve(samplers_.size());
+    for (std::size_t i = 0; i < samplers_.size(); ++i) {
+      link_rngs_.push_back(master.split(i));
+      const auto [a, b] = model.topology().links[i];
+      link_index_[pair_key(a, b)] = i;
+    }
+
+    if (!options.clock_rates.empty()) {
+      if (options.clock_rates.size() != n)
+        throw Error("clock_rates must be empty or one per processor");
+      for (double r : options.clock_rates)
+        if (r <= 0.0) throw Error("clock rates must be positive");
+      const bool any_drift = std::any_of(
+          options.clock_rates.begin(), options.clock_rates.end(),
+          [](double r) { return r != 1.0; });
+      if (any_drift && options.check_admissible)
+        throw Error(
+            "drifting clocks are outside the paper's model: disable "
+            "check_admissible to simulate them (experiment E9)");
+    }
+
+    const auto adjacency = model.topology().adjacency();
+    procs_.reserve(n);
+    for (ProcessorId p = 0; p < n; ++p) {
+      const Duration offset = options.start_offsets[p];
+      if (offset < Duration{0.0})
+        throw Error("start offsets must be non-negative");
+      const double rate =
+          options.clock_rates.empty() ? 1.0 : options.clock_rates[p];
+      Proc proc;
+      proc.automaton = factory(p);
+      proc.clock = Clock(RealTime{} + offset, rate);
+      proc.history = History(p, proc.clock.start());
+      proc.neighbors = adjacency[p];
+      std::sort(proc.neighbors.begin(), proc.neighbors.end());
+      procs_.push_back(std::move(proc));
+    }
+  }
+
+  SimResult run() {
+    for (ProcessorId p = 0; p < procs_.size(); ++p) {
+      SimEvent ev;
+      ev.kind = SimEvent::Kind::kStart;
+      ev.processor = p;
+      queue_.push(procs_[p].clock.start(), ev);
+    }
+
+    std::size_t processed = 0;
+    while (!queue_.empty()) {
+      if (++processed > options_.max_events)
+        throw Error("simulation exceeded max_events (runaway protocol?)");
+      now_ = queue_.next_time();
+      const SimEvent ev = queue_.pop();
+      dispatch(ev);
+    }
+
+    std::vector<History> histories;
+    histories.reserve(procs_.size());
+    for (Proc& p : procs_) histories.push_back(std::move(p.history));
+
+    SimResult result;
+    result.execution = Execution(std::move(histories));
+    result.delivered_messages = delivered_;
+    result.lost_messages = lost_;
+    result.fired_timers = fired_timers_;
+
+    if (options_.check_admissible && !model_.admissible(result.execution))
+      throw InvalidExecution(
+          "simulated execution violates the declared delay assumptions; "
+          "sampler and constraint configuration disagree");
+    return result;
+  }
+
+ private:
+  struct Proc {
+    std::unique_ptr<Automaton> automaton;
+    Clock clock;
+    History history;
+    std::vector<ProcessorId> neighbors;
+    bool started{false};
+  };
+
+  /// Context implementation handed to automaton callbacks; bound to the
+  /// current event's processor and time.
+  class Ctx final : public Context {
+   public:
+    Ctx(SimulatorImpl& sim, ProcessorId pid) : sim_(sim), pid_(pid) {}
+
+    ProcessorId self() const override { return pid_; }
+    ClockTime now() const override {
+      return sim_.procs_[pid_].clock.at(sim_.now_);
+    }
+    std::span<const ProcessorId> neighbors() const override {
+      return sim_.procs_[pid_].neighbors;
+    }
+    void send(ProcessorId to, Payload payload) override {
+      sim_.do_send(pid_, to, std::move(payload));
+    }
+    void set_timer(ClockTime at) override { sim_.do_set_timer(pid_, at); }
+
+   private:
+    SimulatorImpl& sim_;
+    ProcessorId pid_;
+  };
+
+  static std::uint64_t pair_key(ProcessorId a, ProcessorId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  void dispatch(const SimEvent& ev) {
+    Proc& proc = procs_[ev.processor];
+    Ctx ctx(*this, ev.processor);
+    switch (ev.kind) {
+      case SimEvent::Kind::kStart: {
+        proc.started = true;
+        // History's constructor already recorded the start event.
+        proc.automaton->on_start(ctx);
+        break;
+      }
+      case SimEvent::Kind::kDelivery: {
+        if (!proc.started)
+          throw Error("internal: delivery before start was not deferred");
+        ViewEvent ve;
+        ve.kind = EventKind::kReceive;
+        ve.when = proc.clock.at(now_);
+        ve.msg = ev.message.id;
+        ve.peer = ev.message.from;
+        proc.history.append(ve);
+        ++delivered_;
+        proc.automaton->on_message(ctx, ev.message);
+        break;
+      }
+      case SimEvent::Kind::kTimer: {
+        ViewEvent ve;
+        ve.kind = EventKind::kTimerFire;
+        ve.when = proc.clock.at(now_);
+        ve.timer_at = ev.timer_at;
+        proc.history.append(ve);
+        ++fired_timers_;
+        proc.automaton->on_timer(ctx, ev.timer_at);
+        break;
+      }
+    }
+  }
+
+  void do_send(ProcessorId from, ProcessorId to, Payload payload) {
+    Proc& sender = procs_[from];
+    const auto it = link_index_.find(pair_key(from, to));
+    if (it == link_index_.end())
+      throw Error("automaton sent to a non-adjacent processor");
+
+    Message msg;
+    msg.id = next_msg_id_++;
+    msg.from = from;
+    msg.to = to;
+    msg.payload = std::move(payload);
+
+    ViewEvent ve;
+    ve.kind = EventKind::kSend;
+    ve.when = sender.clock.at(now_);
+    ve.msg = msg.id;
+    ve.peer = to;
+    sender.history.append(ve);
+
+    const std::size_t link = it->second;
+    const bool a_to_b = from < to;
+    const double delay = samplers_[link]->sample(a_to_b, now_, link_rngs_[link]);
+    if (delay < 0.0) throw Error("sampler produced a negative delay");
+    if (!std::isfinite(delay)) {
+      ++lost_;  // message lost in transit: sent, never delivered
+      return;
+    }
+
+    // A message cannot be consumed before its receiver starts executing; if
+    // it arrives earlier it waits (the wait is part of the actual delay, as
+    // an outside observer would measure it).
+    const RealTime arrival =
+        std::max(now_ + Duration{delay}, procs_[to].clock.start());
+
+    SimEvent ev;
+    ev.kind = SimEvent::Kind::kDelivery;
+    ev.processor = to;
+    ev.message = std::move(msg);
+    queue_.push(arrival, ev);
+  }
+
+  void do_set_timer(ProcessorId pid, ClockTime at) {
+    Proc& proc = procs_[pid];
+    const ClockTime now_clock = proc.clock.at(now_);
+    if (at < now_clock) throw Error("timer set for the past");
+
+    ViewEvent ve;
+    ve.kind = EventKind::kTimerSet;
+    ve.when = now_clock;
+    ve.timer_at = at;
+    proc.history.append(ve);
+
+    SimEvent ev;
+    ev.kind = SimEvent::Kind::kTimer;
+    ev.processor = pid;
+    ev.timer_at = at;
+    queue_.push(proc.clock.real(at), ev);
+  }
+
+  const SystemModel& model_;
+  std::vector<std::unique_ptr<DelaySampler>> samplers_;
+  SimOptions options_;
+
+  std::vector<Proc> procs_;
+  std::vector<Rng> link_rngs_;
+  std::unordered_map<std::uint64_t, std::size_t> link_index_;
+  EventQueue queue_;
+  RealTime now_{};
+  MessageId next_msg_id_{1};
+  std::size_t delivered_{0};
+  std::size_t lost_{0};
+  std::size_t fired_timers_{0};
+};
+
+}  // namespace
+
+SimResult simulate(const SystemModel& model, const AutomatonFactory& factory,
+                   std::vector<std::unique_ptr<DelaySampler>> samplers,
+                   const SimOptions& options) {
+  SimulatorImpl sim(model, factory, std::move(samplers), options);
+  return sim.run();
+}
+
+SimResult simulate(const SystemModel& model, const AutomatonFactory& factory,
+                   const SimOptions& options) {
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<std::unique_ptr<DelaySampler>> samplers;
+  samplers.reserve(model.topology().link_count());
+  for (auto [a, b] : model.topology().links)
+    samplers.push_back(make_admissible_sampler(model.constraint(a, b),
+                                               options.delay_scale, rng));
+  return simulate(model, factory, std::move(samplers), options);
+}
+
+std::vector<Duration> random_start_offsets(std::size_t n, double max_skew,
+                                           Rng& rng) {
+  std::vector<Duration> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(Duration{rng.uniform(0.0, max_skew)});
+  return out;
+}
+
+}  // namespace cs

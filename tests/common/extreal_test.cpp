@@ -1,0 +1,62 @@
+#include "common/extreal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(ExtReal, FiniteArithmetic) {
+  const ExtReal a{2.5};
+  const ExtReal b{-1.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 3.5);
+  EXPECT_DOUBLE_EQ((-a).value(), -2.5);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 1.25);
+}
+
+TEST(ExtReal, InfinityClassification) {
+  EXPECT_TRUE(ExtReal::infinity().is_pos_inf());
+  EXPECT_TRUE(ExtReal::neg_infinity().is_neg_inf());
+  EXPECT_FALSE(ExtReal::infinity().is_finite());
+  EXPECT_TRUE(ExtReal{0.0}.is_finite());
+}
+
+TEST(ExtReal, InfinityAbsorbsFinite) {
+  const ExtReal inf = ExtReal::infinity();
+  EXPECT_TRUE((inf + ExtReal{5.0}).is_pos_inf());
+  EXPECT_TRUE((inf - ExtReal{5.0}).is_pos_inf());
+  EXPECT_TRUE((ExtReal{3.0} - inf).is_neg_inf());
+  EXPECT_TRUE((inf / 2.0).is_pos_inf());
+}
+
+TEST(ExtReal, SubtractingNegInfinityFromPosInfinity) {
+  // (+inf) - (-inf) = (+inf) + (+inf) = +inf is well-defined.
+  EXPECT_TRUE((ExtReal::infinity() - ExtReal::neg_infinity()).is_pos_inf());
+}
+
+TEST(ExtReal, Ordering) {
+  EXPECT_LT(ExtReal::neg_infinity(), ExtReal{-1e300});
+  EXPECT_LT(ExtReal{1e300}, ExtReal::infinity());
+  EXPECT_LT(ExtReal{1.0}, ExtReal{2.0});
+  EXPECT_EQ(ExtReal::infinity(), ExtReal::infinity());
+}
+
+TEST(ExtReal, MinMax) {
+  EXPECT_EQ(min(ExtReal{1.0}, ExtReal::infinity()), ExtReal{1.0});
+  EXPECT_EQ(max(ExtReal{1.0}, ExtReal::infinity()), ExtReal::infinity());
+  EXPECT_EQ(min(ExtReal::neg_infinity(), ExtReal{0.0}),
+            ExtReal::neg_infinity());
+}
+
+TEST(ExtReal, Str) {
+  EXPECT_EQ(ExtReal::infinity().str(), "+inf");
+  EXPECT_EQ(ExtReal::neg_infinity().str(), "-inf");
+  EXPECT_EQ(ExtReal{2.0}.str(), "2");
+}
+
+TEST(ExtReal, FiniteAccessor) {
+  EXPECT_DOUBLE_EQ(ExtReal{7.0}.finite(), 7.0);
+}
+
+}  // namespace
+}  // namespace cs

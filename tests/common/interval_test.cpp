@@ -1,0 +1,56 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(Interval, DefaultIsNoBounds) {
+  const Interval iv;
+  EXPECT_EQ(iv.lo(), ExtReal{0.0});
+  EXPECT_TRUE(iv.hi().is_pos_inf());
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(1e12));
+  EXPECT_FALSE(iv.contains(-1e-9));
+}
+
+TEST(Interval, Contains) {
+  const Interval iv{ExtReal{1.0}, ExtReal{2.0}};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(2.001));
+}
+
+TEST(Interval, Width) {
+  EXPECT_EQ((Interval{ExtReal{1.0}, ExtReal{3.5}}).width(), ExtReal{2.5});
+  EXPECT_TRUE((Interval{ExtReal{0.0}, ExtReal::infinity()}).width()
+                  .is_pos_inf());
+}
+
+TEST(Interval, PointInterval) {
+  const Interval iv{ExtReal{2.0}, ExtReal{2.0}};
+  EXPECT_TRUE(iv.is_point());
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_EQ(iv.width(), ExtReal{0.0});
+}
+
+TEST(Interval, Intersect) {
+  const Interval a{ExtReal{0.0}, ExtReal{5.0}};
+  const Interval b{ExtReal{3.0}, ExtReal{9.0}};
+  const Interval c = a.intersect(b);
+  EXPECT_EQ(c.lo(), ExtReal{3.0});
+  EXPECT_EQ(c.hi(), ExtReal{5.0});
+}
+
+TEST(Interval, IntersectWithUnbounded) {
+  const Interval a{ExtReal{1.0}, ExtReal::infinity()};
+  const Interval b{ExtReal{0.0}, ExtReal{4.0}};
+  const Interval c = a.intersect(b);
+  EXPECT_EQ(c.lo(), ExtReal{1.0});
+  EXPECT_EQ(c.hi(), ExtReal{4.0});
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,107 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cs {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanApproximatelyHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversValues) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(0.5, 2.0), 0.5);
+}
+
+TEST(Rng, SplitStreamsIndependentAndDeterministic) {
+  const Rng base(99);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  Rng s0b = base.split(0);
+  int equal01 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = s0.next();
+    EXPECT_EQ(a, s0b.next());
+    equal01 += (a == s1.next());
+  }
+  EXPECT_LT(equal01, 4);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cs {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_NEAR(a.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(7.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  for (double x : {-5.0, -1.0, 3.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.3), 42.0);
+}
+
+TEST(MeanStddev, MatchesAccumulator) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RenderShape) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  h.add(0.1);
+  h.add(0.9);
+  const auto lines = h.render(10);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("##"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,33 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/extreal.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(0.000125, 3), "0.000125");
+  EXPECT_EQ(Table::num(ExtReal::infinity()), "+inf");
+  EXPECT_EQ(Table::num(ExtReal{2.0}), "2");
+}
+
+}  // namespace
+}  // namespace cs

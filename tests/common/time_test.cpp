@@ -1,0 +1,58 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(Duration, Arithmetic) {
+  const Duration a{2.0}, b{0.5};
+  EXPECT_DOUBLE_EQ((a + b).sec, 2.5);
+  EXPECT_DOUBLE_EQ((a - b).sec, 1.5);
+  EXPECT_DOUBLE_EQ((-a).sec, -2.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).sec, 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).sec, 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).sec, 0.5);
+  Duration c{1.0};
+  c += b;
+  EXPECT_DOUBLE_EQ(c.sec, 1.5);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c.sec, -0.5);
+}
+
+TEST(Duration, Helpers) {
+  EXPECT_DOUBLE_EQ(seconds(2.0).sec, 2.0);
+  EXPECT_DOUBLE_EQ(millis(250.0).sec, 0.25);
+  EXPECT_DOUBLE_EQ(micros(1500.0).sec, 0.0015);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration{1.0}, Duration{2.0});
+  EXPECT_EQ(Duration{1.0}, Duration{1.0});
+  EXPECT_GT(Duration{-0.5}, Duration{-1.0});
+}
+
+TEST(RealTime, InstantArithmetic) {
+  const RealTime t{10.0};
+  EXPECT_DOUBLE_EQ((t + Duration{2.0}).sec, 12.0);
+  EXPECT_DOUBLE_EQ((t - Duration{2.0}).sec, 8.0);
+  EXPECT_DOUBLE_EQ((RealTime{12.0} - t).sec, 2.0);
+  EXPECT_LT(t, RealTime{10.5});
+}
+
+TEST(ClockTime, InstantArithmetic) {
+  const ClockTime c{5.0};
+  EXPECT_DOUBLE_EQ((c + Duration{1.0}).sec, 6.0);
+  EXPECT_DOUBLE_EQ((c - ClockTime{2.0}).sec, 3.0);
+  EXPECT_GT(c, ClockTime{4.9});
+}
+
+// The point of the strong types: RealTime and ClockTime must NOT mix.
+// (Compile-time property; documented here, enforced by the type system.)
+static_assert(!std::is_convertible_v<RealTime, ClockTime>);
+static_assert(!std::is_convertible_v<ClockTime, RealTime>);
+static_assert(!std::is_convertible_v<double, RealTime>);
+static_assert(!std::is_convertible_v<Duration, double>);
+
+}  // namespace
+}  // namespace cs

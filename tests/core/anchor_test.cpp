@@ -1,0 +1,73 @@
+#include "core/anchor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/precision.hpp"
+#include "core/synchronizer.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Anchor, ShiftsWholeComponentByConstant) {
+  SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  const SimResult sim = test::run_ping_pong(model, 3, 0.2);
+  const auto views = sim.execution.views();
+  const SyncOutcome out = synchronize(model, views);
+  ASSERT_TRUE(out.bounded());
+
+  const double external = -1.234;  // reference knows its absolute offset
+  const auto anchored = anchor_to_reference(out.corrections, out.components,
+                                            2, external);
+  EXPECT_DOUBLE_EQ(anchored[2], external);
+  // Pairwise differences (and hence precision) unchanged.
+  for (std::size_t p = 0; p < 4; ++p)
+    for (std::size_t q = 0; q < 4; ++q)
+      EXPECT_NEAR(anchored[p] - anchored[q],
+                  out.corrections[p] - out.corrections[q], 1e-12);
+  EXPECT_NEAR(
+      guaranteed_precision(out.ms_estimates, anchored).finite(),
+      out.optimal_precision.finite(), 1e-9);
+}
+
+TEST(Anchor, TouchesOnlyReferenceComponent) {
+  // Silent-odd beacons on a star + lower bounds: several components.
+  SystemModel model = test::lower_bound_model(make_star(4), 0.01);
+  const Execution e = test::two_node_execution(0.1, 0.2, {0.5}, {});
+  // Build a 4-processor execution with traffic only 0 -> 1.
+  std::vector<History> hs;
+  hs.push_back(e.history(0));
+  hs.push_back(e.history(1));
+  hs.emplace_back(2, RealTime{0.0});
+  hs.emplace_back(3, RealTime{0.0});
+  const Execution exec{std::move(hs)};
+  const auto views = exec.views();
+  const SyncOutcome out = synchronize(model, views);
+  ASSERT_FALSE(out.bounded());
+
+  const auto anchored =
+      anchor_to_reference(out.corrections, out.components, 0, 5.0);
+  EXPECT_DOUBLE_EQ(anchored[0], 5.0);
+  // Processors in other components keep their corrections.
+  for (std::size_t p = 1; p < 4; ++p) {
+    if (out.components.component[p] != out.components.component[0]) {
+      EXPECT_DOUBLE_EQ(anchored[p], out.corrections[p]);
+    }
+  }
+}
+
+TEST(Anchor, Validation) {
+  SccResult comps;
+  comps.component = {0, 0};
+  comps.component_count = 1;
+  const std::vector<double> x{0.0, 1.0};
+  EXPECT_THROW(anchor_to_reference(x, comps, 7, 0.0), Error);
+  SccResult wrong;
+  wrong.component = {0};
+  wrong.component_count = 1;
+  EXPECT_THROW(anchor_to_reference(x, wrong, 0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,66 @@
+#include "core/precision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(Precision, RealizedZeroWhenPerfectlyCorrected) {
+  const std::vector<RealTime> starts{RealTime{1.0}, RealTime{3.5}};
+  const std::vector<double> x{1.0, 3.5};
+  EXPECT_DOUBLE_EQ(realized_precision(starts, x), 0.0);
+}
+
+TEST(Precision, RealizedIsMaxPairwise) {
+  const std::vector<RealTime> starts{RealTime{0.0}, RealTime{1.0},
+                                     RealTime{5.0}};
+  const std::vector<double> x{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(realized_precision(starts, x), 5.0);
+}
+
+TEST(Precision, RealizedSymmetricInSign) {
+  const std::vector<RealTime> starts{RealTime{0.0}, RealTime{2.0}};
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{0.0, 4.0};  // overcorrect the other way
+  EXPECT_DOUBLE_EQ(realized_precision(starts, a), 2.0);
+  EXPECT_DOUBLE_EQ(realized_precision(starts, b), 2.0);
+}
+
+TEST(Precision, GuaranteedFormula) {
+  // ρ̄(x) = max_{p≠q} [ m̃s(p,q) - x_p + x_q ].
+  DistanceMatrix ms(2);
+  ms.at(0, 1) = 0.3;
+  ms.at(1, 0) = 0.5;
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(guaranteed_precision(ms, zero).finite(), 0.5);
+  const std::vector<double> x{0.0, 0.1};  // balances the two pairs
+  EXPECT_DOUBLE_EQ(guaranteed_precision(ms, x).finite(), 0.4);
+}
+
+TEST(Precision, GuaranteedInfiniteWhenPairUnbounded) {
+  DistanceMatrix ms(2);
+  ms.at(0, 1) = 0.3;  // ms(1,0) stays +inf
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_TRUE(guaranteed_precision(ms, zero).is_pos_inf());
+  // The finite-restricted variant skips the unbounded pair entirely.
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 0.0);
+}
+
+TEST(Precision, GuaranteedFiniteRestrictsToMutuallyBoundedPairs) {
+  DistanceMatrix ms(3);
+  ms.at(0, 1) = 0.3;
+  ms.at(1, 0) = 0.1;
+  ms.at(0, 2) = 9.0;  // (0,2) one-way only: excluded
+  const std::vector<double> zero(3, 0.0);
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 0.3);
+}
+
+TEST(Precision, SingleProcessor) {
+  const std::vector<RealTime> starts{RealTime{4.0}};
+  const std::vector<double> x{0.0};
+  EXPECT_DOUBLE_EQ(realized_precision(starts, x), 0.0);
+  EXPECT_DOUBLE_EQ(guaranteed_precision(DistanceMatrix(1), x).finite(), 0.0);
+}
+
+}  // namespace
+}  // namespace cs

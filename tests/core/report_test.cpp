@@ -1,0 +1,53 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Report, BoundedInstanceContainsKeySections) {
+  SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  const SimResult sim = test::run_ping_pong(model, 5, 0.2);
+  const auto views = sim.execution.views();
+  const SyncOutcome out = synchronize(model, views);
+  const std::string report = format_report(model, out);
+
+  EXPECT_NE(report.find("guaranteed precision:"), std::string::npos);
+  EXPECT_NE(report.find("corrections:"), std::string::npos);
+  EXPECT_NE(report.find("critical cycle:"), std::string::npos);
+  EXPECT_NE(report.find("shift estimates"), std::string::npos);
+  EXPECT_NE(report.find("bounds[0.01,0.05]"), std::string::npos);
+  EXPECT_EQ(report.find("unbounded"), std::string::npos);
+}
+
+TEST(Report, UnboundedInstanceListsComponents) {
+  SystemModel model = test::lower_bound_model(make_line(2), 0.01);
+  const Execution e = test::two_node_execution(0.0, 0.0, {0.5}, {});
+  const auto views = e.views();
+  const SyncOutcome out = synchronize(model, views);
+  const std::string report = format_report(model, out);
+  EXPECT_NE(report.find("unbounded"), std::string::npos);
+  EXPECT_NE(report.find("component"), std::string::npos);
+}
+
+TEST(Dot, WellFormedAndHighlightsCriticalCycle) {
+  SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  const SimResult sim = test::run_ping_pong(model, 6, 0.2);
+  const auto views = sim.execution.views();
+  const SyncOutcome out = synchronize(model, views);
+  const std::string dot = to_dot(out);
+
+  EXPECT_EQ(dot.rfind("digraph mls {", 0), 0u);
+  EXPECT_NE(dot.find("p0 ->"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+  // Every processor appears as a node.
+  for (int p = 0; p < 4; ++p)
+    EXPECT_NE(dot.find("p" + std::to_string(p) + " [label="),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,77 @@
+#include "delaymodel/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(SystemModel, LinksDefaultToNoBounds) {
+  const SystemModel m{make_line(3)};
+  EXPECT_TRUE(m.has_link(0, 1));
+  EXPECT_TRUE(m.has_link(1, 0));  // order-insensitive
+  EXPECT_FALSE(m.has_link(0, 2));
+  EXPECT_EQ(m.constraint(0, 1).describe(), "bounds[0,+inf]/[0,+inf]");
+}
+
+TEST(SystemModel, SetConstraintReplacesAndValidates) {
+  SystemModel m{make_line(3)};
+  m.set_constraint(make_bounds(1, 2, 0.1, 0.2));
+  EXPECT_EQ(m.constraint(2, 1).describe(), "bounds[0.1,0.2]/[0.1,0.2]");
+  EXPECT_THROW(m.set_constraint(make_bounds(0, 2, 0.1, 0.2)),
+               InvalidAssumption);
+}
+
+TEST(SystemModel, ConstraintThrowsOnNonLink) {
+  const SystemModel m{make_line(3)};
+  EXPECT_THROW(m.constraint(0, 2), InvalidAssumption);
+}
+
+TEST(SystemModel, AdmissibleChecksEveryLink) {
+  SystemModel m = test::bounded_model(make_line(3), 0.1, 0.5);
+  {
+    const Execution good =
+        test::two_node_execution(0.0, 1.0, {0.2, 0.3}, {0.4});
+    // two_node_execution only uses processors 0 and 1; extend with an idle
+    // processor 2.
+    std::vector<History> hs;
+    hs.push_back(good.history(0));
+    hs.push_back(good.history(1));
+    hs.emplace_back(2, RealTime{0.0});
+    EXPECT_TRUE(m.admissible(Execution(std::move(hs))));
+  }
+  {
+    const Execution bad = test::two_node_execution(0.0, 1.0, {0.7}, {});
+    std::vector<History> hs;
+    hs.push_back(bad.history(0));
+    hs.push_back(bad.history(1));
+    hs.emplace_back(2, RealTime{0.0});
+    EXPECT_FALSE(m.admissible(Execution(std::move(hs))));
+  }
+}
+
+TEST(SystemModel, MessageAcrossNonLinkThrows) {
+  // two_node_execution sends 0<->1 but the topology only links 0-2 and 1-2.
+  SystemModel m{Topology{3, {{0, 2}, {1, 2}}}};
+  const Execution e = test::two_node_execution(0.0, 0.0, {0.5}, {});
+  std::vector<History> hs;
+  hs.push_back(e.history(0));
+  hs.push_back(e.history(1));
+  hs.emplace_back(2, RealTime{0.0});
+  EXPECT_THROW(m.admissible(Execution(std::move(hs))), InvalidExecution);
+}
+
+TEST(SystemModel, LinkDelaysOrientation) {
+  SystemModel m{make_line(2)};
+  const Execution e = test::two_node_execution(0.0, 0.0, {0.25}, {0.75});
+  const LinkDelays d = m.link_delays(e, 1, 0);  // reversed query order
+  ASSERT_EQ(d.a_to_b.size(), 1u);
+  ASSERT_EQ(d.b_to_a.size(), 1u);
+  EXPECT_NEAR(d.a_to_b[0], 0.25, 1e-12);
+  EXPECT_NEAR(d.b_to_a[0], 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace cs

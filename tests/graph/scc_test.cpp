@@ -1,0 +1,109 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Scc, SingleNode) {
+  const Digraph g(1);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 1u);
+  EXPECT_EQ(r.component[0], 0u);
+}
+
+TEST(Scc, TwoCycles) {
+  // {0,1} and {2,3} cycles joined by 1->2.
+  Digraph g(4);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 0, 0);
+  g.add_edge(2, 3, 0);
+  g.add_edge(3, 2, 0);
+  g.add_edge(1, 2, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+  // Reverse topological order: the edge 1->2 goes from higher to lower id.
+  EXPECT_GT(r.component[1], r.component[2]);
+}
+
+TEST(Scc, AcyclicAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 4u);
+}
+
+TEST(Scc, FullCycleOneComponent) {
+  Digraph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 1u);
+}
+
+TEST(Scc, MembersGroupsEveryNodeOnce) {
+  Digraph g(6);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 0, 0);
+  g.add_edge(2, 3, 0);
+  const SccResult r = strongly_connected_components(g);
+  const auto groups = r.members();
+  std::size_t total = 0;
+  for (const auto& grp : groups) total += grp.size();
+  EXPECT_EQ(total, 6u);
+  for (std::size_t c = 0; c < groups.size(); ++c)
+    for (NodeId v : groups[c]) EXPECT_EQ(r.component[v], c);
+}
+
+/// Brute-force mutual reachability oracle.
+std::vector<std::vector<bool>> reachability(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<bool>> r(n, std::vector<bool>(n, false));
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<NodeId> stack{s};
+    r[s][s] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (EdgeId e : g.out_edges(v)) {
+        const NodeId w = g.edge(e).to;
+        if (!r[s][w]) {
+          r[s][w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+TEST(Scc, RandomGraphsMatchReachabilityOracle) {
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(8);
+    Digraph g(n);
+    const std::size_t edges = rng.uniform_int(3 * n);
+    for (std::size_t e = 0; e < edges; ++e)
+      g.add_edge(static_cast<NodeId>(rng.uniform_int(n)),
+                 static_cast<NodeId>(rng.uniform_int(n)), 0.0);
+    const SccResult scc = strongly_connected_components(g);
+    const auto reach = reachability(g);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = 0; v < n; ++v) {
+        const bool same = scc.component[u] == scc.component[v];
+        const bool mutual = reach[u][v] && reach[v][u];
+        EXPECT_EQ(same, mutual) << "nodes " << u << "," << v;
+      }
+  }
+}
+
+}  // namespace
+}  // namespace cs

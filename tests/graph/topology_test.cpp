@@ -1,0 +1,114 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+void expect_well_formed(const Topology& t) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (auto [a, b] : t.links) {
+    EXPECT_LT(a, b) << "links must be canonically ordered";
+    EXPECT_LT(b, t.node_count);
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate link";
+  }
+}
+
+TEST(Topology, Line) {
+  const Topology t = make_line(5);
+  EXPECT_EQ(t.node_count, 5u);
+  EXPECT_EQ(t.link_count(), 4u);
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+}
+
+TEST(Topology, Ring) {
+  const Topology t = make_ring(6);
+  EXPECT_EQ(t.link_count(), 6u);
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+  const auto adj = t.adjacency();
+  for (const auto& nbrs : adj) EXPECT_EQ(nbrs.size(), 2u);
+}
+
+TEST(Topology, Star) {
+  const Topology t = make_star(7);
+  EXPECT_EQ(t.link_count(), 6u);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.adjacency()[0].size(), 6u);
+  expect_well_formed(t);
+}
+
+TEST(Topology, Complete) {
+  const Topology t = make_complete(6);
+  EXPECT_EQ(t.link_count(), 15u);
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+}
+
+TEST(Topology, Grid) {
+  const Topology t = make_grid(3, 4);
+  EXPECT_EQ(t.node_count, 12u);
+  EXPECT_EQ(t.link_count(), 3u * 3 + 2u * 4);  // 2*w*h - w - h
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+}
+
+TEST(Topology, RandomTree) {
+  Rng rng(3);
+  const Topology t = make_random_tree(20, rng);
+  EXPECT_EQ(t.link_count(), 19u);
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+}
+
+TEST(Topology, ConnectedGnp) {
+  Rng rng(4);
+  for (double p : {0.0, 0.3, 1.0}) {
+    const Topology t = make_connected_gnp(12, p, rng);
+    EXPECT_TRUE(t.connected());
+    EXPECT_GE(t.link_count(), 11u);
+    expect_well_formed(t);
+  }
+  const Topology full = make_connected_gnp(6, 1.0, rng);
+  EXPECT_EQ(full.link_count(), 15u);
+}
+
+TEST(Topology, Wan) {
+  Rng rng(5);
+  const Topology t = make_wan(30, 5, rng);
+  EXPECT_EQ(t.node_count, 30u);
+  EXPECT_TRUE(t.connected());
+  expect_well_formed(t);
+}
+
+TEST(Topology, SingleAndTwoNodeEdgeCases) {
+  EXPECT_TRUE(make_line(1).connected());
+  EXPECT_EQ(make_line(1).link_count(), 0u);
+  EXPECT_TRUE(make_line(2).connected());
+  EXPECT_TRUE(make_star(2).connected());
+  EXPECT_TRUE(make_complete(1).connected());
+}
+
+TEST(Topology, DisconnectedDetected) {
+  Topology t{4, {{0, 1}, {2, 3}}};
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, MakeNamed) {
+  Rng rng(6);
+  for (const char* name :
+       {"line", "ring", "star", "complete", "grid", "tree", "gnp", "wan"}) {
+    const Topology t = make_named(name, 12, rng);
+    EXPECT_TRUE(t.connected()) << name;
+    EXPECT_GE(t.node_count, 12u) << name;
+  }
+  EXPECT_THROW(make_named("moebius", 12, rng), Error);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,88 @@
+#include "model/execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Execution, RequiresPidIndexedHistories) {
+  std::vector<History> hs;
+  hs.emplace_back(1, RealTime{0.0});  // wrong: index 0 should hold pid 0
+  EXPECT_THROW(Execution{std::move(hs)}, InvalidExecution);
+}
+
+TEST(Execution, StartTimesAndViews) {
+  const Execution e =
+      test::two_node_execution(1.0, 3.0, {0.5, 0.7}, {0.6});
+  const auto starts = e.start_times();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], RealTime{1.0});
+  EXPECT_EQ(starts[1], RealTime{3.0});
+  const auto views = e.views();
+  EXPECT_EQ(views[0].pid, 0u);
+  EXPECT_EQ(views[0].sends().size(), 2u);
+  EXPECT_EQ(views[1].receives().size(), 2u);
+}
+
+TEST(Execution, ShiftedIsEquivalent) {
+  const Execution e = test::two_node_execution(1.0, 2.0, {0.5}, {0.5});
+  const std::vector<Duration> s{Duration{0.2}, Duration{-0.3}};
+  const Execution e2 = e.shifted(s);
+  EXPECT_TRUE(e.equivalent_to(e2));
+  EXPECT_EQ(e2.start_times()[0], RealTime{0.8});
+  EXPECT_EQ(e2.start_times()[1], RealTime{2.3});
+}
+
+TEST(Execution, ShiftChangesDelays) {
+  // Shifting receiver q earlier by s reduces p->q delays by s and raises
+  // q->p delays by s (the §4.1 sign convention the estimators rely on).
+  const Execution e = test::two_node_execution(0.0, 0.0, {0.5}, {0.5});
+  const std::vector<Duration> s{Duration{0.0}, Duration{0.2}};
+  const Execution e2 = e.shifted(s);
+  const auto msgs = trace_messages(e2);
+  ASSERT_EQ(msgs.size(), 2u);
+  for (const TracedMessage& m : msgs) {
+    if (m.msg.from == 0) {
+      EXPECT_NEAR(m.delay().sec, 0.3, 1e-12);
+    } else {
+      EXPECT_NEAR(m.delay().sec, 0.7, 1e-12);
+    }
+  }
+}
+
+TEST(Execution, EquivalenceDetectsDifferentViews) {
+  const Execution a = test::two_node_execution(0.0, 0.0, {0.5}, {0.5});
+  const Execution b = test::two_node_execution(0.0, 0.0, {0.5, 0.6}, {0.5});
+  EXPECT_FALSE(a.equivalent_to(b));
+}
+
+TEST(Execution, EquivalentIffShifted) {
+  // Two equivalent executions differ exactly by a shift vector: recover it.
+  const Execution a = test::two_node_execution(1.0, 2.0, {0.4}, {0.6});
+  const std::vector<Duration> s{Duration{0.5}, Duration{-0.1}};
+  const Execution b = a.shifted(s);
+  ASSERT_TRUE(a.equivalent_to(b));
+  for (ProcessorId p = 0; p < 2; ++p) {
+    const Duration recovered = a.start_times()[p] - b.start_times()[p];
+    EXPECT_NEAR(recovered.sec, s[p].sec, 1e-12);
+  }
+}
+
+TEST(Execution, EstimatedDelayInvariantUnderShift) {
+  // d̃(m) is view-derived, so shifting cannot change it.
+  const Execution a = test::two_node_execution(1.0, 2.5, {0.4, 0.9}, {0.6});
+  const std::vector<Duration> s{Duration{0.7}, Duration{-0.4}};
+  const Execution b = a.shifted(s);
+  const auto ma = trace_messages(a);
+  const auto mb = trace_messages(b);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i)
+    EXPECT_NEAR(ma[i].msg.estimated_delay().sec,
+                mb[i].msg.estimated_delay().sec, 1e-12);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,95 @@
+#include "model/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+ViewEvent send_event(double clock, MessageId id, ProcessorId peer) {
+  ViewEvent e;
+  e.kind = EventKind::kSend;
+  e.when = ClockTime{clock};
+  e.msg = id;
+  e.peer = peer;
+  return e;
+}
+
+TEST(History, StartEventRecordedAtClockZero) {
+  const History h(3, RealTime{7.5});
+  ASSERT_EQ(h.events().size(), 1u);
+  EXPECT_EQ(h.events()[0].kind, EventKind::kStart);
+  EXPECT_EQ(h.events()[0].when, ClockTime{0.0});
+  EXPECT_EQ(h.pid(), 3u);
+  EXPECT_EQ(h.start(), RealTime{7.5});
+}
+
+TEST(History, ClockRealTimeInvariant) {
+  // §2.1 condition 4: clock time of a step at real time t is t - S.
+  History h(0, RealTime{2.0});
+  h.append(send_event(1.5, 1, 1));
+  EXPECT_EQ(h.real_time_of(0), RealTime{2.0});
+  EXPECT_EQ(h.real_time_of(1), RealTime{3.5});
+}
+
+TEST(History, RejectsOutOfOrderEvents) {
+  History h(0, RealTime{0.0});
+  h.append(send_event(2.0, 1, 1));
+  EXPECT_THROW(h.append(send_event(1.0, 2, 1)), InvalidExecution);
+}
+
+TEST(History, AllowsSimultaneousEvents) {
+  History h(0, RealTime{0.0});
+  h.append(send_event(1.0, 1, 1));
+  EXPECT_NO_THROW(h.append(send_event(1.0, 2, 1)));
+}
+
+TEST(History, RejectsEventsBeforeStart) {
+  History h(0, RealTime{0.0});
+  EXPECT_THROW(h.append(send_event(-0.5, 1, 1)), InvalidExecution);
+}
+
+TEST(History, RejectsSecondStart) {
+  History h(0, RealTime{0.0});
+  ViewEvent e;
+  e.kind = EventKind::kStart;
+  EXPECT_THROW(h.append(e), InvalidExecution);
+}
+
+TEST(History, ShiftLemma41) {
+  // Lemma 4.1: shift(pi, s) is a history of p with S' = S - s, and the view
+  // is unchanged (the whole point of shifting).
+  History h(0, RealTime{5.0});
+  h.append(send_event(1.0, 1, 1));
+  h.append(send_event(2.0, 2, 1));
+
+  const History pos = h.shifted(Duration{1.5});
+  EXPECT_EQ(pos.start(), RealTime{3.5});
+  EXPECT_EQ(pos.view(), h.view());
+  // Events moved 1.5 earlier in real time.
+  EXPECT_EQ(pos.real_time_of(1), RealTime{4.5});
+
+  const History neg = h.shifted(Duration{-2.0});
+  EXPECT_EQ(neg.start(), RealTime{7.0});
+  EXPECT_EQ(neg.view(), h.view());
+}
+
+TEST(History, ShiftComposition) {
+  History h(0, RealTime{1.0});
+  h.append(send_event(1.0, 1, 1));
+  const History twice = h.shifted(Duration{0.3}).shifted(Duration{0.7});
+  EXPECT_EQ(twice.start(), RealTime{0.0});
+  EXPECT_EQ(twice.view(), h.view());
+}
+
+TEST(History, ViewDropsRealTimes) {
+  History a(0, RealTime{0.0});
+  History b(0, RealTime{100.0});
+  a.append(send_event(1.0, 1, 1));
+  b.append(send_event(1.0, 1, 1));
+  EXPECT_EQ(a.view(), b.view());  // identical clock timelines
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,136 @@
+#include "model/pairing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Pairing, EstimatedDelayLemma61) {
+  // d̃(m) = d(m) + S_send - S_recv, and equals recv clock - send clock.
+  const double s0 = 2.0, s1 = 5.0;
+  const Execution e = test::two_node_execution(s0, s1, {0.4}, {0.7});
+  for (const TracedMessage& t : trace_messages(e)) {
+    const double s_from = (t.msg.from == 0) ? s0 : s1;
+    const double s_to = (t.msg.to == 0) ? s0 : s1;
+    EXPECT_NEAR(t.msg.estimated_delay().sec,
+                t.delay().sec + s_from - s_to, 1e-12);
+  }
+}
+
+TEST(Pairing, ActualDelaysMatchConstruction) {
+  const Execution e = test::two_node_execution(1.0, 2.0, {0.25, 0.5}, {});
+  const auto msgs = trace_messages(e);
+  ASSERT_EQ(msgs.size(), 2u);
+  std::vector<double> delays{msgs[0].delay().sec, msgs[1].delay().sec};
+  std::sort(delays.begin(), delays.end());
+  EXPECT_NEAR(delays[0], 0.25, 1e-12);
+  EXPECT_NEAR(delays[1], 0.5, 1e-12);
+}
+
+TEST(Pairing, FromViewsAlone) {
+  // pair_messages must work on views (no real times).
+  const Execution e = test::two_node_execution(3.0, 1.0, {0.4}, {0.2});
+  const auto views = e.views();
+  const auto paired = pair_messages(views);
+  ASSERT_EQ(paired.size(), 2u);
+  for (const PairedMessage& m : paired) {
+    EXPECT_NE(m.from, m.to);
+    // d̃ = d + S_from - S_to with d in {0.4, 0.2}.
+    if (m.from == 0) {
+      EXPECT_NEAR(m.estimated_delay().sec, 0.4 + 2.0, 1e-12);
+    }
+    if (m.from == 1) {
+      EXPECT_NEAR(m.estimated_delay().sec, 0.2 - 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(Pairing, UnreceivedSendsAreDropped) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 42;
+  send.peer = 1;
+  h0.append(send);
+  History h1(1, RealTime{0.0});
+  std::vector<View> views{h0.view(), h1.view()};
+  EXPECT_TRUE(pair_messages(views).empty());
+}
+
+TEST(Pairing, ReceiveWithoutSendThrows) {
+  History h0(0, RealTime{0.0});
+  History h1(1, RealTime{0.0});
+  ViewEvent recv;
+  recv.kind = EventKind::kReceive;
+  recv.when = ClockTime{1.0};
+  recv.msg = 7;
+  recv.peer = 0;
+  h1.append(recv);
+  std::vector<View> views{h0.view(), h1.view()};
+  EXPECT_THROW(pair_messages(views), InvalidExecution);
+}
+
+TEST(Pairing, DuplicateSendIdThrows) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 7;
+  send.peer = 1;
+  h0.append(send);
+  send.when = ClockTime{2.0};
+  h0.append(send);  // same id again
+  History h1(1, RealTime{0.0});
+  std::vector<View> views{h0.view(), h1.view()};
+  EXPECT_THROW(pair_messages(views), InvalidExecution);
+}
+
+TEST(Pairing, DuplicateReceiveThrows) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 7;
+  send.peer = 1;
+  h0.append(send);
+  History h1(1, RealTime{0.0});
+  ViewEvent recv;
+  recv.kind = EventKind::kReceive;
+  recv.when = ClockTime{2.0};
+  recv.msg = 7;
+  recv.peer = 0;
+  h1.append(recv);
+  recv.when = ClockTime{3.0};
+  h1.append(recv);
+  std::vector<View> views{h0.view(), h1.view()};
+  EXPECT_THROW(pair_messages(views), InvalidExecution);
+}
+
+TEST(Pairing, EndpointMismatchThrows) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 7;
+  send.peer = 2;  // declared destination: 2
+  h0.append(send);
+  History h1(1, RealTime{0.0});
+  ViewEvent recv;
+  recv.kind = EventKind::kReceive;  // but received by 1
+  recv.when = ClockTime{2.0};
+  recv.msg = 7;
+  recv.peer = 0;
+  h1.append(recv);
+  History h2(2, RealTime{0.0});
+  std::vector<View> views{h0.view(), h1.view(), h2.view()};
+  EXPECT_THROW(pair_messages(views), InvalidExecution);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,108 @@
+#include "sim/delay_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+TEST(DelaySampler, ConstantPerDirection) {
+  Rng rng(1);
+  auto s = make_constant_sampler(0.1, 0.2);
+  EXPECT_DOUBLE_EQ(s->sample(true, RealTime{}, rng), 0.1);
+  EXPECT_DOUBLE_EQ(s->sample(false, RealTime{}, rng), 0.2);
+}
+
+TEST(DelaySampler, UniformWithinRange) {
+  Rng rng(2);
+  auto s = make_uniform_sampler(0.1, 0.3, 0.5, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    const double ab = s->sample(true, RealTime{}, rng);
+    EXPECT_GE(ab, 0.1);
+    EXPECT_LE(ab, 0.3);
+    const double ba = s->sample(false, RealTime{}, rng);
+    EXPECT_GE(ba, 0.5);
+    EXPECT_LE(ba, 0.9);
+  }
+}
+
+TEST(DelaySampler, ShiftedExponentialRespectsBounds) {
+  Rng rng(3);
+  auto s = make_shifted_exponential_sampler(0.05, 0.1, 0.4);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = s->sample(true, RealTime{}, rng);
+    EXPECT_GE(d, 0.05);
+    EXPECT_LE(d, 0.4);
+  }
+}
+
+TEST(DelaySampler, ShiftedParetoAboveLowerBound) {
+  Rng rng(4);
+  auto s = make_shifted_pareto_sampler(0.02, 0.01, 1.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(s->sample(true, RealTime{}, rng), 0.02);
+}
+
+TEST(DelaySampler, BiasCorrelatedWithinWindow) {
+  Rng rng(5);
+  const double center = 0.3, bias = 0.1;
+  auto s = make_bias_correlated_sampler(center, bias);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = s->sample(i % 2 == 0, RealTime{}, rng);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GE(lo, center - bias / 2.0 - 1e-12);
+  EXPECT_LE(hi, center + bias / 2.0 + 1e-12);
+  EXPECT_LE(hi - lo, bias + 1e-12);
+}
+
+class AdmissibleSamplerTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmissibleSamplerTest, OutputAdmissibleUnderConstraint) {
+  Rng setup(GetParam());
+  std::vector<std::unique_ptr<LinkConstraint>> constraints;
+  constraints.push_back(make_bounds(0, 1, 0.01, 0.05));
+  constraints.push_back(make_lower_bound_only(0, 1, 0.02));
+  constraints.push_back(make_no_bounds(0, 1));
+  constraints.push_back(make_bias(0, 1, 0.015));
+  {
+    std::vector<std::unique_ptr<LinkConstraint>> parts;
+    parts.push_back(make_bounds(0, 1, 0.01, 0.08));
+    parts.push_back(make_bias(0, 1, 0.02));
+    constraints.push_back(make_composite(0, 1, std::move(parts)));
+  }
+
+  for (const auto& c : constraints) {
+    Rng rng(GetParam() * 977 + 13);
+    auto sampler = make_admissible_sampler(*c, /*scale=*/0.05, setup);
+    LinkDelays delays;
+    for (int i = 0; i < 200; ++i) {
+      delays.a_to_b.push_back(sampler->sample(true, RealTime{}, rng));
+      delays.b_to_a.push_back(sampler->sample(false, RealTime{}, rng));
+    }
+    EXPECT_TRUE(c->admits(delays)) << c->describe();
+    for (double d : delays.a_to_b) EXPECT_GE(d, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissibleSamplerTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AdmissibleSampler, JointlyUnsatisfiableThrows) {
+  // Bounds force the two directions at least 1.0 apart, bias allows 0.1.
+  std::vector<std::unique_ptr<LinkConstraint>> parts;
+  parts.push_back(make_bounds(0, 1, Interval{ExtReal{0.0}, ExtReal{0.1}},
+                              Interval{ExtReal{2.0}, ExtReal{3.0}}));
+  parts.push_back(make_bias(0, 1, 0.1));
+  const auto c = make_composite(0, 1, std::move(parts));
+  Rng rng(9);
+  EXPECT_THROW(make_admissible_sampler(*c, 0.05, rng), InvalidAssumption);
+}
+
+}  // namespace
+}  // namespace cs

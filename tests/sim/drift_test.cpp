@@ -1,0 +1,130 @@
+// Clock-rate (drift) extension: sim-level behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/synchronizer.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Clock, RateOneIsIdentity) {
+  const Clock c(RealTime{2.0});
+  EXPECT_DOUBLE_EQ(c.at(RealTime{3.5}).sec, 1.5);
+  EXPECT_DOUBLE_EQ(c.real(ClockTime{1.5}).sec, 3.5);
+}
+
+TEST(Clock, RateScalesBothWays) {
+  const Clock c(RealTime{1.0}, 2.0);
+  EXPECT_DOUBLE_EQ(c.at(RealTime{2.0}).sec, 2.0);  // 1s real = 2s clock
+  EXPECT_DOUBLE_EQ(c.real(ClockTime{2.0}).sec, 2.0);
+  // Round trip at arbitrary points.
+  for (double t : {0.0, 0.3, 7.7}) {
+    const RealTime rt{t};
+    EXPECT_NEAR(c.real(c.at(rt)).sec, t, 1e-12);
+  }
+}
+
+TEST(DriftSim, EmptyRatesMeansNoDrift) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  const SimResult r = test::run_ping_pong(model, 3, 0.1);
+  EXPECT_TRUE(model.admissible(r.execution));
+}
+
+TEST(DriftSim, UnitRatesAllowedWithAdmissibilityCheck) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.clock_rates = {1.0, 1.0};
+  opts.seed = 1;
+  EXPECT_NO_THROW(simulate(model, make_ping_pong({}), opts));
+}
+
+TEST(DriftSim, DriftWithAdmissibilityCheckRejected) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.clock_rates = {1.0, 1.0001};
+  EXPECT_THROW(simulate(model, make_ping_pong({}), opts), Error);
+}
+
+TEST(DriftSim, RateValidation) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.clock_rates = {1.0};  // wrong size
+  EXPECT_THROW(simulate(model, make_ping_pong({}), opts), Error);
+  opts.clock_rates = {1.0, -0.5};
+  EXPECT_THROW(simulate(model, make_ping_pong({}), opts), Error);
+}
+
+TEST(DriftSim, FastClockFiresTimersEarlier) {
+  // A processor with rate 2 reaches clock time `warmup` in half the real
+  // time, so its pings are *sent* earlier in real time; the view still
+  // shows the configured clock times.
+  SystemModel model{make_line(2)};
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.clock_rates = {2.0, 1.0};
+  opts.check_admissible = false;
+  opts.seed = 5;
+  PingPongParams params;
+  params.warmup = Duration{1.0};
+  params.rounds = 1;
+  const SimResult r = simulate(model, make_ping_pong(params), opts);
+  const auto views = r.execution.views();
+  // Each processor's view shows its *ping* going out at clock time 1.0
+  // regardless of rate (clock-driven behavior); p1 may have answered p0's
+  // early ping with a pong before that.
+  for (const View& v : views) {
+    const auto sends = v.sends();
+    ASSERT_FALSE(sends.empty());
+    EXPECT_TRUE(std::any_of(sends.begin(), sends.end(), [](const auto& e) {
+      return e.when.sec == 1.0;
+    }));
+  }
+  // But p0's ping must have been *received* by p1 before p1's own send
+  // happened (p0 reached clock 1.0 at real 0.5, delays ~0.1).
+  const auto& p1_events = views[1].events;
+  std::size_t recv_idx = 0, send_idx = 0;
+  for (std::size_t i = 0; i < p1_events.size(); ++i) {
+    if (p1_events[i].kind == EventKind::kReceive && recv_idx == 0)
+      recv_idx = i;
+    if (p1_events[i].kind == EventKind::kSend && send_idx == 0) send_idx = i;
+  }
+  EXPECT_LT(recv_idx, send_idx);
+}
+
+TEST(DriftSim, SmallDriftStillSynchronizable) {
+  // End-to-end sanity for E9: tiny drift, pipeline still produces finite
+  // corrections close to the drift-free ones.
+  SystemModel model = test::bounded_model(make_ring(4), 0.002, 0.010);
+  Rng rng(9);
+  SimOptions opts;
+  opts.start_offsets = random_start_offsets(4, 0.2, rng);
+  opts.seed = 9;
+  PingPongParams params;
+  params.warmup = Duration{0.3};
+
+  const SimResult clean = simulate(model, make_ping_pong(params), opts);
+
+  opts.clock_rates = {1.0 + 1e-6, 1.0 - 1e-6, 1.0, 1.0 + 5e-7};
+  opts.check_admissible = false;
+  const SimResult drifty = simulate(model, make_ping_pong(params), opts);
+
+  const auto clean_views = clean.execution.views();
+  const auto drift_views = drifty.execution.views();
+  const auto a = synchronize(model, clean_views);
+  const auto b = synchronize(model, drift_views);
+  ASSERT_TRUE(b.bounded());
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(a.corrections[p], b.corrections[p], 1e-4);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+SimEvent start_event(ProcessorId p) {
+  SimEvent e;
+  e.kind = SimEvent::Kind::kStart;
+  e.processor = p;
+  return e;
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(RealTime{3.0}, start_event(3));
+  q.push(RealTime{1.0}, start_event(1));
+  q.push(RealTime{2.0}, start_event(2));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), RealTime{1.0});
+  EXPECT_EQ(q.pop().processor, 1u);
+  EXPECT_EQ(q.pop().processor, 2u);
+  EXPECT_EQ(q.pop().processor, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoOnTies) {
+  EventQueue q;
+  for (ProcessorId p = 0; p < 5; ++p) q.push(RealTime{1.0}, start_event(p));
+  for (ProcessorId p = 0; p < 5; ++p) EXPECT_EQ(q.pop().processor, p);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(RealTime{5.0}, start_event(5));
+  q.push(RealTime{1.0}, start_event(1));
+  EXPECT_EQ(q.pop().processor, 1u);
+  q.push(RealTime{3.0}, start_event(3));
+  EXPECT_EQ(q.pop().processor, 3u);
+  EXPECT_EQ(q.pop().processor, 5u);
+}
+
+TEST(EventQueue, NegativeTimesSupported) {
+  // Shifted executions can have events before real time 0.
+  EventQueue q;
+  q.push(RealTime{0.0}, start_event(0));
+  q.push(RealTime{-1.0}, start_event(1));
+  EXPECT_EQ(q.pop().processor, 1u);
+}
+
+}  // namespace
+}  // namespace cs

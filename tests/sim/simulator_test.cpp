@@ -1,0 +1,218 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "proto/ping_pong.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  const SimResult a = test::run_ping_pong(model, /*seed=*/7, /*skew=*/0.3);
+  const SimResult b = test::run_ping_pong(model, /*seed=*/7, /*skew=*/0.3);
+  EXPECT_TRUE(a.execution.equivalent_to(b.execution));
+  // Full equality including real times: same start times too.
+  for (ProcessorId p = 0; p < 4; ++p)
+    EXPECT_EQ(a.execution.start_times()[p], b.execution.start_times()[p]);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  const SimResult a = test::run_ping_pong(model, 7, 0.3);
+  const SimResult b = test::run_ping_pong(model, 8, 0.3);
+  EXPECT_FALSE(a.execution.equivalent_to(b.execution));
+}
+
+TEST(Simulator, PingPongMessageCount) {
+  // Each of n processors sends `rounds` pings to each neighbor, each ping
+  // is answered by one pong: total = 2 * rounds * directed-link-count.
+  const std::size_t rounds = 3;
+  const SystemModel model = test::bounded_model(make_ring(5), 0.01, 0.05);
+  const SimResult r = test::run_ping_pong(model, 3, 0.2, rounds);
+  const std::size_t directed_links = 2 * model.topology().link_count();
+  EXPECT_EQ(r.delivered_messages, 2 * rounds * directed_links);
+}
+
+TEST(Simulator, ExecutionIsAdmissible) {
+  const SystemModel model = test::bounded_model(make_complete(4), 0.02, 0.09);
+  const SimResult r = test::run_ping_pong(model, 11, 0.5);
+  EXPECT_TRUE(model.admissible(r.execution));
+}
+
+TEST(Simulator, DelaysWithinDeclaredBounds) {
+  const SystemModel model = test::bounded_model(make_line(3), 0.02, 0.04);
+  const SimResult r = test::run_ping_pong(model, 5, 0.1);
+  for (const TracedMessage& m : trace_messages(r.execution)) {
+    EXPECT_GE(m.delay().sec, 0.02 - 1e-12);
+    EXPECT_LE(m.delay().sec, 0.04 + 1e-12);
+  }
+}
+
+TEST(Simulator, StartOffsetsRespected) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets = {Duration{0.25}, Duration{1.75}};
+  opts.seed = 1;
+  PingPongParams params;
+  params.warmup = Duration{2.0};  // exceeds the start skew
+  const SimResult r = simulate(model, make_ping_pong(params), opts);
+  EXPECT_EQ(r.execution.start_times()[0], RealTime{0.25});
+  EXPECT_EQ(r.execution.start_times()[1], RealTime{1.75});
+}
+
+TEST(Simulator, RejectsWrongOffsetCount) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets = {Duration{0.0}};
+  EXPECT_THROW(simulate(model, make_ping_pong({}), opts), Error);
+}
+
+TEST(Simulator, RejectsNegativeOffsets) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets = {Duration{0.0}, Duration{-0.1}};
+  EXPECT_THROW(simulate(model, make_ping_pong({}), opts), Error);
+}
+
+// Automaton that misbehaves: sends to a non-neighbor.
+class BadSender final : public Automaton {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.send(2, Payload{});
+  }
+  void on_message(Context&, const Message&) override {}
+  void on_timer(Context&, ClockTime) override {}
+};
+
+TEST(Simulator, SendToNonNeighborThrows) {
+  SystemModel model = test::bounded_model(make_line(3), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(3, Duration{0.0});
+  const AutomatonFactory factory = [](ProcessorId) {
+    return std::make_unique<BadSender>();
+  };
+  EXPECT_THROW(simulate(model, factory, opts), Error);
+}
+
+// Automaton that sets a timer in the past.
+class PastTimer final : public Automaton {
+ public:
+  void on_start(Context& ctx) override {
+    ctx.set_timer(ctx.now() - Duration{1.0});
+  }
+  void on_message(Context&, const Message&) override {}
+  void on_timer(Context&, ClockTime) override {}
+};
+
+TEST(Simulator, PastTimerThrows) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  const AutomatonFactory factory = [](ProcessorId) {
+    return std::make_unique<PastTimer>();
+  };
+  EXPECT_THROW(simulate(model, factory, opts), Error);
+}
+
+// Automaton that sends immediately at start (no warmup): deliveries that
+// would land before the receiver's start must be deferred, not crash.
+class EagerSender final : public Automaton {
+ public:
+  void on_start(Context& ctx) override {
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, Payload{});
+  }
+  void on_message(Context&, const Message&) override {}
+  void on_timer(Context&, ClockTime) override {}
+};
+
+TEST(Simulator, DeliveryBeforeReceiverStartIsDeferred) {
+  SystemModel model{make_line(2)};  // no-bounds constraints
+  SimOptions opts;
+  opts.start_offsets = {Duration{0.0}, Duration{5.0}};  // huge skew
+  opts.seed = 3;
+  opts.delay_scale = 0.01;  // delays far smaller than the skew
+  const AutomatonFactory factory = [](ProcessorId) {
+    return std::make_unique<EagerSender>();
+  };
+  const SimResult r = simulate(model, factory, opts);
+  EXPECT_EQ(r.delivered_messages, 2u);
+  // The message 0 -> 1 waited for 1's start: its actual delay ~5s.
+  for (const TracedMessage& m : trace_messages(r.execution))
+    if (m.msg.from == 0) {
+      EXPECT_GE(m.delay().sec, 5.0 - 1e-9);
+    }
+}
+
+// Automaton that floods itself forever: the runaway guard must trip.
+class InfiniteLoop final : public Automaton {
+ public:
+  void on_start(Context& ctx) override { bounce(ctx); }
+  void on_message(Context& ctx, const Message&) override { bounce(ctx); }
+  void on_timer(Context&, ClockTime) override {}
+
+ private:
+  static void bounce(Context& ctx) {
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, Payload{});
+  }
+};
+
+TEST(Simulator, MaxEventsGuard) {
+  SystemModel model{make_line(2)};
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.max_events = 1000;
+  const AutomatonFactory factory = [](ProcessorId) {
+    return std::make_unique<InfiniteLoop>();
+  };
+  EXPECT_THROW(simulate(model, factory, opts), Error);
+}
+
+TEST(Simulator, TimerEventsRecordedInViews) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  opts.seed = 1;
+  PingPongParams params;
+  params.rounds = 2;
+  const SimResult r = simulate(model, make_ping_pong(params), opts);
+  const auto views = r.execution.views();
+  std::size_t sets = 0, fires = 0;
+  for (const ViewEvent& e : views[0].events) {
+    sets += (e.kind == EventKind::kTimerSet);
+    fires += (e.kind == EventKind::kTimerFire);
+  }
+  EXPECT_EQ(sets, 2u);
+  EXPECT_EQ(fires, 2u);
+}
+
+TEST(Simulator, CustomSamplersPerLink) {
+  SystemModel model = test::bounded_model(make_line(2), 0.0, 1.0);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  std::vector<std::unique_ptr<DelaySampler>> samplers;
+  samplers.push_back(make_constant_sampler(0.123, 0.456));
+  const SimResult r =
+      simulate(model, make_ping_pong({}), std::move(samplers), opts);
+  for (const TracedMessage& m : trace_messages(r.execution)) {
+    const double expect = (m.msg.from == 0) ? 0.123 : 0.456;
+    EXPECT_NEAR(m.delay().sec, expect, 1e-12);
+  }
+}
+
+TEST(Simulator, AdmissibilityCheckCatchesBadSamplers) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.02);
+  SimOptions opts;
+  opts.start_offsets.assign(2, Duration{0.0});
+  std::vector<std::unique_ptr<DelaySampler>> samplers;
+  samplers.push_back(make_constant_sampler(0.5, 0.5));  // way above ub
+  EXPECT_THROW(
+      simulate(model, make_ping_pong({}), std::move(samplers), opts),
+      InvalidExecution);
+}
+
+}  // namespace
+}  // namespace cs
