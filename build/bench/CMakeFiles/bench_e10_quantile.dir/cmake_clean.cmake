@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_quantile.dir/bench_e10_quantile.cpp.o"
+  "CMakeFiles/bench_e10_quantile.dir/bench_e10_quantile.cpp.o.d"
+  "bench_e10_quantile"
+  "bench_e10_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

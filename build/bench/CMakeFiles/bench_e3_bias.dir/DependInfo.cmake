@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e3_bias.cpp" "bench/CMakeFiles/bench_e3_bias.dir/bench_e3_bias.cpp.o" "gcc" "bench/CMakeFiles/bench_e3_bias.dir/bench_e3_bias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaymodel/CMakeFiles/cs_delaymodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

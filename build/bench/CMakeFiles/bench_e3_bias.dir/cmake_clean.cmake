@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_bias.dir/bench_e3_bias.cpp.o"
+  "CMakeFiles/bench_e3_bias.dir/bench_e3_bias.cpp.o.d"
+  "bench_e3_bias"
+  "bench_e3_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

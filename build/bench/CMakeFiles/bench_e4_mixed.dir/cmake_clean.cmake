@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_mixed.dir/bench_e4_mixed.cpp.o"
+  "CMakeFiles/bench_e4_mixed.dir/bench_e4_mixed.cpp.o.d"
+  "bench_e4_mixed"
+  "bench_e4_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_adaptivity.dir/bench_e6_adaptivity.cpp.o"
+  "CMakeFiles/bench_e6_adaptivity.dir/bench_e6_adaptivity.cpp.o.d"
+  "bench_e6_adaptivity"
+  "bench_e6_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

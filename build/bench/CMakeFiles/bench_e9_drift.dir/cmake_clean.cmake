@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_drift.dir/bench_e9_drift.cpp.o"
+  "CMakeFiles/bench_e9_drift.dir/bench_e9_drift.cpp.o.d"
+  "bench_e9_drift"
+  "bench_e9_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sync.dir/distributed_sync.cpp.o"
+  "CMakeFiles/distributed_sync.dir/distributed_sync.cpp.o.d"
+  "distributed_sync"
+  "distributed_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

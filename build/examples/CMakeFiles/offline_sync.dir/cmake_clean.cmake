@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_sync.dir/offline_sync.cpp.o"
+  "CMakeFiles/offline_sync.dir/offline_sync.cpp.o.d"
+  "offline_sync"
+  "offline_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

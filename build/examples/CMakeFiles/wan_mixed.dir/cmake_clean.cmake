@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_mixed.dir/wan_mixed.cpp.o"
+  "CMakeFiles/wan_mixed.dir/wan_mixed.cpp.o.d"
+  "wan_mixed"
+  "wan_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

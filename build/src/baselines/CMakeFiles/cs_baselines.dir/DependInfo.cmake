@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cristian.cpp" "src/baselines/CMakeFiles/cs_baselines.dir/cristian.cpp.o" "gcc" "src/baselines/CMakeFiles/cs_baselines.dir/cristian.cpp.o.d"
+  "/root/repo/src/baselines/hmm.cpp" "src/baselines/CMakeFiles/cs_baselines.dir/hmm.cpp.o" "gcc" "src/baselines/CMakeFiles/cs_baselines.dir/hmm.cpp.o.d"
+  "/root/repo/src/baselines/lundelius_lynch.cpp" "src/baselines/CMakeFiles/cs_baselines.dir/lundelius_lynch.cpp.o" "gcc" "src/baselines/CMakeFiles/cs_baselines.dir/lundelius_lynch.cpp.o.d"
+  "/root/repo/src/baselines/midpoint.cpp" "src/baselines/CMakeFiles/cs_baselines.dir/midpoint.cpp.o" "gcc" "src/baselines/CMakeFiles/cs_baselines.dir/midpoint.cpp.o.d"
+  "/root/repo/src/baselines/spanning_tree.cpp" "src/baselines/CMakeFiles/cs_baselines.dir/spanning_tree.cpp.o" "gcc" "src/baselines/CMakeFiles/cs_baselines.dir/spanning_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaymodel/CMakeFiles/cs_delaymodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

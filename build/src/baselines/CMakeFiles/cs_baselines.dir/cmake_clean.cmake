@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_baselines.dir/cristian.cpp.o"
+  "CMakeFiles/cs_baselines.dir/cristian.cpp.o.d"
+  "CMakeFiles/cs_baselines.dir/hmm.cpp.o"
+  "CMakeFiles/cs_baselines.dir/hmm.cpp.o.d"
+  "CMakeFiles/cs_baselines.dir/lundelius_lynch.cpp.o"
+  "CMakeFiles/cs_baselines.dir/lundelius_lynch.cpp.o.d"
+  "CMakeFiles/cs_baselines.dir/midpoint.cpp.o"
+  "CMakeFiles/cs_baselines.dir/midpoint.cpp.o.d"
+  "CMakeFiles/cs_baselines.dir/spanning_tree.cpp.o"
+  "CMakeFiles/cs_baselines.dir/spanning_tree.cpp.o.d"
+  "libcs_baselines.a"
+  "libcs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

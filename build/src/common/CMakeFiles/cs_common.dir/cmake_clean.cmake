@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/extreal.cpp.o"
+  "CMakeFiles/cs_common.dir/extreal.cpp.o.d"
+  "CMakeFiles/cs_common.dir/rng.cpp.o"
+  "CMakeFiles/cs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_common.dir/stats.cpp.o"
+  "CMakeFiles/cs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cs_common.dir/table.cpp.o"
+  "CMakeFiles/cs_common.dir/table.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/cs_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/anchor.cpp" "src/core/CMakeFiles/cs_core.dir/anchor.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/anchor.cpp.o.d"
+  "/root/repo/src/core/critical_cycle.cpp" "src/core/CMakeFiles/cs_core.dir/critical_cycle.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/critical_cycle.cpp.o.d"
+  "/root/repo/src/core/epochs.cpp" "src/core/CMakeFiles/cs_core.dir/epochs.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/epochs.cpp.o.d"
+  "/root/repo/src/core/global_estimates.cpp" "src/core/CMakeFiles/cs_core.dir/global_estimates.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/global_estimates.cpp.o.d"
+  "/root/repo/src/core/local_estimates.cpp" "src/core/CMakeFiles/cs_core.dir/local_estimates.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/local_estimates.cpp.o.d"
+  "/root/repo/src/core/precision.cpp" "src/core/CMakeFiles/cs_core.dir/precision.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/precision.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cs_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/shifts.cpp" "src/core/CMakeFiles/cs_core.dir/shifts.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/shifts.cpp.o.d"
+  "/root/repo/src/core/synchronizer.cpp" "src/core/CMakeFiles/cs_core.dir/synchronizer.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaymodel/CMakeFiles/cs_delaymodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/adversary.cpp.o"
+  "CMakeFiles/cs_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/cs_core.dir/anchor.cpp.o"
+  "CMakeFiles/cs_core.dir/anchor.cpp.o.d"
+  "CMakeFiles/cs_core.dir/critical_cycle.cpp.o"
+  "CMakeFiles/cs_core.dir/critical_cycle.cpp.o.d"
+  "CMakeFiles/cs_core.dir/epochs.cpp.o"
+  "CMakeFiles/cs_core.dir/epochs.cpp.o.d"
+  "CMakeFiles/cs_core.dir/global_estimates.cpp.o"
+  "CMakeFiles/cs_core.dir/global_estimates.cpp.o.d"
+  "CMakeFiles/cs_core.dir/local_estimates.cpp.o"
+  "CMakeFiles/cs_core.dir/local_estimates.cpp.o.d"
+  "CMakeFiles/cs_core.dir/precision.cpp.o"
+  "CMakeFiles/cs_core.dir/precision.cpp.o.d"
+  "CMakeFiles/cs_core.dir/report.cpp.o"
+  "CMakeFiles/cs_core.dir/report.cpp.o.d"
+  "CMakeFiles/cs_core.dir/shifts.cpp.o"
+  "CMakeFiles/cs_core.dir/shifts.cpp.o.d"
+  "CMakeFiles/cs_core.dir/synchronizer.cpp.o"
+  "CMakeFiles/cs_core.dir/synchronizer.cpp.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delaymodel/assignment.cpp" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/assignment.cpp.o" "gcc" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/assignment.cpp.o.d"
+  "/root/repo/src/delaymodel/constraint.cpp" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/constraint.cpp.o" "gcc" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/constraint.cpp.o.d"
+  "/root/repo/src/delaymodel/link_stats.cpp" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/link_stats.cpp.o" "gcc" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/link_stats.cpp.o.d"
+  "/root/repo/src/delaymodel/numeric_mls.cpp" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/numeric_mls.cpp.o" "gcc" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/numeric_mls.cpp.o.d"
+  "/root/repo/src/delaymodel/windowed_bias.cpp" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/windowed_bias.cpp.o" "gcc" "src/delaymodel/CMakeFiles/cs_delaymodel.dir/windowed_bias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_delaymodel.dir/assignment.cpp.o"
+  "CMakeFiles/cs_delaymodel.dir/assignment.cpp.o.d"
+  "CMakeFiles/cs_delaymodel.dir/constraint.cpp.o"
+  "CMakeFiles/cs_delaymodel.dir/constraint.cpp.o.d"
+  "CMakeFiles/cs_delaymodel.dir/link_stats.cpp.o"
+  "CMakeFiles/cs_delaymodel.dir/link_stats.cpp.o.d"
+  "CMakeFiles/cs_delaymodel.dir/numeric_mls.cpp.o"
+  "CMakeFiles/cs_delaymodel.dir/numeric_mls.cpp.o.d"
+  "CMakeFiles/cs_delaymodel.dir/windowed_bias.cpp.o"
+  "CMakeFiles/cs_delaymodel.dir/windowed_bias.cpp.o.d"
+  "libcs_delaymodel.a"
+  "libcs_delaymodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_delaymodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

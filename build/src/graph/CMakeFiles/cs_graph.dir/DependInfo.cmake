@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/cs_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/cycle_mean.cpp" "src/graph/CMakeFiles/cs_graph.dir/cycle_mean.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/cycle_mean.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/cs_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/cs_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/floyd_warshall.cpp" "src/graph/CMakeFiles/cs_graph.dir/floyd_warshall.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/floyd_warshall.cpp.o.d"
+  "/root/repo/src/graph/johnson.cpp" "src/graph/CMakeFiles/cs_graph.dir/johnson.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/johnson.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/cs_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/scc.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/graph/CMakeFiles/cs_graph.dir/topology.cpp.o" "gcc" "src/graph/CMakeFiles/cs_graph.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_graph.dir/bellman_ford.cpp.o"
+  "CMakeFiles/cs_graph.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/cycle_mean.cpp.o"
+  "CMakeFiles/cs_graph.dir/cycle_mean.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/digraph.cpp.o"
+  "CMakeFiles/cs_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/cs_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/floyd_warshall.cpp.o"
+  "CMakeFiles/cs_graph.dir/floyd_warshall.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/johnson.cpp.o"
+  "CMakeFiles/cs_graph.dir/johnson.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/scc.cpp.o"
+  "CMakeFiles/cs_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/cs_graph.dir/topology.cpp.o"
+  "CMakeFiles/cs_graph.dir/topology.cpp.o.d"
+  "libcs_graph.a"
+  "libcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

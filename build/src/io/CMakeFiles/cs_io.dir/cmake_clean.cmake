@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_io.dir/views_io.cpp.o"
+  "CMakeFiles/cs_io.dir/views_io.cpp.o.d"
+  "libcs_io.a"
+  "libcs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/execution.cpp" "src/model/CMakeFiles/cs_model.dir/execution.cpp.o" "gcc" "src/model/CMakeFiles/cs_model.dir/execution.cpp.o.d"
+  "/root/repo/src/model/history.cpp" "src/model/CMakeFiles/cs_model.dir/history.cpp.o" "gcc" "src/model/CMakeFiles/cs_model.dir/history.cpp.o.d"
+  "/root/repo/src/model/pairing.cpp" "src/model/CMakeFiles/cs_model.dir/pairing.cpp.o" "gcc" "src/model/CMakeFiles/cs_model.dir/pairing.cpp.o.d"
+  "/root/repo/src/model/view.cpp" "src/model/CMakeFiles/cs_model.dir/view.cpp.o" "gcc" "src/model/CMakeFiles/cs_model.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

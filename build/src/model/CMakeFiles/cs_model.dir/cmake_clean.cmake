@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_model.dir/execution.cpp.o"
+  "CMakeFiles/cs_model.dir/execution.cpp.o.d"
+  "CMakeFiles/cs_model.dir/history.cpp.o"
+  "CMakeFiles/cs_model.dir/history.cpp.o.d"
+  "CMakeFiles/cs_model.dir/pairing.cpp.o"
+  "CMakeFiles/cs_model.dir/pairing.cpp.o.d"
+  "CMakeFiles/cs_model.dir/view.cpp.o"
+  "CMakeFiles/cs_model.dir/view.cpp.o.d"
+  "libcs_model.a"
+  "libcs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_proto.dir/beacon.cpp.o"
+  "CMakeFiles/cs_proto.dir/beacon.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/coordinator.cpp.o"
+  "CMakeFiles/cs_proto.dir/coordinator.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/flood.cpp.o"
+  "CMakeFiles/cs_proto.dir/flood.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/gossip.cpp.o"
+  "CMakeFiles/cs_proto.dir/gossip.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/ping_pong.cpp.o"
+  "CMakeFiles/cs_proto.dir/ping_pong.cpp.o.d"
+  "libcs_proto.a"
+  "libcs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sim.dir/delay_sampler.cpp.o"
+  "CMakeFiles/cs_sim.dir/delay_sampler.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cs_sim.dir/simulator.cpp.o.d"
+  "libcs_sim.a"
+  "libcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

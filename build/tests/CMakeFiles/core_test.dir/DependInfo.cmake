@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adversary_test.cpp" "tests/CMakeFiles/core_test.dir/core/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/adversary_test.cpp.o.d"
+  "/root/repo/tests/core/anchor_test.cpp" "tests/CMakeFiles/core_test.dir/core/anchor_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/anchor_test.cpp.o.d"
+  "/root/repo/tests/core/critical_cycle_test.cpp" "tests/CMakeFiles/core_test.dir/core/critical_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/critical_cycle_test.cpp.o.d"
+  "/root/repo/tests/core/epochs_test.cpp" "tests/CMakeFiles/core_test.dir/core/epochs_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/epochs_test.cpp.o.d"
+  "/root/repo/tests/core/optimality_property_test.cpp" "tests/CMakeFiles/core_test.dir/core/optimality_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/optimality_property_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/precision_test.cpp" "tests/CMakeFiles/core_test.dir/core/precision_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/precision_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/shifts_test.cpp" "tests/CMakeFiles/core_test.dir/core/shifts_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shifts_test.cpp.o.d"
+  "/root/repo/tests/core/windowed_pipeline_test.cpp" "tests/CMakeFiles/core_test.dir/core/windowed_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/windowed_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/cs_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaymodel/CMakeFiles/cs_delaymodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

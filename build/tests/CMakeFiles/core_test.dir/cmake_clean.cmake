@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/adversary_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/adversary_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/anchor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/anchor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/critical_cycle_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/critical_cycle_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/epochs_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/epochs_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/optimality_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/optimality_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/precision_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/precision_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/shifts_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/shifts_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/windowed_pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/windowed_pipeline_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_test_support.dir/support/builders.cpp.o"
+  "CMakeFiles/cs_test_support.dir/support/builders.cpp.o.d"
+  "libcs_test_support.a"
+  "libcs_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

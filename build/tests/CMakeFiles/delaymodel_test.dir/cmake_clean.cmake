@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delaymodel_test.dir/delaymodel/assignment_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/assignment_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/bias_constraint_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/bias_constraint_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/bounds_constraint_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/bounds_constraint_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/composite_constraint_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/composite_constraint_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/link_stats_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/link_stats_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/numeric_mls_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/numeric_mls_test.cpp.o.d"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/windowed_bias_test.cpp.o"
+  "CMakeFiles/delaymodel_test.dir/delaymodel/windowed_bias_test.cpp.o.d"
+  "delaymodel_test"
+  "delaymodel_test.pdb"
+  "delaymodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delaymodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for delaymodel_test.
+# This may be replaced when dependencies are built.

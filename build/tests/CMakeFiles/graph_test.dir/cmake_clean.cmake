@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/cycle_mean_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/cycle_mean_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/digraph_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/digraph_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/path_reconstruction_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/path_reconstruction_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/scc_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/scc_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/shortest_paths_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/shortest_paths_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/topology_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/topology_test.cpp.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
