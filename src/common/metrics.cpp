@@ -1,0 +1,101 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace cs {
+
+void Metrics::increment(const std::string& counter, std::uint64_t by) {
+  counters_[counter] += by;
+}
+
+void Metrics::observe(const std::string& series, double value) {
+  auto [it, inserted] = series_.try_emplace(series);
+  MetricSeries& s = it->second;
+  if (inserted) {
+    s.min = value;
+    s.max = value;
+  } else {
+    s.min = std::min(s.min, value);
+    s.max = std::max(s.max, value);
+  }
+  ++s.count;
+  s.sum += value;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const MetricSeries* Metrics::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void Metrics::merge(const Metrics& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, s] : other.series_) {
+    auto [it, inserted] = series_.try_emplace(name, s);
+    if (inserted) continue;
+    MetricSeries& mine = it->second;
+    mine.min = std::min(mine.min, s.min);
+    mine.max = std::max(mine.max, s.max);
+    mine.count += s.count;
+    mine.sum += s.sum;
+  }
+}
+
+void Metrics::clear() {
+  counters_.clear();
+  series_.clear();
+}
+
+namespace {
+
+/// JSON number formatting: finite doubles with enough digits to round-trip;
+/// infinities are not expected in metrics but rendered as strings to keep
+/// the output parseable.
+void append_number(std::ostringstream& out, double v) {
+  if (std::isfinite(v)) {
+    out.precision(17);
+    out << v;
+  } else {
+    out << '"' << (v > 0 ? "inf" : (v < 0 ? "-inf" : "nan")) << '"';
+  }
+}
+
+}  // namespace
+
+std::string Metrics::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + pad;
+  const std::string pad3 = pad2 + pad;
+  std::ostringstream out;
+  out << "{\n" << pad << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "\n" : ",\n") << pad2 << '"' << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad) << "},\n" << pad << "\"series\": {";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    out << (first ? "\n" : ",\n") << pad2 << '"' << name << "\": {\n";
+    out << pad3 << "\"count\": " << s.count << ",\n";
+    out << pad3 << "\"sum\": ";
+    append_number(out, s.sum);
+    out << ",\n" << pad3 << "\"min\": ";
+    append_number(out, s.min);
+    out << ",\n" << pad3 << "\"max\": ";
+    append_number(out, s.max);
+    out << ",\n" << pad3 << "\"mean\": ";
+    append_number(out, s.mean());
+    out << "\n" << pad2 << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad) << "}\n}";
+  return out.str();
+}
+
+}  // namespace cs

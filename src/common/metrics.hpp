@@ -1,0 +1,109 @@
+// Lightweight instrumentation for the synchronization pipeline.
+//
+// The pipeline's performance story (ROADMAP: "as fast as the hardware
+// allows") needs numbers, and its numeric robustness story needs visibility
+// into events that were previously silent — Howard iteration backstops,
+// APSP fallbacks from incremental to full recompute, Bellman–Ford retries.
+// cs::Metrics is the one sink for both: named monotonic counters plus named
+// value series (used for per-stage wall-clock timings and any other scalar
+// observations).  A null sink is always legal — every pipeline entry point
+// takes `Metrics*` defaulting to nullptr and pays nothing when absent.
+//
+// Not thread-safe by design: one Metrics per pipeline run; merge() combines
+// runs after the fact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cs {
+
+/// Summary of a value series (timings in seconds, sizes, iteration counts).
+struct MetricSeries {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+class Metrics {
+ public:
+  /// Adds `by` to the named monotonic counter (created at 0 on first use).
+  void increment(const std::string& counter, std::uint64_t by = 1);
+
+  /// Records one sample into the named series.
+  void observe(const std::string& series, double value);
+
+  /// RAII wall-clock timer; records elapsed seconds into `series` on
+  /// destruction.  Safe on a null Metrics (records nothing).
+  class Timer {
+   public:
+    Timer(Metrics* sink, std::string series)
+        : sink_(sink), series_(std::move(series)),
+          start_(std::chrono::steady_clock::now()) {}
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+    ~Timer() {
+      if (sink_ == nullptr) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      sink_->observe(series_,
+                     std::chrono::duration<double>(elapsed).count());
+    }
+
+   private:
+    Metrics* sink_;
+    std::string series_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Times a scope against `series`; usable on a null sink:
+  ///   auto t = Metrics::scoped(metrics, "stage.shifts");
+  static Timer scoped(Metrics* sink, std::string series) {
+    return Timer(sink, std::move(series));
+  }
+
+  /// Value of a counter (0 when never incremented).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Series summary, or nullptr when never observed.
+  const MetricSeries* series(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, MetricSeries>& all_series() const {
+    return series_;
+  }
+
+  /// Folds another run's metrics into this one (counters add, series
+  /// concatenate).
+  void merge(const Metrics& other);
+
+  void clear();
+
+  /// Machine-readable dump: {"counters": {...}, "series": {name:
+  /// {count,sum,min,max,mean}}}.  Keys are sorted (std::map), so output is
+  /// deterministic and diffable.
+  std::string to_json(int indent = 2) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, MetricSeries> series_;
+};
+
+/// Null-safe increment helper (pipeline code calls with possibly-null sink).
+inline void metrics_increment(Metrics* m, const std::string& counter,
+                              std::uint64_t by = 1) {
+  if (m != nullptr) m->increment(counter, by);
+}
+
+inline void metrics_observe(Metrics* m, const std::string& series,
+                            double value) {
+  if (m != nullptr) m->observe(series, value);
+}
+
+}  // namespace cs

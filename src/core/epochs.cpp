@@ -3,29 +3,65 @@
 #include "common/error.hpp"
 
 namespace cs {
+namespace {
 
-std::vector<EpochOutcome> epochal_synchronize(
-    const SystemModel& model, std::span<const View> views,
-    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+void check_boundaries(std::span<const ClockTime> boundaries) {
   for (std::size_t i = 1; i < boundaries.size(); ++i)
     if (!(boundaries[i - 1] < boundaries[i]))
       throw Error("epoch boundaries must be strictly increasing");
+}
 
-  SyncOptions epoch_options = options;
-  epoch_options.match = MatchPolicy::kDropOrphans;
-
+/// Shared driver: cut the prefixes at each boundary, run `run_epoch`.
+template <typename RunEpoch>
+std::vector<EpochOutcome> drive_epochs(std::span<const View> views,
+                                       std::span<const ClockTime> boundaries,
+                                       Metrics* metrics,
+                                       RunEpoch&& run_epoch) {
   std::vector<EpochOutcome> out;
   out.reserve(boundaries.size());
   std::vector<View> prefixes(views.size());
   for (const ClockTime boundary : boundaries) {
+    auto timer = Metrics::scoped(metrics, "stage.epoch_seconds");
     for (std::size_t p = 0; p < views.size(); ++p)
       prefixes[p] = views[p].prefix(boundary);
     EpochOutcome epoch;
     epoch.boundary = boundary;
-    epoch.sync = synchronize(model, prefixes, epoch_options);
+    epoch.sync = run_epoch(prefixes);
     out.push_back(std::move(epoch));
+    metrics_increment(metrics, "pipeline.epochs");
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<EpochOutcome> epochal_synchronize(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+  check_boundaries(boundaries);
+
+  SyncOptions epoch_options = options;
+  epoch_options.match = MatchPolicy::kDropOrphans;
+
+  return drive_epochs(views, boundaries, options.metrics,
+                      [&](const std::vector<View>& prefixes) {
+                        return synchronize(model, prefixes, epoch_options);
+                      });
+}
+
+std::vector<EpochOutcome> epochal_synchronize_incremental(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+  check_boundaries(boundaries);
+
+  SyncOptions epoch_options = options;
+  epoch_options.match = MatchPolicy::kDropOrphans;
+
+  IncrementalSynchronizer sync(model, epoch_options);
+  return drive_epochs(views, boundaries, options.metrics,
+                      [&](const std::vector<View>& prefixes) {
+                        return sync.step(prefixes);
+                      });
 }
 
 }  // namespace cs

@@ -16,6 +16,7 @@
 
 #include <span>
 
+#include "core/incremental.hpp"
 #include "core/synchronizer.hpp"
 
 namespace cs {
@@ -30,6 +31,18 @@ struct EpochOutcome {
 /// no pairable traffic yield unbounded outcomes (per-component corrections
 /// of 0), like any traffic-less instance.
 std::vector<EpochOutcome> epochal_synchronize(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options = {});
+
+/// Same contract and (to float tolerance) same results as
+/// epochal_synchronize, but epoch k+1 reuses epoch k's APSP closure via a
+/// delta-aware update and warm-starts Howard's policy iteration from epoch
+/// k's policy (when options.cycle_mean is kHoward).  Consecutive epoch
+/// prefixes differ in few m̃ls edges, so this is the fast path for long
+/// boundary sequences; BENCH_pipeline.json tracks the speedup.
+/// options.metrics additionally receives per-epoch stage timings and
+/// incremental-vs-rebuild hit counters.
+std::vector<EpochOutcome> epochal_synchronize_incremental(
     const SystemModel& model, std::span<const View> views,
     std::span<const ClockTime> boundaries, const SyncOptions& options = {});
 

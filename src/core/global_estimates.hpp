@@ -7,6 +7,7 @@
 // connects.
 #pragma once
 
+#include "common/metrics.hpp"
 #include "graph/floyd_warshall.hpp"
 
 namespace cs {
@@ -16,12 +17,24 @@ enum class ApspAlgorithm {
   kFloydWarshall,  ///< O(n^3) reference; ablation bench E8 compares
 };
 
+/// Per-edge slack added before APSP so that executions sitting exactly on
+/// their delay bounds (cycle weight ~-1 ulp where theory guarantees >= 0)
+/// stay admissible; see the numeric tolerance contract in DESIGN.md.
+inline constexpr double kMlsSlack = 1e-12;
+
+/// The m̃ls graph with kMlsSlack added to every edge — the graph APSP
+/// actually runs on.  Exposed so the incremental epoch pipeline diffs the
+/// same graph the from-scratch path closes over.
+Digraph slack_relaxed_mls(const Digraph& mls_graph);
+
 /// Throws InvalidAssumption if the m̃ls graph has a negative cycle — that is
 /// a proof the observed execution is not admissible under the declared
 /// assumptions (cycle weights are invariant between mls and m̃ls, and true
-/// mls cycles are non-negative).
+/// mls cycles are non-negative).  `metrics` (optional) receives the
+/// "stage.global_estimates_seconds" timing.
 DistanceMatrix global_shift_estimates(
     const Digraph& mls_graph,
-    ApspAlgorithm algorithm = ApspAlgorithm::kJohnson);
+    ApspAlgorithm algorithm = ApspAlgorithm::kJohnson,
+    Metrics* metrics = nullptr);
 
 }  // namespace cs

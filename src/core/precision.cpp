@@ -41,9 +41,10 @@ double guaranteed_precision_finite(const DistanceMatrix& ms_estimates,
   for (std::size_t p = 0; p < n; ++p)
     for (std::size_t q = 0; q < n; ++q) {
       if (p == q) continue;
-      if (ms_estimates.at(p, q) == kInfDist ||
-          ms_estimates.at(q, p) == kInfDist)
-        continue;
+      // Skip only the infinite direction: a one-way-bounded pair still
+      // contributes its finite m̃s(p,q) − x_p + x_q term, and dropping it
+      // under-reports the worst-case skew.
+      if (ms_estimates.at(p, q) == kInfDist) continue;
       worst = std::max(worst, ms_estimates.at(p, q) - x[p] + x[q]);
     }
   return worst;

@@ -34,8 +34,11 @@ double realized_precision(std::span<const RealTime> starts,
 ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
                              std::span<const double> x);
 
-/// As above, restricted to pairs with finite m̃s both ways — the meaningful
-/// quantity on unbounded instances synchronized per component.
+/// As above, restricted to the *directed* pairs with finite m̃s — the
+/// meaningful quantity on unbounded instances synchronized per component.
+/// A one-way-bounded pair still contributes its finite direction's
+/// m̃s(p,q) − x_p + x_q term; only genuinely unconstrained directions are
+/// skipped (skipping the pair wholesale under-reports worst-case skew).
 double guaranteed_precision_finite(const DistanceMatrix& ms_estimates,
                                    std::span<const double> x);
 

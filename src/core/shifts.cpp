@@ -1,12 +1,9 @@
 #include "core/shifts.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "common/error.hpp"
-#include "graph/bellman_ford.hpp"
-#include "graph/cycle_mean.hpp"
 
 namespace cs {
 namespace {
@@ -24,59 +21,101 @@ Digraph finite_ms_graph(const DistanceMatrix& ms) {
 }
 
 /// Corrections within one component: Bellman–Ford distances from the
-/// component root under weights (a_max - m̃s).  Retries with a slightly
-/// inflated a_max if float rounding manufactures a spurious negative cycle
-/// (mathematically the max-mean cycle has weight exactly 0).
+/// component root under weights (a_max - m̃s), relaxed with a tolerance of
+/// tolerance_scale * max(1, |a_max|) per step — the same epsilon semantics
+/// as bellman_ford(g, s, epsilon), run directly on the matrix so the hot
+/// epoch path skips materializing the complete component digraph.  The
+/// max-mean cycle has weight exactly 0 mathematically, so any surviving
+/// negative cycle beyond that tolerance proves the m̃s matrix inconsistent.
 void component_corrections(const DistanceMatrix& ms,
                            const std::vector<NodeId>& members, NodeId root,
-                           double a_max, std::vector<double>& corrections) {
-  if (members.size() == 1) {
+                           double a_max, double tolerance_scale,
+                           std::vector<double>& corrections) {
+  const std::size_t k = members.size();
+  if (k == 1) {
     corrections[members[0]] = 0.0;
     return;
   }
-  std::vector<std::size_t> local(ms.size(),
-                                 std::numeric_limits<std::size_t>::max());
-  for (std::size_t i = 0; i < members.size(); ++i) local[members[i]] = i;
+  const double epsilon = tolerance_scale * std::max(1.0, std::fabs(a_max));
+  std::vector<double> dist(k, kInfDist);
+  for (std::size_t i = 0; i < k; ++i)
+    if (members[i] == root) dist[i] = 0.0;
 
-  double bump = 0.0;
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    Digraph g(members.size());
-    for (std::size_t i = 0; i < members.size(); ++i)
-      for (std::size_t j = 0; j < members.size(); ++j)
-        if (i != j)
-          g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
-                     a_max + bump - ms.at(members[i], members[j]));
-    const auto sp = bellman_ford(g, static_cast<NodeId>(local[root]));
-    if (sp) {
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        assert(sp->dist[i] != kInfDist);
-        corrections[members[i]] = sp->dist[i];
+  // Up to k sweeps with early exit: k-1 relaxation sweeps settle all
+  // distances absent negative cycles, so a k-th sweep that still improves
+  // beyond epsilon is the detection sweep firing.
+  bool changed = true;
+  for (std::size_t sweep = 0; sweep < k && changed; ++sweep) {
+    changed = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double di = dist[i];
+      if (!(di < kInfDist)) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        const double cand = di + a_max - ms.at(members[i], members[j]);
+        if (cand < dist[j] - epsilon) {
+          dist[j] = cand;
+          changed = true;
+        }
       }
-      return;
     }
-    bump = (bump == 0.0) ? 1e-12 * std::max(1.0, std::fabs(a_max))
-                         : bump * 1e3;
   }
-  throw Error(
-      "SHIFTS: persistent negative cycle under w = a_max - m̃s; "
-      "m̃s matrix is inconsistent");
+  if (changed)
+    throw Error(
+        "SHIFTS: negative cycle under w = a_max - m̃s beyond the float "
+        "tolerance; m̃s matrix is inconsistent");
+  for (std::size_t i = 0; i < k; ++i) {
+    // Every member is reachable from the root in one hop of the complete
+    // component graph, so a non-finite distance means the matrix carried a
+    // non-finite entry (e.g. NaN from a broken estimator) — refuse to emit
+    // garbage corrections.
+    if (!(dist[i] < kInfDist) || std::isnan(dist[i]))
+      throw Error(
+          "SHIFTS: non-finite correction distance inside a finiteness "
+          "component; m̃s matrix carries non-finite entries");
+    corrections[members[i]] = dist[i];
+  }
 }
 
 }  // namespace
 
-ShiftsResult compute_shifts(const DistanceMatrix& ms, NodeId root,
-                            CycleMeanAlgorithm algorithm) {
+ShiftsResult compute_shifts(const DistanceMatrix& ms,
+                            const ShiftsOptions& options) {
   const std::size_t n = ms.size();
   if (n == 0) throw Error("compute_shifts: empty instance");
-  if (root >= n) throw Error("compute_shifts: root out of range");
+  if (options.root >= n) throw Error("compute_shifts: root out of range");
+  // NaN entries poison every downstream comparison silently (relaxations
+  // and cycle-mean maxima all evaluate false), so reject them up front.
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      if (std::isnan(ms.at(p, q)))
+        throw Error("compute_shifts: m̃s matrix carries NaN entries");
+  Metrics* metrics = options.metrics;
+  auto timer = Metrics::scoped(metrics, "stage.shifts_seconds");
 
   ShiftsResult res;
   res.corrections.assign(n, 0.0);
 
-  const Digraph g = finite_ms_graph(ms);
-  res.components = strongly_connected_components(g);
+  bool all_finite = true;
+  for (std::size_t p = 0; p < n && all_finite; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      if (p != q && ms.at(p, q) == kInfDist) {
+        all_finite = false;
+        break;
+      }
+  if (all_finite) {
+    // Bounded instance: one finiteness component holding every processor.
+    // Skipping the graph build + Tarjan here keeps the per-epoch hot path
+    // of the incremental pipeline O(n^2) outside the cycle mean itself.
+    res.components.component.assign(n, 0);
+    res.components.component_count = 1;
+  } else {
+    res.components = strongly_connected_components(finite_ms_graph(ms));
+  }
   const auto groups = res.components.members();
   res.component_a_max.assign(groups.size(), 0.0);
+  if (options.algorithm == CycleMeanAlgorithm::kHoward)
+    res.policy.assign(n, kNoPolicyEdge);
 
   bool bounded = groups.size() == 1;
 
@@ -102,19 +141,52 @@ ShiftsResult compute_shifts(const DistanceMatrix& ms, NodeId root,
                   "closure (finite component with infinite entry)");
             sub.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), w);
           }
-      const auto mean = (algorithm == CycleMeanAlgorithm::kKarp)
-                            ? max_cycle_mean_karp(sub)
-                            : max_cycle_mean_howard(sub);
-      assert(mean.has_value());
-      a_max_c = *mean;
+      if (options.algorithm == CycleMeanAlgorithm::kKarp) {
+        const auto mean = max_cycle_mean_karp(sub);
+        if (!mean)
+          throw Error("compute_shifts: component unexpectedly acyclic");
+        a_max_c = *mean;
+      } else {
+        // Warm policy mapped into the component's local indices; entries
+        // pointing outside this component fall back to greedy.
+        std::vector<NodeId> warm_local;
+        if (options.warm_policy != nullptr &&
+            options.warm_policy->size() == n) {
+          warm_local.assign(members.size(), kNoPolicyEdge);
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            const NodeId want = (*options.warm_policy)[members[i]];
+            if (want != kNoPolicyEdge && want < n &&
+                local[want] != std::numeric_limits<std::size_t>::max())
+              warm_local[i] = static_cast<NodeId>(local[want]);
+          }
+        }
+        const HowardResult hr = max_cycle_mean_howard_warm(
+            sub, warm_local.empty() ? nullptr : &warm_local, metrics);
+        if (!hr.converged) {
+          // Reported through metrics above; without a sink this must not
+          // pass silently (the mean may undershoot and poison corrections).
+          if (metrics == nullptr)
+            throw Error(
+                "compute_shifts: Howard iteration exited on its backstop "
+                "without converging");
+        }
+        if (!hr.mean)
+          throw Error("compute_shifts: component unexpectedly acyclic");
+        a_max_c = *hr.mean;
+        for (std::size_t i = 0; i < members.size(); ++i)
+          if (hr.policy[i] != kNoPolicyEdge)
+            res.policy[members[i]] = members[hr.policy[i]];
+      }
     }
     res.component_a_max[c] = a_max_c;
 
     // Per-component root: the global root if it lives here, else the
     // smallest member (gauge choice only).
     const NodeId comp_root =
-        (res.components.component[root] == c) ? root : members.front();
-    component_corrections(ms, members, comp_root, a_max_c, res.corrections);
+        (res.components.component[options.root] == c) ? options.root
+                                                      : members.front();
+    component_corrections(ms, members, comp_root, a_max_c,
+                          options.tolerance_scale, res.corrections);
   }
 
   if (bounded) {
@@ -122,7 +194,16 @@ ShiftsResult compute_shifts(const DistanceMatrix& ms, NodeId root,
   } else {
     res.a_max = ExtReal::infinity();
   }
+  metrics_increment(metrics, "shifts.runs");
   return res;
+}
+
+ShiftsResult compute_shifts(const DistanceMatrix& ms, NodeId root,
+                            CycleMeanAlgorithm algorithm) {
+  ShiftsOptions options;
+  options.root = root;
+  options.algorithm = algorithm;
+  return compute_shifts(ms, options);
 }
 
 }  // namespace cs

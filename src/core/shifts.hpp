@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/extreal.hpp"
+#include "common/metrics.hpp"
+#include "graph/cycle_mean.hpp"
 #include "graph/floyd_warshall.hpp"
 #include "graph/scc.hpp"
 
@@ -41,6 +43,11 @@ struct ShiftsResult {
   /// Optimal precision within each component (0 for singletons).
   std::vector<double> component_a_max;
 
+  /// Howard policy (successor per processor, kNoPolicyEdge where none) when
+  /// the Howard algorithm ran; empty under Karp.  Feed back through
+  /// ShiftsOptions::warm_policy on the next epoch.
+  std::vector<NodeId> policy;
+
   bool bounded() const { return a_max.is_finite(); }
 };
 
@@ -49,10 +56,36 @@ struct ShiftsResult {
 /// faster on large dense instances (bench E8a) with identical results.
 enum class CycleMeanAlgorithm { kKarp, kHoward };
 
+struct ShiftsOptions {
+  /// Breaks the additive-constant gauge freedom; any root yields corrections
+  /// differing by a per-component constant, which does not affect pairwise
+  /// precision.
+  NodeId root{0};
+  CycleMeanAlgorithm algorithm{CycleMeanAlgorithm::kKarp};
+
+  /// Relative scale of the Bellman–Ford relaxation tolerance in the
+  /// corrections step: epsilon = tolerance_scale * max(1, |Ã^max|).  The
+  /// max-mean cycle has weight exactly 0 under w = Ã^max − m̃s, so float
+  /// rounding can manufacture cycles of weight ~-1 ulp; the tolerance
+  /// absorbs them in a single principled pass (DESIGN.md "Numeric tolerance
+  /// contract").  Cycles more negative than epsilon still throw.
+  double tolerance_scale{1e-9};
+
+  /// Previous epoch's ShiftsResult::policy to warm-start Howard's policy
+  /// iteration (ignored under Karp; nullptr = cold start).
+  const std::vector<NodeId>* warm_policy{nullptr};
+
+  /// Optional instrumentation sink (stage timings, Howard iteration counts,
+  /// backstop reports).  nullptr = no instrumentation.
+  Metrics* metrics{nullptr};
+};
+
 /// `ms` is the m̃s matrix from global_shift_estimates (diagonal 0, +inf for
-/// unconstrained pairs).  `root` breaks the additive-constant gauge freedom;
-/// any root yields corrections differing by a per-component constant, which
-/// does not affect pairwise precision.
+/// unconstrained pairs).
+ShiftsResult compute_shifts(const DistanceMatrix& ms,
+                            const ShiftsOptions& options);
+
+/// Convenience overload preserving the historical signature.
 ShiftsResult compute_shifts(
     const DistanceMatrix& ms, NodeId root = 0,
     CycleMeanAlgorithm algorithm = CycleMeanAlgorithm::kKarp);

@@ -14,15 +14,24 @@ SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
       throw InvalidExecution("views must be ordered by processor id");
 
   SyncOutcome out;
-  out.mls_graph = local_shift_estimates(model, views, options.match);
-  out.ms_estimates = global_shift_estimates(out.mls_graph, options.apsp);
+  {
+    auto timer =
+        Metrics::scoped(options.metrics, "stage.local_estimates_seconds");
+    out.mls_graph = local_shift_estimates(model, views, options.match);
+  }
+  out.ms_estimates =
+      global_shift_estimates(out.mls_graph, options.apsp, options.metrics);
 
-  ShiftsResult shifts =
-      compute_shifts(out.ms_estimates, options.root, options.cycle_mean);
+  ShiftsOptions shift_options;
+  shift_options.root = options.root;
+  shift_options.algorithm = options.cycle_mean;
+  shift_options.metrics = options.metrics;
+  ShiftsResult shifts = compute_shifts(out.ms_estimates, shift_options);
   out.corrections = std::move(shifts.corrections);
   out.optimal_precision = shifts.a_max;
   out.components = std::move(shifts.components);
   out.component_precision = std::move(shifts.component_a_max);
+  metrics_increment(options.metrics, "pipeline.runs");
   return out;
 }
 

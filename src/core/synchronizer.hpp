@@ -27,6 +27,9 @@ struct SyncOptions {
   CycleMeanAlgorithm cycle_mean{CycleMeanAlgorithm::kKarp};
   /// kDropOrphans when the views are epoch-boundary prefixes.
   MatchPolicy match{MatchPolicy::kStrict};
+  /// Optional instrumentation sink: per-stage wall-clock timings
+  /// ("stage.*_seconds" series), APSP and Howard counters.  nullptr = off.
+  Metrics* metrics{nullptr};
 };
 
 struct SyncOutcome {

@@ -25,8 +25,10 @@ bool relax_all(const Digraph& g, std::vector<double>& dist,
 
 }  // namespace
 
-std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source) {
+std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source,
+                                          double epsilon) {
   assert(source < g.node_count());
+  assert(epsilon >= 0.0);
   const std::size_t n = g.node_count();
   ShortestPaths sp;
   sp.dist.assign(n, kInfDist);
@@ -35,10 +37,10 @@ std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source) {
 
   bool changed = true;
   for (std::size_t round = 0; round + 1 < n && changed; ++round)
-    changed = relax_all(g, sp.dist, sp.pred, 0.0);
+    changed = relax_all(g, sp.dist, sp.pred, epsilon);
 
   // If an n-th sweep still relaxes, a negative cycle is reachable.
-  if (changed && relax_all(g, sp.dist, sp.pred, 0.0)) return std::nullopt;
+  if (changed && relax_all(g, sp.dist, sp.pred, epsilon)) return std::nullopt;
   return sp;
 }
 

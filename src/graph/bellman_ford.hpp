@@ -27,8 +27,14 @@ struct ShortestPaths {
 inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
 
 /// Runs Bellman–Ford from `source`.  Returns std::nullopt iff a negative
-/// cycle is reachable from the source.
-std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source);
+/// cycle is reachable from the source.  `epsilon` is the relaxation
+/// tolerance: improvements of at most `epsilon` are ignored, so cycles whose
+/// weight is only negative by float noise (SHIFTS builds weights whose true
+/// critical-cycle weight is exactly 0) neither loop the relaxation nor get
+/// reported as negative.  Distances may exceed the exact optimum by at most
+/// (path length)·epsilon; see DESIGN.md "Numeric tolerance contract".
+std::optional<ShortestPaths> bellman_ford(const Digraph& g, NodeId source,
+                                          double epsilon = 0.0);
 
 /// True iff the graph contains a negative-weight cycle anywhere (adds a
 /// virtual super-source).  `epsilon` guards against float noise: cycles with

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "graph/bellman_ford.hpp"
 #include "graph/scc.hpp"
 
@@ -125,15 +126,31 @@ std::optional<double> max_cycle_mean_bsearch(const Digraph& g,
 
 namespace {
 
+struct HowardSccResult {
+  double mean{0.0};
+  std::vector<std::size_t> policy;  // chosen edge index per local node
+  std::size_t iterations{0};
+  bool converged{true};
+};
+
 /// Howard's policy iteration on one SCC (local indices, internal edges).
 /// Every node of a non-trivial SCC has an internal out-edge, so policies
-/// are total.  Returns the maximum cycle mean.
-double howard_on_scc(std::size_t n, const std::vector<Edge>& edges,
-                     const std::vector<std::vector<std::size_t>>& out) {
+/// are total.  `initial_policy` optionally seeds per-node edge choices
+/// (entries of edges.size() mean "no seed, use greedy") — warm starts from
+/// the previous epoch's optimal policy typically converge in one round.
+HowardSccResult howard_on_scc(
+    std::size_t n, const std::vector<Edge>& edges,
+    const std::vector<std::vector<std::size_t>>& out,
+    const std::vector<std::size_t>* initial_policy) {
   constexpr double kTol = 1e-12;
-  // Initial policy: per-node heaviest out-edge (greedy).
+  // Initial policy: the seed where given, else per-node heaviest out-edge
+  // (greedy).
   std::vector<std::size_t> policy(n);
   for (std::size_t v = 0; v < n; ++v) {
+    if (initial_policy != nullptr && (*initial_policy)[v] < edges.size()) {
+      policy[v] = (*initial_policy)[v];
+      continue;
+    }
     std::size_t best = out[v].front();
     for (std::size_t e : out[v])
       if (edges[e].weight > edges[best].weight) best = e;
@@ -144,9 +161,13 @@ double howard_on_scc(std::size_t n, const std::vector<Edge>& edges,
   std::vector<double> value(n, 0.0);  // bias within the attractor's basin
 
   // Iteration bound is a float-robustness backstop; policy iteration
-  // terminates far sooner on real inputs.
+  // terminates far sooner on real inputs.  Exiting through it is reported
+  // to the caller via `converged`, never silently absorbed.
+  HowardSccResult result;
+  result.converged = false;
   const std::size_t max_iters = 20 * n + 100;
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
     // ---- Value determination over the functional policy graph ----
     std::vector<std::uint8_t> state(n, 0);  // 0 new, 1 on path, 2 done
     for (std::size_t start = 0; start < n; ++start) {
@@ -230,20 +251,34 @@ double howard_on_scc(std::size_t n, const std::vector<Edge>& edges,
         }
       }
     }
-    if (!changed) break;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
   }
 
   double best = eta[0];
   for (double x : eta) best = std::max(best, x);
-  return best;
+  result.mean = best;
+  result.policy = std::move(policy);
+  return result;
 }
 
 }  // namespace
 
-std::optional<double> max_cycle_mean_howard(const Digraph& g) {
+HowardResult max_cycle_mean_howard_warm(
+    const Digraph& g, const std::vector<NodeId>* warm_policy,
+    Metrics* metrics) {
+  if (warm_policy != nullptr && warm_policy->size() != g.node_count())
+    warm_policy = nullptr;
+  if (warm_policy != nullptr)
+    metrics_increment(metrics, "cycle_mean.howard_warm_starts");
+
+  HowardResult result;
+  result.policy.assign(g.node_count(), kNoPolicyEdge);
+
   const SccResult scc = strongly_connected_components(g);
   const auto groups = scc.members();
-  std::optional<double> best;
   for (std::size_t c = 0; c < groups.size(); ++c) {
     const auto& members = groups[c];
     std::vector<std::size_t> local(g.node_count(),
@@ -259,10 +294,50 @@ std::optional<double> max_cycle_mean_howard(const Digraph& g) {
       }
     }
     if (edges.empty()) continue;  // singleton without self-loop: no cycle
-    const double mean = howard_on_scc(members.size(), edges, out);
-    if (!best || mean > *best) best = mean;
+
+    // Map the warm successor of each member to an internal edge: the
+    // heaviest parallel edge towards that successor, if it still exists in
+    // this SCC.  Everything else falls back to greedy inside howard_on_scc.
+    std::vector<std::size_t> seed;
+    if (warm_policy != nullptr) {
+      seed.assign(members.size(), edges.size());
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const NodeId want = (*warm_policy)[members[i]];
+        if (want == kNoPolicyEdge || want >= g.node_count()) continue;
+        if (scc.component[want] != c) continue;
+        const std::size_t want_local = local[want];
+        for (std::size_t e : out[i]) {
+          if (edges[e].to != want_local) continue;
+          if (seed[i] == edges.size() ||
+              edges[e].weight > edges[seed[i]].weight)
+            seed[i] = e;
+        }
+      }
+    }
+
+    const HowardSccResult r = howard_on_scc(
+        members.size(), edges, out, seed.empty() ? nullptr : &seed);
+    result.iterations += r.iterations;
+    if (!r.converged) {
+      result.converged = false;
+      metrics_increment(metrics, "cycle_mean.howard_backstop_exits");
+    }
+    for (std::size_t i = 0; i < members.size(); ++i)
+      result.policy[members[i]] = members[edges[r.policy[i]].to];
+    if (!result.mean || r.mean > *result.mean) result.mean = r.mean;
   }
-  return best;
+  metrics_observe(metrics, "cycle_mean.howard_iterations",
+                  static_cast<double>(result.iterations));
+  return result;
+}
+
+std::optional<double> max_cycle_mean_howard(const Digraph& g) {
+  const HowardResult r = max_cycle_mean_howard_warm(g);
+  if (!r.converged)
+    throw Error(
+        "max_cycle_mean_howard: policy iteration exhausted its backstop "
+        "without converging; the mean would be unreliable");
+  return r.mean;
 }
 
 std::optional<double> max_cycle_mean_brute(const Digraph& g) {

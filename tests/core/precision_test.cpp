@@ -42,17 +42,33 @@ TEST(Precision, GuaranteedInfiniteWhenPairUnbounded) {
   ms.at(0, 1) = 0.3;  // ms(1,0) stays +inf
   const std::vector<double> zero{0.0, 0.0};
   EXPECT_TRUE(guaranteed_precision(ms, zero).is_pos_inf());
-  // The finite-restricted variant skips the unbounded pair entirely.
-  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 0.0);
+  // The finite-restricted variant keeps the finite direction's term —
+  // regression: it used to skip the pair entirely when *either* direction
+  // was infinite, under-reporting the worst-case skew of a one-way-bounded
+  // link as 0.
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 0.3);
 }
 
-TEST(Precision, GuaranteedFiniteRestrictsToMutuallyBoundedPairs) {
+TEST(Precision, GuaranteedFiniteSkipsOnlyTheInfiniteDirection) {
   DistanceMatrix ms(3);
   ms.at(0, 1) = 0.3;
   ms.at(1, 0) = 0.1;
-  ms.at(0, 2) = 9.0;  // (0,2) one-way only: excluded
+  ms.at(0, 2) = 9.0;  // (0,2) one-way only: the finite direction counts
   const std::vector<double> zero(3, 0.0);
-  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 0.3);
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 9.0);
+  // Corrections can discharge the one-way term like any other.
+  const std::vector<double> x{0.0, 0.0, -8.8};
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, x), 0.3);
+}
+
+TEST(Precision, GuaranteedFiniteOneWayBoundedLinkRegression) {
+  // One-way-bounded link p0 -> p1 (e.g. beacon traffic heard in one
+  // direction only): m̃s(0,1) finite, m̃s(1,0) = +inf.  The worst-case skew
+  // under x = 0 is exactly m̃s(0,1), not 0.
+  DistanceMatrix ms(2);
+  ms.at(0, 1) = 5.0;
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(guaranteed_precision_finite(ms, zero), 5.0);
 }
 
 TEST(Precision, SingleProcessor) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "core/precision.hpp"
@@ -136,6 +137,76 @@ TEST(Shifts, EmptyInstanceThrows) {
 
 TEST(Shifts, RootOutOfRangeThrows) {
   EXPECT_THROW(compute_shifts(DistanceMatrix(2), 5), Error);
+}
+
+TEST(Shifts, NonFiniteEstimateThrowsInsteadOfGarbageCorrections) {
+  // Regression: a NaN m̃s entry (broken upstream estimator) used to slide
+  // through — the max-cycle mean went NaN, every Bellman–Ford relaxation
+  // comparison went false, non-root distances stayed +inf, and a
+  // release-mode no-op assert let the +inf be stored as a "correction".
+  // The pipeline must refuse with cs::Error instead.
+  DistanceMatrix m(3);
+  m.at(0, 1) = 0.3;
+  m.at(1, 0) = 0.5;
+  m.at(0, 2) = 0.2;
+  m.at(2, 0) = 0.4;
+  m.at(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  m.at(2, 1) = 0.1;
+  EXPECT_THROW(compute_shifts(m), Error);
+  EXPECT_THROW(compute_shifts(m, 0, CycleMeanAlgorithm::kHoward), Error);
+}
+
+TEST(Shifts, FloatNoiseCycleAbsorbedInOneTolerantPass) {
+  // Regression for the bump-retry hack: weights w = Ã^max − m̃s put the
+  // critical cycle at weight exactly 0, so float rounding can leave it at
+  // ~-1 ulp.  The tolerant Bellman–Ford pass must absorb that without
+  // retry loops — observable through metrics: exactly one shifts run, no
+  // negative-cycle error, and sound corrections.
+  DistanceMatrix m(3);
+  // Entries chosen so (a_max - ms) sums round unfavourably: thirds are
+  // inexact in binary.
+  const double third = 1.0 / 3.0;
+  m.at(0, 1) = third;
+  m.at(1, 0) = third + 1e-16;
+  m.at(0, 2) = 0.1 + third;
+  m.at(2, 0) = 0.1 - third;
+  m.at(1, 2) = third * 2;
+  m.at(2, 1) = 0.2 - third;
+  Metrics metrics;
+  ShiftsOptions options;
+  options.metrics = &metrics;
+  const ShiftsResult r = compute_shifts(m, options);
+  EXPECT_TRUE(r.bounded());
+  EXPECT_EQ(metrics.counter("shifts.runs"), 1u);
+  // Soundness: ρ̄(x) = Ã^max for the SHIFTS corrections (to tolerance).
+  EXPECT_NEAR(guaranteed_precision(m, r.corrections).finite(),
+              r.a_max.finite(), 1e-9);
+}
+
+TEST(Shifts, HowardPolicyExposedAndAcceptedAsWarmStart) {
+  DistanceMatrix m(3);
+  m.at(0, 1) = 0.3;
+  m.at(1, 0) = 0.5;
+  m.at(0, 2) = 0.2;
+  m.at(2, 0) = 0.4;
+  m.at(1, 2) = 0.6;
+  m.at(2, 1) = 0.1;
+  ShiftsOptions cold;
+  cold.algorithm = CycleMeanAlgorithm::kHoward;
+  const ShiftsResult first = compute_shifts(m, cold);
+  ASSERT_EQ(first.policy.size(), 3u);
+
+  Metrics metrics;
+  ShiftsOptions warm = cold;
+  warm.metrics = &metrics;
+  warm.warm_policy = &first.policy;
+  const ShiftsResult second = compute_shifts(m, warm);
+  EXPECT_EQ(metrics.counter("cycle_mean.howard_warm_starts"), 1u);
+  EXPECT_NEAR(second.a_max.finite(), first.a_max.finite(), 1e-15);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_NEAR(second.corrections[p], first.corrections[p], 1e-15);
+  // Karp stays policy-free.
+  EXPECT_TRUE(compute_shifts(m).policy.empty());
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+#include "graph/incremental_apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/johnson.hpp"
+
+namespace cs {
+namespace {
+
+void expect_matrices_match(const DistanceMatrix& got,
+                           const DistanceMatrix& want, double tol = 1e-12) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      const double a = got.at(i, j);
+      const double b = want.at(i, j);
+      if (a == kInfDist || b == kInfDist) {
+        EXPECT_EQ(a, b) << "(" << i << "," << j << ")";
+      } else {
+        EXPECT_NEAR(a, b, tol) << "(" << i << "," << j << ")";
+      }
+    }
+}
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 3, 6.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 2.0);
+  return g;
+}
+
+TEST(IncrementalApsp, ColdUpdateEqualsRebuild) {
+  const Digraph g = diamond();
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_FALSE(inc.last_step().incremental);  // cold start = rebuild
+  expect_matrices_match(inc.distances(), *johnson(g));
+}
+
+TEST(IncrementalApsp, EdgeDecreaseIsIncrementalAndExact) {
+  Digraph g = diamond();
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+
+  g.set_weight(1, 0.5);  // 0->2 cheaper
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_TRUE(inc.last_step().incremental);
+  EXPECT_EQ(inc.last_step().decreased_edges, 1u);
+  EXPECT_EQ(inc.last_step().increased_edges, 0u);
+  expect_matrices_match(inc.distances(), *johnson(g));
+}
+
+TEST(IncrementalApsp, EdgeIncreaseRecomputesOnlyAffectedRows) {
+  Digraph g = diamond();
+  // Threshold of 1.0: never fall back, exercise the restricted recompute.
+  IncrementalApsp inc(IncrementalApspOptions{/*max_dirty_fraction=*/1.0});
+  ASSERT_TRUE(inc.update(g));
+
+  g.set_weight(0, 9.0);  // 0->1 was on shortest paths out of 0 and 3
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_TRUE(inc.last_step().incremental);
+  EXPECT_EQ(inc.last_step().increased_edges, 1u);
+  EXPECT_GT(inc.last_step().dirty_rows, 0u);
+  expect_matrices_match(inc.distances(), *johnson(g));
+}
+
+TEST(IncrementalApsp, EdgeRemovalSplitsReachability) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.distances().at(2, 1), 2.0);
+
+  Digraph cut(3);  // drop 2->0: node 2 can no longer reach anyone
+  cut.add_edge(0, 1, 1.0);
+  cut.add_edge(1, 2, 1.0);
+  ASSERT_TRUE(inc.update(cut));
+  expect_matrices_match(inc.distances(), *johnson(cut));
+  EXPECT_EQ(inc.distances().at(2, 0), kInfDist);
+  EXPECT_EQ(inc.distances().at(2, 1), kInfDist);
+  EXPECT_EQ(inc.distances().at(2, 2), 0.0);
+}
+
+TEST(IncrementalApsp, EdgeInsertionConnectsComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 2, 1.0);
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.distances().at(0, 3), kInfDist);
+
+  g.add_edge(1, 2, 0.5);
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_TRUE(inc.last_step().incremental);
+  expect_matrices_match(inc.distances(), *johnson(g));
+  EXPECT_NEAR(inc.distances().at(0, 3), 2.5, 1e-12);
+}
+
+TEST(IncrementalApsp, NegativeWeightsSupported) {
+  Digraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, -1.0);
+  g.add_edge(2, 0, 0.5);
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+  expect_matrices_match(inc.distances(), *johnson(g));
+
+  g.set_weight(0, 0.6);  // decrease; cycle weight stays 0.6-1.0+0.5 = 0.1
+  ASSERT_TRUE(inc.update(g));
+  expect_matrices_match(inc.distances(), *johnson(g));
+}
+
+TEST(IncrementalApsp, DecreaseCreatingNegativeCycleIsRejected) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(g));
+
+  g.set_weight(0, -2.0);  // cycle weight -1
+  EXPECT_FALSE(inc.update(g));
+  EXPECT_FALSE(inc.valid());
+
+  // Recovery: a consistent graph rebuilds cleanly.
+  g.set_weight(0, 1.0);
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_TRUE(inc.valid());
+  expect_matrices_match(inc.distances(), *johnson(g));
+}
+
+TEST(IncrementalApsp, NodeCountChangeFallsBackToRebuild) {
+  IncrementalApsp inc;
+  ASSERT_TRUE(inc.update(diamond()));
+  Digraph bigger(5);
+  bigger.add_edge(0, 4, 1.0);
+  ASSERT_TRUE(inc.update(bigger));
+  EXPECT_FALSE(inc.last_step().incremental);
+  expect_matrices_match(inc.distances(), *johnson(bigger));
+}
+
+TEST(IncrementalApsp, LargeDeltaFallsBackToRebuild) {
+  Rng rng(11);
+  const std::size_t n = 12;
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n), rng.uniform(0.1, 1.0));
+  IncrementalApsp inc(IncrementalApspOptions{/*max_dirty_fraction=*/0.25});
+  ASSERT_TRUE(inc.update(g));
+
+  // Increase every ring edge: all rows dirty, way past the threshold.
+  Digraph heavier(n);
+  for (const Edge& e : g.edges())
+    heavier.add_edge(e.from, e.to, e.weight + 1.0);
+  Metrics metrics;
+  inc.set_metrics(&metrics);
+  ASSERT_TRUE(inc.update(heavier));
+  EXPECT_FALSE(inc.last_step().incremental);
+  EXPECT_EQ(metrics.counter("apsp.dirty_fallbacks"), 1u);
+  expect_matrices_match(inc.distances(), *johnson(heavier));
+}
+
+TEST(IncrementalApsp, MetricsCountersTrackUpdateKinds) {
+  Metrics metrics;
+  IncrementalApsp inc(IncrementalApspOptions{}, &metrics);
+  Digraph g = diamond();
+  ASSERT_TRUE(inc.update(g));              // rebuild
+  g.set_weight(2, 0.25);                   // decrease -> incremental
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(metrics.counter("apsp.full_rebuilds"), 1u);
+  EXPECT_EQ(metrics.counter("apsp.incremental_updates"), 1u);
+}
+
+/// Randomized equivalence sweep: random sparse digraphs under random
+/// single-edge perturbations (reweight both ways, remove, insert) must track
+/// the from-scratch closure exactly.
+TEST(IncrementalApspProperty, RandomPerturbationSequencesMatchJohnson) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(1000 + seed);
+    const std::size_t n = 4 + rng.uniform_int(12);
+    // Base: a ring (guaranteed cycle) plus random chords.
+    std::vector<Edge> edges;
+    for (NodeId v = 0; v < n; ++v)
+      edges.push_back(
+          {v, static_cast<NodeId>((v + 1) % n), rng.uniform(0.1, 1.0)});
+    const std::size_t chords = rng.uniform_int(2 * n);
+    for (std::size_t c = 0; c < chords; ++c) {
+      const NodeId a = static_cast<NodeId>(rng.uniform_int(n));
+      const NodeId b = static_cast<NodeId>(rng.uniform_int(n));
+      if (a != b) edges.push_back({a, b, rng.uniform(0.1, 1.0)});
+    }
+
+    auto build = [&] {
+      Digraph g(n);
+      for (const Edge& e : edges) g.add_edge(e.from, e.to, e.weight);
+      return g;
+    };
+
+    // Odd seeds force the restricted recompute path even for huge deltas;
+    // even seeds exercise the default fallback policy.
+    IncrementalApsp inc(
+        IncrementalApspOptions{seed % 2 == 1 ? 1.0 : 0.25});
+    ASSERT_TRUE(inc.update(build()));
+
+    for (int epoch = 0; epoch < 12; ++epoch) {
+      switch (rng.uniform_int(4)) {
+        case 0: {  // tighten one edge (the realistic epoch delta)
+          Edge& e = edges[rng.uniform_int(edges.size())];
+          e.weight *= rng.uniform(0.3, 1.0);
+          break;
+        }
+        case 1: {  // loosen one edge
+          Edge& e = edges[rng.uniform_int(edges.size())];
+          e.weight *= rng.uniform(1.0, 3.0);
+          break;
+        }
+        case 2: {  // flip a link to unbounded (remove)
+          if (edges.size() > 1)
+            edges.erase(edges.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            rng.uniform_int(edges.size())));
+          break;
+        }
+        default: {  // new finite link
+          const NodeId a = static_cast<NodeId>(rng.uniform_int(n));
+          const NodeId b = static_cast<NodeId>(rng.uniform_int(n));
+          if (a != b) edges.push_back({a, b, rng.uniform(0.1, 1.0)});
+          break;
+        }
+      }
+      const Digraph g = build();
+      ASSERT_TRUE(inc.update(g)) << "seed " << seed << " epoch " << epoch;
+      const auto oracle = johnson(g);
+      ASSERT_TRUE(oracle.has_value());
+      expect_matrices_match(inc.distances(), *oracle, 1e-11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cs

@@ -72,6 +72,29 @@ TEST(HasNegativeCycle, ZeroCycleIsNotNegative) {
   EXPECT_FALSE(has_negative_cycle(g));
 }
 
+TEST(BellmanFord, EpsilonToleratesFloatNoiseCycle) {
+  // Regression: relax_all used to be called with a hard-coded epsilon of
+  // 0.0, so a cycle of weight -1 ulp — pure float rounding where the theory
+  // guarantees weight exactly 0 (SHIFTS' critical cycle) — was reported as
+  // a negative cycle.  The plumbed-through tolerance absorbs it.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 1, -0.5 - 1e-15);  // "zero" cycle off by float noise
+  EXPECT_FALSE(bellman_ford(g, 0).has_value());  // exact mode still rejects
+  const auto sp = bellman_ford(g, 0, 1e-12);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_NEAR(sp->dist[1], 1.0, 1e-11);
+  EXPECT_NEAR(sp->dist[2], 1.5, 1e-11);
+}
+
+TEST(BellmanFord, EpsilonStillDetectsDecisivelyNegativeCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, -1.001);
+  EXPECT_FALSE(bellman_ford(g, 0, 1e-9).has_value());
+}
+
 TEST(Dijkstra, MatchesBellmanFordOnNonNegative) {
   Rng rng(5);
   for (int trial = 0; trial < 30; ++trial) {
