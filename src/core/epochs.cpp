@@ -1,32 +1,74 @@
 #include "core/epochs.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
+#include "core/local_estimates.hpp"
 
 namespace cs {
 namespace {
 
-void check_boundaries(std::span<const ClockTime> boundaries) {
+void check_inputs(const SystemModel& model, std::span<const View> views,
+                  std::span<const ClockTime> boundaries) {
+  if (views.size() != model.processor_count())
+    throw InvalidExecution("need exactly one view per processor");
+  for (std::size_t i = 0; i < views.size(); ++i)
+    if (views[i].pid != i)
+      throw InvalidExecution("views must be ordered by processor id");
   for (std::size_t i = 1; i < boundaries.size(); ++i)
     if (!(boundaries[i - 1] < boundaries[i]))
       throw Error("epoch boundaries must be strictly increasing");
 }
 
-/// Shared driver: cut the prefixes at each boundary, run `run_epoch`.
-template <typename RunEpoch>
-std::vector<EpochOutcome> drive_epochs(std::span<const View> views,
+/// Shared driver: cut the views at each boundary, estimate m̃ls with
+/// coverage reporting, apply the staleness carry, hand the effective graph
+/// to `run_graph` (from-scratch or incremental pipeline tail).
+template <typename RunGraph>
+std::vector<EpochOutcome> drive_epochs(const SystemModel& model,
+                                       std::span<const View> views,
                                        std::span<const ClockTime> boundaries,
-                                       Metrics* metrics,
-                                       RunEpoch&& run_epoch) {
+                                       const EpochOptions& options,
+                                       RunGraph&& run_graph) {
+  check_inputs(model, views, boundaries);
+  Metrics* metrics = options.sync.metrics;
+  MlsCarry carry(options.staleness, metrics);
+
   std::vector<EpochOutcome> out;
   out.reserve(boundaries.size());
-  std::vector<View> prefixes(views.size());
+  std::vector<View> cuts(views.size());
   for (const ClockTime boundary : boundaries) {
     auto timer = Metrics::scoped(metrics, "stage.epoch_seconds");
     for (std::size_t p = 0; p < views.size(); ++p)
-      prefixes[p] = views[p].prefix(boundary);
+      cuts[p] = options.window > Duration{0.0}
+                    ? views[p].window(boundary - options.window, boundary)
+                    : views[p].prefix(boundary);
+
     EpochOutcome epoch;
     epoch.boundary = boundary;
-    epoch.sync = run_epoch(prefixes);
+
+    Digraph mls;
+    {
+      auto est_timer =
+          Metrics::scoped(metrics, "stage.local_estimates_seconds");
+      // Epoch cuts are taken at clock boundaries, so orphan receives are
+      // normal; under fault injection so are duplicate re-deliveries.
+      const LinkTraffic traffic = LinkTraffic::estimated_from_views(
+          cuts, MatchPolicy::kDropOrphans, &epoch.pairing);
+      epoch.coverage = link_coverage(model, traffic);
+      mls = mls_graph_from_traffic(model, traffic);
+    }
+    metrics_increment(metrics, "degraded.orphan_receives",
+                      epoch.pairing.orphan_receives);
+    metrics_increment(metrics, "degraded.duplicate_receives",
+                      epoch.pairing.duplicate_receives);
+    metrics_increment(
+        metrics, "degraded.unobserved_directions",
+        epoch.coverage.total_directions - epoch.coverage.observed_directions);
+
+    Digraph effective = carry.apply(mls);
+    epoch.carried_edges = carry.last_carried();
+
+    epoch.sync = run_graph(std::move(effective));
     out.push_back(std::move(epoch));
     metrics_increment(metrics, "pipeline.epochs");
   }
@@ -37,31 +79,38 @@ std::vector<EpochOutcome> drive_epochs(std::span<const View> views,
 
 std::vector<EpochOutcome> epochal_synchronize(
     const SystemModel& model, std::span<const View> views,
-    std::span<const ClockTime> boundaries, const SyncOptions& options) {
-  check_boundaries(boundaries);
-
-  SyncOptions epoch_options = options;
-  epoch_options.match = MatchPolicy::kDropOrphans;
-
-  return drive_epochs(views, boundaries, options.metrics,
-                      [&](const std::vector<View>& prefixes) {
-                        return synchronize(model, prefixes, epoch_options);
+    std::span<const ClockTime> boundaries, const EpochOptions& options) {
+  return drive_epochs(model, views, boundaries, options,
+                      [&](Digraph mls) {
+                        return synchronize_mls(std::move(mls), options.sync);
                       });
 }
 
 std::vector<EpochOutcome> epochal_synchronize_incremental(
     const SystemModel& model, std::span<const View> views,
-    std::span<const ClockTime> boundaries, const SyncOptions& options) {
-  check_boundaries(boundaries);
-
-  SyncOptions epoch_options = options;
-  epoch_options.match = MatchPolicy::kDropOrphans;
-
-  IncrementalSynchronizer sync(model, epoch_options);
-  return drive_epochs(views, boundaries, options.metrics,
-                      [&](const std::vector<View>& prefixes) {
-                        return sync.step(prefixes);
+    std::span<const ClockTime> boundaries, const EpochOptions& options) {
+  IncrementalSynchronizer sync(model, options.sync);
+  return drive_epochs(model, views, boundaries, options,
+                      [&](Digraph mls) {
+                        return sync.step_mls(std::move(mls));
                       });
+}
+
+std::vector<EpochOutcome> epochal_synchronize(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+  EpochOptions epoch_options;
+  epoch_options.sync = options;
+  return epochal_synchronize(model, views, boundaries, epoch_options);
+}
+
+std::vector<EpochOutcome> epochal_synchronize_incremental(
+    const SystemModel& model, std::span<const View> views,
+    std::span<const ClockTime> boundaries, const SyncOptions& options) {
+  EpochOptions epoch_options;
+  epoch_options.sync = options;
+  return epochal_synchronize_incremental(model, views, boundaries,
+                                         epoch_options);
 }
 
 }  // namespace cs

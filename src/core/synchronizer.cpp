@@ -13,12 +13,18 @@ SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
     if (views[i].pid != i)
       throw InvalidExecution("views must be ordered by processor id");
 
-  SyncOutcome out;
+  Digraph mls;
   {
     auto timer =
         Metrics::scoped(options.metrics, "stage.local_estimates_seconds");
-    out.mls_graph = local_shift_estimates(model, views, options.match);
+    mls = local_shift_estimates(model, views, options.match);
   }
+  return synchronize_mls(std::move(mls), options);
+}
+
+SyncOutcome synchronize_mls(Digraph mls_graph, const SyncOptions& options) {
+  SyncOutcome out;
+  out.mls_graph = std::move(mls_graph);
   out.ms_estimates =
       global_shift_estimates(out.mls_graph, options.apsp, options.metrics);
 

@@ -59,4 +59,11 @@ struct SyncOutcome {
 SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
                         const SyncOptions& options = {});
 
+/// Pipeline tail — GLOBAL ESTIMATES + SHIFTS — over an already-built m̃ls
+/// graph.  synchronize() is local_shift_estimates() followed by this; the
+/// epoch drivers call it directly so degraded-mode edge carry-forward
+/// (core/degraded.hpp) can interpose between estimation and the closure.
+SyncOutcome synchronize_mls(Digraph mls_graph,
+                            const SyncOptions& options = {});
+
 }  // namespace cs

@@ -40,9 +40,10 @@ void LinkTraffic::add(ProcessorId p, ProcessorId q, TimedObs obs) {
 }
 
 LinkTraffic LinkTraffic::estimated_from_views(std::span<const View> views,
-                                              MatchPolicy policy) {
+                                              MatchPolicy policy,
+                                              PairingStats* stats) {
   LinkTraffic t;
-  for (const PairedMessage& m : pair_messages(views, policy))
+  for (const PairedMessage& m : pair_messages(views, policy, stats))
     t.add(m.from, m.to,
           TimedObs{m.send_clock.sec, m.estimated_delay().sec});
   return t;

@@ -77,9 +77,12 @@ class LinkTraffic {
   void add(ProcessorId p, ProcessorId q, TimedObs obs);
 
   /// Estimated observations (send clock of the sender, d̃) from views.
+  /// `stats`, when non-null, receives the pairing tallies (orphans and
+  /// duplicates skipped under kDropOrphans) for coverage reporting.
   static LinkTraffic estimated_from_views(
       std::span<const View> views,
-      MatchPolicy policy = MatchPolicy::kStrict);
+      MatchPolicy policy = MatchPolicy::kStrict,
+      PairingStats* stats = nullptr);
 
   /// Actual observations (real send time, actual delay) from ground truth.
   static LinkTraffic actual_from_execution(const Execution& exec);

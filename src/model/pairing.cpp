@@ -1,6 +1,7 @@
 #include "model/pairing.hpp"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.hpp"
 
@@ -32,25 +33,42 @@ std::unordered_map<MessageId, SendRecord> index_sends(
 }  // namespace
 
 std::vector<PairedMessage> pair_messages(std::span<const View> views,
-                                         MatchPolicy policy) {
+                                         MatchPolicy policy,
+                                         PairingStats* stats) {
   const auto sends = index_sends(views);
   std::vector<PairedMessage> out;
-  std::unordered_map<MessageId, bool> received;
+  std::unordered_set<MessageId> received;
   for (const View& v : views) {
     for (const ViewEvent& e : v.events) {
       if (e.kind != EventKind::kReceive) continue;
       const auto it = sends.find(e.msg);
       if (it == sends.end()) {
-        if (policy == MatchPolicy::kDropOrphans) continue;
+        if (policy == MatchPolicy::kDropOrphans) {
+          if (stats != nullptr) ++stats->orphan_receives;
+          continue;
+        }
         throw InvalidExecution("receive event with no matching send");
       }
       const SendRecord& s = it->second;
       if (s.to != v.pid || s.from != e.peer)
         throw InvalidExecution("message endpoints disagree between views");
-      if (!received.emplace(e.msg, true).second)
+      // Exactly one PairedMessage per send: a re-received id is a faulty
+      // network's duplicate.  Strict pairing rejects it; orphan-dropping
+      // pairing keeps the earliest copy (events are in per-processor time
+      // order, and both receives live in the same receiver's view).
+      if (!received.insert(e.msg).second) {
+        if (policy == MatchPolicy::kDropOrphans) {
+          if (stats != nullptr) ++stats->duplicate_receives;
+          continue;
+        }
         throw InvalidExecution("message received twice");
+      }
       out.push_back(PairedMessage{e.msg, s.from, v.pid, s.when, e.when});
     }
+  }
+  if (stats != nullptr) {
+    stats->paired = out.size();
+    stats->unreceived_sends = sends.size() - received.size();
   }
   return out;
 }

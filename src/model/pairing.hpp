@@ -39,21 +39,36 @@ struct TracedMessage {
 };
 
 /// What to do with a receive event whose matching send is absent from the
-/// given views.  In a complete execution that is a malformation (kStrict);
-/// in per-processor view *prefixes* taken at an epoch boundary it is
+/// given views, or whose message id was already received.  In a complete
+/// fault-free execution both are malformations (kStrict); in per-processor
+/// view *prefixes* taken at an epoch boundary a sendless receive is
 /// normal — the receiver may have cut its snapshot later in real time than
-/// the sender did, so the send legitimately falls outside the prefix
-/// (kDropOrphans).
+/// the sender did, so the send legitimately falls outside the prefix — and
+/// under fault injection a network may re-deliver a message id
+/// (kDropOrphans keeps the earliest copy and skips the rest).
 enum class MatchPolicy { kStrict, kDropOrphans };
+
+/// Tallies of what pairing kept and skipped — the raw material of per-link
+/// observation coverage reports under faulty traffic.
+struct PairingStats {
+  std::size_t paired{0};              ///< PairedMessages produced
+  std::size_t orphan_receives{0};     ///< receives without a send, skipped
+  std::size_t duplicate_receives{0};  ///< re-received ids, skipped
+  std::size_t unreceived_sends{0};    ///< sends with no surviving receive
+};
 
 /// Pair sends with receives across the given views.  Messages sent but not
 /// (yet) received are dropped — they carry no delay information.  Under
-/// kStrict, throws InvalidExecution on: a receive with no matching send,
-/// duplicate message ids, or mismatched endpoint metadata.  Under
-/// kDropOrphans, sendless receives are skipped instead (the other two
-/// malformations still throw).
+/// kStrict, throws InvalidExecution on: a receive with no matching send, a
+/// message id received more than once (exactly one PairedMessage may exist
+/// per send), duplicate message ids among sends, or mismatched endpoint
+/// metadata.  Under kDropOrphans, sendless receives are skipped and only
+/// the earliest receive of a re-delivered id is paired (the other
+/// malformations still throw).  `stats`, when non-null, receives the
+/// kept/skipped tallies.
 std::vector<PairedMessage> pair_messages(
-    std::span<const View> views, MatchPolicy policy = MatchPolicy::kStrict);
+    std::span<const View> views, MatchPolicy policy = MatchPolicy::kStrict,
+    PairingStats* stats = nullptr);
 
 /// As above, with ground-truth real times attached from the histories.
 std::vector<TracedMessage> trace_messages(const Execution& exec);

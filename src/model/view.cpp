@@ -26,4 +26,15 @@ View View::prefix(ClockTime cutoff) const {
   return out;
 }
 
+View View::window(ClockTime from, ClockTime until) const {
+  View out;
+  out.pid = pid;
+  for (const ViewEvent& e : events) {
+    if (e.kind == EventKind::kStart ||
+        (from <= e.when && e.when < until))
+      out.events.push_back(e);
+  }
+  return out;
+}
+
 }  // namespace cs

@@ -30,6 +30,14 @@ struct View {
   /// This is what a processor can hand to the pipeline at an epoch
   /// boundary of a periodically re-synchronizing deployment.
   View prefix(ClockTime cutoff) const;
+
+  /// Sliding-window cut: events e with `from <= e.when < until` (the start
+  /// event is always kept).  A deployment with bounded memory — or one
+  /// whose clocks drift, making old probes stale — hands the pipeline a
+  /// recent window rather than its whole life; links silent for a full
+  /// window then genuinely lose their observations, which is what the
+  /// degraded-mode machinery (core/degraded.hpp) compensates for.
+  View window(ClockTime from, ClockTime until) const;
 };
 
 }  // namespace cs

@@ -1,7 +1,6 @@
 #include "sim/delay_sampler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
 
@@ -25,7 +24,8 @@ class UniformSampler final : public DelaySampler {
  public:
   UniformSampler(double lo_ab, double hi_ab, double lo_ba, double hi_ba)
       : lo_ab_(lo_ab), hi_ab_(hi_ab), lo_ba_(lo_ba), hi_ba_(hi_ba) {
-    assert(lo_ab <= hi_ab && lo_ba <= hi_ba);
+    if (!(lo_ab <= hi_ab) || !(lo_ba <= hi_ba))
+      throw Error("uniform sampler: interval is inverted (lo > hi)");
   }
   double sample(bool a_to_b, RealTime, Rng& rng) override {
     return a_to_b ? rng.uniform(lo_ab_, hi_ab_)
@@ -40,7 +40,13 @@ class ShiftedExponentialSampler final : public DelaySampler {
  public:
   ShiftedExponentialSampler(double lb, double mean_excess, double ub)
       : lb_(lb), rate_(1.0 / mean_excess), ub_(ub) {
-    assert(mean_excess > 0.0 && ub >= lb);
+    // ub < lb would make the min-clip emit delays *below* the declared
+    // lower bound — an inadmissible execution passing silently.
+    if (!(mean_excess > 0.0))
+      throw Error("shifted exponential sampler: mean_excess must be > 0");
+    if (!(ub >= lb))
+      throw Error("shifted exponential sampler: clip ub < lb would "
+                  "violate the lower bound");
   }
   double sample(bool, RealTime, Rng& rng) override {
     return std::min(ub_, lb_ + rng.exponential(rate_));
@@ -54,7 +60,11 @@ class ShiftedParetoSampler final : public DelaySampler {
  public:
   ShiftedParetoSampler(double lb, double xm, double shape, double ub)
       : lb_(lb), xm_(xm), shape_(shape), ub_(ub) {
-    assert(xm > 0.0 && shape > 0.0 && ub >= lb);
+    if (!(xm > 0.0) || !(shape > 0.0))
+      throw Error("shifted Pareto sampler: xm and shape must be > 0");
+    if (!(ub >= lb))
+      throw Error("shifted Pareto sampler: clip ub < lb would violate "
+                  "the lower bound");
   }
   double sample(bool, RealTime, Rng& rng) override {
     return std::min(ub_, lb_ + (rng.pareto(xm_, shape_) - xm_));
@@ -69,7 +79,14 @@ class BiasCorrelatedSampler final : public DelaySampler {
   BiasCorrelatedSampler(double center, double bias, double floor)
       : lo_(std::max(floor, center - bias / 2.0)),
         hi_(center + bias / 2.0) {
-    assert(hi_ >= lo_);
+    // An empty window (floor clipped past the upper edge, or negative
+    // bias) would make rng.uniform(lo, hi) emit delays *below* the floor
+    // — violating the declared constraint silently in release builds.
+    if (!(bias >= 0.0))
+      throw Error("bias-correlated sampler: bias must be non-negative");
+    if (!(lo_ <= hi_))
+      throw Error("bias-correlated sampler: floor > center + bias/2 "
+                  "leaves an empty sampling window");
   }
   double sample(bool, RealTime, Rng& rng) override { return rng.uniform(lo_, hi_); }
 
@@ -163,9 +180,12 @@ class DriftingCongestionSampler final : public DelaySampler {
                             double jitter)
       : base_(base), amplitude_(amplitude), period_(period),
         jitter_(jitter) {
-    assert(base - amplitude - jitter / 2.0 >= 0.0 &&
-           "delays must stay non-negative at the trough");
-    assert(period > 0.0 && jitter >= 0.0 && amplitude >= 0.0);
+    if (!(period > 0.0) || !(jitter >= 0.0) || !(amplitude >= 0.0))
+      throw Error("drifting congestion sampler: need period > 0, "
+                  "jitter >= 0, amplitude >= 0");
+    if (!(base - amplitude - jitter / 2.0 >= 0.0))
+      throw Error("drifting congestion sampler: delays would go negative "
+                  "at the trough (base - amplitude - jitter/2 < 0)");
   }
   double sample(bool, RealTime now, Rng& rng) override {
     const double center =
@@ -182,7 +202,8 @@ class LossySampler final : public DelaySampler {
  public:
   LossySampler(std::unique_ptr<DelaySampler> inner, double loss)
       : inner_(std::move(inner)), loss_(loss) {
-    assert(loss >= 0.0 && loss <= 1.0);
+    if (!(loss >= 0.0 && loss <= 1.0))
+      throw Error("lossy sampler: loss probability must be in [0, 1]");
   }
   double sample(bool a_to_b, RealTime now, Rng& rng) override {
     // Draw the inner delay first so the delay stream stays aligned across

@@ -6,6 +6,11 @@
 // are admissible; make_admissible_sampler() builds such a pairing for every
 // constraint shipped with the library, and the simulator (optionally) and
 // the tests verify admissibility after the fact via SystemModel::admissible.
+//
+// Every factory validates its parameters and throws cs::Error on
+// configurations that could only emit constraint-violating delays (a clip
+// ub below lb, an empty bias window, ...) — inadmissible executions must
+// never pass silently.
 #pragma once
 
 #include <memory>

@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "common/error.hpp"
 
 namespace cs {
 
@@ -9,8 +10,13 @@ void EventQueue::push(RealTime at, SimEvent ev) {
   heap_.push(Entry{at, next_seq_++, std::move(ev)});
 }
 
+RealTime EventQueue::next_time() const {
+  if (heap_.empty()) throw Error("EventQueue::next_time on an empty queue");
+  return heap_.top().at;
+}
+
 SimEvent EventQueue::pop() {
-  assert(!heap_.empty());
+  if (heap_.empty()) throw Error("EventQueue::pop on an empty queue");
   SimEvent ev = heap_.top().ev;
   heap_.pop();
   return ev;

@@ -23,9 +23,12 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  /// Earliest pending real time; queue must be non-empty.
-  RealTime next_time() const { return heap_.top().at; }
+  /// Earliest pending real time.  Throws cs::Error when the queue is
+  /// empty (previously UB via heap_.top()).
+  RealTime next_time() const;
 
+  /// Removes and returns the earliest event.  Throws cs::Error when the
+  /// queue is empty.
   SimEvent pop();
 
  private:

@@ -1,0 +1,121 @@
+#include "sim/fault_plan.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cs {
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw Error(std::string("FaultPlan: ") + what +
+                " must be a probability in [0, 1]");
+}
+
+void check_link(const LinkFaults& f) {
+  check_probability(f.drop_probability, "drop_probability");
+  check_probability(f.duplicate_probability, "duplicate_probability");
+  check_probability(f.spike_probability, "spike_probability");
+  if (!(f.duplicate_lag >= 0.0))
+    throw Error("FaultPlan: duplicate_lag must be non-negative");
+  if (!(f.spike_magnitude >= 0.0))
+    throw Error("FaultPlan: spike_magnitude must be non-negative");
+  if (f.spike_probability > 0.0 && f.spike_magnitude == 0.0)
+    throw Error("FaultPlan: spike_probability > 0 needs spike_magnitude > 0");
+  for (const TimeWindow& w : f.down)
+    if (!(w.from.sec <= w.until.sec))
+      throw Error("FaultPlan: link down window is inverted (from > until)");
+}
+
+}  // namespace
+
+LinkFaults& FaultPlan::link(ProcessorId a, ProcessorId b) {
+  const auto [it, inserted] = overrides_.try_emplace(key(a, b), default_link);
+  (void)inserted;
+  return it->second;
+}
+
+const LinkFaults& FaultPlan::link_faults(ProcessorId a, ProcessorId b) const {
+  const auto it = overrides_.find(key(a, b));
+  return it == overrides_.end() ? default_link : it->second;
+}
+
+void FaultPlan::crash(ProcessorId pid, RealTime from, RealTime until) {
+  crashes_.push_back(CrashWindow{pid, TimeWindow{from, until}});
+}
+
+bool FaultPlan::crashed_at(ProcessorId pid, RealTime t) const {
+  for (const CrashWindow& c : crashes_)
+    if (c.pid == pid && c.window.contains(t)) return true;
+  return false;
+}
+
+bool FaultPlan::admissibility_preserving() const {
+  if (!default_link.admissibility_preserving()) return false;
+  for (const auto& [k, f] : overrides_) {
+    (void)k;
+    if (!f.admissibility_preserving()) return false;
+  }
+  return true;
+}
+
+void FaultPlan::validate() const {
+  check_link(default_link);
+  for (const auto& [k, f] : overrides_) {
+    (void)k;
+    check_link(f);
+  }
+  for (const CrashWindow& c : crashes_)
+    if (!(c.window.from.sec <= c.window.until.sec))
+      throw Error("FaultPlan: crash window is inverted (from > until)");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t link_count,
+                             Metrics* metrics)
+    : plan_(&plan), metrics_(metrics) {
+  plan.validate();
+  const Rng master(plan.seed);
+  link_rngs_.reserve(link_count);
+  for (std::size_t i = 0; i < link_count; ++i)
+    link_rngs_.push_back(master.split(i));
+}
+
+FaultDecision FaultInjector::on_send(std::size_t link, ProcessorId a,
+                                     ProcessorId b, RealTime now) {
+  const LinkFaults& f = plan_->link_faults(a, b);
+  Rng& rng = link_rngs_[link];
+  // Always five draws, in a fixed order, so toggling one fault kind leaves
+  // the other kinds' streams untouched.
+  const double u_drop = rng.uniform01();
+  const double u_dup = rng.uniform01();
+  const double u_spike = rng.uniform01();
+  const double u_spike_mag = rng.uniform01();
+  const double u_lag = rng.uniform01();
+
+  FaultDecision d;
+  if (f.down_at(now)) {
+    d.drop = true;
+    metrics_increment(metrics_, "fault.link_down_drops");
+    return d;
+  }
+  if (u_drop < f.drop_probability) {
+    d.drop = true;
+    metrics_increment(metrics_, "fault.dropped");
+    return d;
+  }
+  if (u_spike < f.spike_probability) {
+    // Half-open draw flipped to (0, magnitude]: a spike always inflates.
+    d.extra_delay = f.spike_magnitude * (1.0 - u_spike_mag);
+    metrics_increment(metrics_, "fault.delay_spikes");
+  }
+  if (u_dup < f.duplicate_probability) {
+    d.duplicate = true;
+    d.duplicate_lag = f.duplicate_lag * u_lag;
+    metrics_increment(metrics_, "fault.duplicated");
+  }
+  return d;
+}
+
+}  // namespace cs

@@ -1,0 +1,181 @@
+// Fault injection: the failure side of a link and of a processor.
+//
+// A FaultPlan layers message-level and processor-level faults over the
+// delay samplers and the event queue: per-link message drops, duplication,
+// delay spikes and link up/down windows, plus processor crash/restart
+// windows.  All fault randomness is drawn from dedicated per-link streams
+// split from the plan's own seed, so (a) a run is bit-for-bit deterministic
+// given (sim seed, fault seed), and (b) the *delay* streams stay aligned
+// with the fault-free run — the same message gets the same base delay
+// whether or not it is later dropped, duplicated or spiked.
+//
+// Fault taxonomy and what it preserves:
+//   * drops / link-down windows / crashes are omission faults: the message
+//     (or wakeup) simply never happens.  Views lose information but never
+//     gain wrong information, so the produced execution remains admissible
+//     under the declared delay assumptions.
+//   * duplication re-delivers a message id a second time; the execution is
+//     physically fine but the *strict* pairing layer rightly rejects id
+//     reuse — degraded pipelines must pair under MatchPolicy::kDropOrphans
+//     (which keeps the earliest copy).
+//   * delay spikes deliberately violate the declared delay bounds — they
+//     model the assumption itself breaking.  The simulator therefore skips
+//     its post-hoc admissibility check when a plan can spike or duplicate
+//     (see FaultPlan::admissibility_preserving).
+//
+// Fault counters are threaded through cs::Metrics ("fault.*" series); see
+// docs/FAULTS.md for the schema and the degraded-mode semantics downstream.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "model/ids.hpp"
+
+namespace cs {
+
+/// Half-open real-time window [from, until).
+struct TimeWindow {
+  RealTime from{};
+  RealTime until{std::numeric_limits<double>::infinity()};
+
+  bool contains(RealTime t) const { return from <= t && t < until; }
+};
+
+/// Per-link fault knobs.  All probabilities are per message send.
+struct LinkFaults {
+  /// Message lost with this probability (sent, never delivered).
+  double drop_probability{0.0};
+
+  /// Message delivered twice (same MessageId) with this probability; the
+  /// second copy arrives up to `duplicate_lag` seconds after the first.
+  double duplicate_probability{0.0};
+  double duplicate_lag{0.05};
+
+  /// Delay spike: with this probability the message's delay is inflated by
+  /// uniform(0, spike_magnitude] *on top of* the sampled delay — possibly
+  /// past the link's declared upper bound (assumption violation on purpose).
+  double spike_probability{0.0};
+  double spike_magnitude{0.0};
+
+  /// Link outage windows: messages *sent* while the link is down are lost.
+  std::vector<TimeWindow> down;
+
+  bool down_at(RealTime t) const {
+    for (const TimeWindow& w : down)
+      if (w.contains(t)) return true;
+    return false;
+  }
+
+  /// True iff this configuration can only remove information (drops and
+  /// outages), never corrupt it (duplicates, spikes).
+  bool admissibility_preserving() const {
+    return duplicate_probability == 0.0 && spike_probability == 0.0;
+  }
+};
+
+/// Processor crash/restart: during the window the processor is dead — it
+/// receives nothing (arriving messages are lost), its timers do not fire,
+/// and (having no wakeups) it sends nothing.  Its clock keeps running and
+/// its automaton state survives: this is the pause-crash (omission) model,
+/// the strongest fault the paper's drift-free clocks admit without leaving
+/// the execution model entirely.
+struct CrashWindow {
+  ProcessorId pid{0};
+  TimeWindow window;
+};
+
+/// The full fault schedule of a run.  Link faults default to `default_link`
+/// unless overridden per link; crashes are explicit windows.  Deterministic
+/// given `seed` — see the header comment.
+class FaultPlan {
+ public:
+  /// Seed of the fault randomness streams (independent of the sim seed).
+  std::uint64_t seed{0xFA17u};
+
+  /// Faults applied to every link without an explicit override.
+  LinkFaults default_link;
+
+  /// Mutable per-link override (order-insensitive endpoints); created from
+  /// `default_link` on first access.
+  LinkFaults& link(ProcessorId a, ProcessorId b);
+
+  /// Effective faults of link {a, b}: the override or `default_link`.
+  const LinkFaults& link_faults(ProcessorId a, ProcessorId b) const;
+
+  /// Schedule a crash of `pid` over [from, until); omit `until` for a crash
+  /// with no restart.
+  void crash(ProcessorId pid, RealTime from,
+             RealTime until = RealTime{std::numeric_limits<double>::infinity()});
+
+  bool crashed_at(ProcessorId pid, RealTime t) const;
+
+  const std::vector<CrashWindow>& crashes() const { return crashes_; }
+
+  /// True iff no link can duplicate or spike: the surviving execution is
+  /// then guaranteed admissible and the simulator keeps its post-hoc check.
+  bool admissibility_preserving() const;
+
+  /// Throws cs::Error on out-of-range probabilities, negative magnitudes or
+  /// inverted windows.  The simulator validates on construction.
+  void validate() const;
+
+ private:
+  static std::uint64_t key(ProcessorId a, ProcessorId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<std::uint64_t, LinkFaults> overrides_;
+  std::vector<CrashWindow> crashes_;
+};
+
+/// Outcome of the per-send fault draw.  `extra_delay` applies to every
+/// delivered copy; `duplicate_lag` is the duplicate's additional delay
+/// beyond the first copy's.
+struct FaultDecision {
+  bool drop{false};
+  bool duplicate{false};
+  double extra_delay{0.0};
+  double duplicate_lag{0.0};
+};
+
+/// Stateful executor of a FaultPlan inside one simulation run: owns the
+/// per-link fault RNG streams and the fault counters.  Exactly five
+/// uniforms are drawn per send regardless of outcome, so enabling one fault
+/// kind never perturbs the draws of another — runs differing only in fault
+/// parameters stay stream-aligned.
+class FaultInjector {
+ public:
+  /// `plan` must outlive the injector (it is consulted per event).
+  /// `link_count` is the topology's link count; link indices passed to
+  /// on_send must be in [0, link_count).  `metrics` may be null.
+  FaultInjector(const FaultPlan& plan, std::size_t link_count,
+                Metrics* metrics);
+
+  /// Fault decision for one message sent on link {a, b} (canonical index
+  /// `link`) at real time `now`.  Updates the "fault.*" counters.
+  FaultDecision on_send(std::size_t link, ProcessorId a, ProcessorId b,
+                        RealTime now);
+
+  /// Is `pid` crashed at `t`?  (Pure query; the caller counts the
+  /// suppression under the event-specific counter.)
+  bool crashed(ProcessorId pid, RealTime t) const {
+    return plan_->crashed_at(pid, t);
+  }
+
+  Metrics* metrics() const { return metrics_; }
+
+ private:
+  const FaultPlan* plan_;
+  std::vector<Rng> link_rngs_;
+  Metrics* metrics_;
+};
+
+}  // namespace cs

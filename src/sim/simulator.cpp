@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -45,6 +46,20 @@ class SimulatorImpl {
         throw Error(
             "drifting clocks are outside the paper's model: disable "
             "check_admissible to simulate them (experiment E9)");
+    }
+
+    if (options.faults != nullptr) {
+      injector_.emplace(*options.faults, model.topology().link_count(),
+                        options.metrics);
+      for (const CrashWindow& c : options.faults->crashes()) {
+        if (c.pid >= n)
+          throw Error("FaultPlan: crash window names a non-existent processor");
+        const RealTime start = RealTime{} + options.start_offsets[c.pid];
+        if (c.window.contains(start))
+          throw Error(
+              "FaultPlan: crash window covers the processor's start time; "
+              "begin the crash after the processor starts");
+      }
     }
 
     const auto adjacency = model.topology().adjacency();
@@ -91,8 +106,19 @@ class SimulatorImpl {
     result.delivered_messages = delivered_;
     result.lost_messages = lost_;
     result.fired_timers = fired_timers_;
+    result.fault_dropped_messages = fault_dropped_;
+    result.duplicated_messages = duplicated_;
+    result.crash_dropped_deliveries = crash_dropped_;
+    result.suppressed_timers = suppressed_timers_;
 
-    if (options_.check_admissible && !model_.admissible(result.execution))
+    // Duplicating or spiking plans violate the declared assumptions by
+    // design; checking the trace against them would (rightly) throw, so the
+    // check is meaningful only for omission-only fault plans.
+    const bool checkable =
+        options_.faults == nullptr ||
+        options_.faults->admissibility_preserving();
+    if (options_.check_admissible && checkable &&
+        !model_.admissible(result.execution))
       throw InvalidExecution(
           "simulated execution violates the declared delay assumptions; "
           "sampler and constraint configuration disagree");
@@ -149,6 +175,11 @@ class SimulatorImpl {
       case SimEvent::Kind::kDelivery: {
         if (!proc.started)
           throw Error("internal: delivery before start was not deferred");
+        if (injector_ && injector_->crashed(ev.processor, now_)) {
+          ++crash_dropped_;
+          metrics_increment(options_.metrics, "fault.crash_dropped_deliveries");
+          break;  // the processor is dead: no view event, no callback
+        }
         ViewEvent ve;
         ve.kind = EventKind::kReceive;
         ve.when = proc.clock.at(now_);
@@ -160,6 +191,11 @@ class SimulatorImpl {
         break;
       }
       case SimEvent::Kind::kTimer: {
+        if (injector_ && injector_->crashed(ev.processor, now_)) {
+          ++suppressed_timers_;
+          metrics_increment(options_.metrics, "fault.suppressed_timers");
+          break;  // lost wakeup: crashed nodes miss their timers
+        }
         ViewEvent ve;
         ve.kind = EventKind::kTimerFire;
         ve.when = proc.clock.at(now_);
@@ -193,12 +229,25 @@ class SimulatorImpl {
 
     const std::size_t link = it->second;
     const bool a_to_b = from < to;
-    const double delay = samplers_[link]->sample(a_to_b, now_, link_rngs_[link]);
+    double delay = samplers_[link]->sample(a_to_b, now_, link_rngs_[link]);
     if (delay < 0.0) throw Error("sampler produced a negative delay");
     if (!std::isfinite(delay)) {
       ++lost_;  // message lost in transit: sent, never delivered
       return;
     }
+
+    // Layer the fault plan over the sampled delay.  The base delay above is
+    // always drawn first, so the per-link delay streams stay aligned with
+    // the fault-free run.
+    FaultDecision fault;
+    if (injector_)
+      fault = injector_->on_send(link, std::min(from, to),
+                                 std::max(from, to), now_);
+    if (fault.drop) {
+      ++fault_dropped_;
+      return;  // sent, never delivered (same observable shape as loss)
+    }
+    delay += fault.extra_delay;
 
     // A message cannot be consumed before its receiver starts executing; if
     // it arrives earlier it waits (the wait is part of the actual delay, as
@@ -209,8 +258,19 @@ class SimulatorImpl {
     SimEvent ev;
     ev.kind = SimEvent::Kind::kDelivery;
     ev.processor = to;
-    ev.message = std::move(msg);
+    ev.message = msg;
     queue_.push(arrival, ev);
+
+    if (fault.duplicate) {
+      // Second delivery of the *same* message id, a little later — the
+      // pairing layer's duplicate hazard made real.
+      ++duplicated_;
+      SimEvent dup;
+      dup.kind = SimEvent::Kind::kDelivery;
+      dup.processor = to;
+      dup.message = std::move(msg);
+      queue_.push(arrival + Duration{fault.duplicate_lag}, dup);
+    }
   }
 
   void do_set_timer(ProcessorId pid, ClockTime at) {
@@ -238,12 +298,17 @@ class SimulatorImpl {
   std::vector<Proc> procs_;
   std::vector<Rng> link_rngs_;
   std::unordered_map<std::uint64_t, std::size_t> link_index_;
+  std::optional<FaultInjector> injector_;
   EventQueue queue_;
   RealTime now_{};
   MessageId next_msg_id_{1};
   std::size_t delivered_{0};
   std::size_t lost_{0};
   std::size_t fired_timers_{0};
+  std::size_t fault_dropped_{0};
+  std::size_t duplicated_{0};
+  std::size_t crash_dropped_{0};
+  std::size_t suppressed_timers_{0};
 };
 
 }  // namespace

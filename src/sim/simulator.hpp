@@ -16,6 +16,7 @@
 #include "delaymodel/assignment.hpp"
 #include "sim/automaton.hpp"
 #include "sim/delay_sampler.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace cs {
 
@@ -45,7 +46,18 @@ struct SimOptions {
 
   /// Verify the produced execution against the model's constraints and
   /// throw InvalidExecution if violated (catches sampler/config mismatch).
+  /// Automatically skipped when `faults` can duplicate or spike (such plans
+  /// break the declared assumptions by design; see fault_plan.hpp).
   bool check_admissible{true};
+
+  /// Optional fault schedule layered over the samplers and the event queue
+  /// (drops, duplication, spikes, link outages, processor crashes).  Must
+  /// outlive the simulate() call.  nullptr = fault-free.
+  const FaultPlan* faults{nullptr};
+
+  /// Optional instrumentation sink for the "fault.*" counters and any
+  /// future sim-side series.  nullptr = off.
+  Metrics* metrics{nullptr};
 };
 
 struct SimResult {
@@ -53,6 +65,13 @@ struct SimResult {
   std::size_t delivered_messages{0};
   std::size_t lost_messages{0};
   std::size_t fired_timers{0};
+
+  /// Fault-injection tallies (all zero without a FaultPlan).  The split by
+  /// cause lives in the "fault.*" counters of SimOptions::metrics.
+  std::size_t fault_dropped_messages{0};   ///< drops + link-down outages
+  std::size_t duplicated_messages{0};      ///< extra deliveries scheduled
+  std::size_t crash_dropped_deliveries{0}; ///< arrivals at a crashed node
+  std::size_t suppressed_timers{0};        ///< timer fires at a crashed node
 };
 
 /// Simulate with auto-built admissible samplers (one per link, derived from

@@ -92,6 +92,8 @@ TEST(Pairing, DuplicateSendIdThrows) {
 }
 
 TEST(Pairing, DuplicateReceiveThrows) {
+  // Regression: exactly one PairedMessage may exist per send.  A faulty
+  // network re-delivering message id 7 must not inflate the sample set.
   History h0(0, RealTime{0.0});
   ViewEvent send;
   send.kind = EventKind::kSend;
@@ -109,7 +111,71 @@ TEST(Pairing, DuplicateReceiveThrows) {
   recv.when = ClockTime{3.0};
   h1.append(recv);
   std::vector<View> views{h0.view(), h1.view()};
-  EXPECT_THROW(pair_messages(views), InvalidExecution);
+  EXPECT_THROW(pair_messages(views, MatchPolicy::kStrict),
+               InvalidExecution);
+}
+
+TEST(Pairing, DropOrphansKeepsEarliestDuplicate) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 7;
+  send.peer = 1;
+  h0.append(send);
+  History h1(1, RealTime{0.0});
+  ViewEvent recv;
+  recv.kind = EventKind::kReceive;
+  recv.when = ClockTime{2.0};
+  recv.msg = 7;
+  recv.peer = 0;
+  h1.append(recv);
+  recv.when = ClockTime{3.0};
+  h1.append(recv);  // duplicate re-delivery, later
+  std::vector<View> views{h0.view(), h1.view()};
+
+  PairingStats stats;
+  const auto paired =
+      pair_messages(views, MatchPolicy::kDropOrphans, &stats);
+  ASSERT_EQ(paired.size(), 1u);
+  EXPECT_EQ(paired[0].recv_clock, ClockTime{2.0});  // the earliest copy
+  EXPECT_EQ(stats.paired, 1u);
+  EXPECT_EQ(stats.duplicate_receives, 1u);
+  EXPECT_EQ(stats.orphan_receives, 0u);
+  EXPECT_EQ(stats.unreceived_sends, 0u);
+}
+
+TEST(Pairing, StatsTallyOrphansAndUnreceivedSends) {
+  History h0(0, RealTime{0.0});
+  ViewEvent send;
+  send.kind = EventKind::kSend;
+  send.when = ClockTime{1.0};
+  send.msg = 1;
+  send.peer = 1;
+  h0.append(send);
+  send.when = ClockTime{2.0};
+  send.msg = 2;  // never received (dropped in transit)
+  h0.append(send);
+  History h1(1, RealTime{0.0});
+  ViewEvent recv;
+  recv.kind = EventKind::kReceive;
+  recv.when = ClockTime{1.5};
+  recv.msg = 1;
+  recv.peer = 0;
+  h1.append(recv);
+  recv.when = ClockTime{2.5};
+  recv.msg = 99;  // orphan: send outside these views
+  h1.append(recv);
+  std::vector<View> views{h0.view(), h1.view()};
+
+  PairingStats stats;
+  const auto paired =
+      pair_messages(views, MatchPolicy::kDropOrphans, &stats);
+  ASSERT_EQ(paired.size(), 1u);
+  EXPECT_EQ(stats.paired, 1u);
+  EXPECT_EQ(stats.orphan_receives, 1u);
+  EXPECT_EQ(stats.duplicate_receives, 0u);
+  EXPECT_EQ(stats.unreceived_sends, 1u);
 }
 
 TEST(Pairing, EndpointMismatchThrows) {

@@ -93,6 +93,44 @@ TEST_P(AdmissibleSamplerTest, OutputAdmissibleUnderConstraint) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AdmissibleSamplerTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(DelaySampler, FactoriesRejectInvalidConfigs) {
+  // Regression: these used to be assert()s (no-ops in release), letting
+  // constraint-violating samplers generate inadmissible executions
+  // silently.  Every factory must throw cs::Error instead.
+  EXPECT_THROW(make_uniform_sampler(0.3, 0.1, 0.1, 0.3), Error);
+  EXPECT_THROW(make_uniform_sampler(0.1, 0.3, 0.3, 0.1), Error);
+  EXPECT_THROW(make_shifted_exponential_sampler(0.05, 0.0), Error);
+  // Clip ub below lb: the min-clip would emit below the lower bound.
+  EXPECT_THROW(make_shifted_exponential_sampler(0.05, 0.1, 0.04), Error);
+  EXPECT_THROW(make_shifted_pareto_sampler(0.02, 0.0, 1.5), Error);
+  EXPECT_THROW(make_shifted_pareto_sampler(0.02, 0.01, -1.0), Error);
+  EXPECT_THROW(make_shifted_pareto_sampler(0.05, 0.01, 1.5, 0.04), Error);
+  EXPECT_THROW(make_bias_correlated_sampler(0.3, -0.1), Error);
+  // Floor past the window's upper edge: uniform(lo, hi) with hi < lo
+  // would emit *below* the floor.
+  EXPECT_THROW(make_bias_correlated_sampler(0.3, 0.1, 0.4), Error);
+  EXPECT_THROW(
+      make_drifting_congestion_sampler(0.3, 0.1, 0.0, 0.05), Error);
+  EXPECT_THROW(
+      make_drifting_congestion_sampler(0.1, 0.2, 1.0, 0.05), Error);
+  EXPECT_THROW(
+      make_lossy_sampler(make_constant_sampler(0.1, 0.1), 1.5), Error);
+  EXPECT_THROW(
+      make_lossy_sampler(make_constant_sampler(0.1, 0.1), -0.1), Error);
+}
+
+TEST(DelaySampler, BiasFloorClipsWithoutEmptyingTheWindow) {
+  // floor inside [center - bias/2, center + bias/2] is legitimate
+  // clipping, not an error — and the floor must hold.
+  Rng rng(6);
+  auto s = make_bias_correlated_sampler(0.05, 0.2, 0.03);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = s->sample(i % 2 == 0, RealTime{}, rng);
+    EXPECT_GE(d, 0.03);
+    EXPECT_LE(d, 0.05 + 0.1 + 1e-12);
+  }
+}
+
 TEST(AdmissibleSampler, JointlyUnsatisfiableThrows) {
   // Bounds force the two directions at least 1.0 apart, bias allows 0.1.
   std::vector<std::unique_ptr<LinkConstraint>> parts;

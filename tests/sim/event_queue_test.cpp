@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 namespace cs {
 namespace {
 
@@ -47,6 +49,19 @@ TEST(EventQueue, NegativeTimesSupported) {
   q.push(RealTime{0.0}, start_event(0));
   q.push(RealTime{-1.0}, start_event(1));
   EXPECT_EQ(q.pop().processor, 1u);
+}
+
+TEST(EventQueue, EmptyQueueThrowsInsteadOfUb) {
+  // Regression: next_time()/pop() on an empty queue used to be undefined
+  // behavior in release builds; they must throw.
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), Error);
+  EXPECT_THROW(q.pop(), Error);
+  // A drained queue behaves like a never-filled one.
+  q.push(RealTime{1.0}, start_event(0));
+  q.pop();
+  EXPECT_THROW(q.next_time(), Error);
+  EXPECT_THROW(q.pop(), Error);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Fault injection: drops, duplication, spikes, link outages, crashes —
+// and the determinism contract (fixed seeds => identical traces and
+// identical fault metrics).
+#include "sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "graph/topology.hpp"
+#include "model/pairing.hpp"
+#include "proto/beacon.hpp"
+#include "sim/simulator.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+SimOptions base_options(std::size_t n, std::uint64_t seed,
+                        const FaultPlan* plan, Metrics* metrics) {
+  SimOptions opts;
+  opts.start_offsets.assign(n, Duration{0.0});
+  opts.seed = seed;
+  opts.faults = plan;
+  opts.metrics = metrics;
+  return opts;
+}
+
+BeaconParams dense_beacons() {
+  BeaconParams params;
+  params.warmup = Duration{0.3};
+  params.period = Duration{0.05};
+  params.count = 20;
+  return params;
+}
+
+TEST(FaultPlan, ValidatesParameters) {
+  const SystemModel model = test::bounded_model(make_ring(3), 0.01, 0.05);
+  {
+    FaultPlan plan;
+    plan.default_link.drop_probability = 1.5;
+    EXPECT_THROW(FaultInjector(plan, 3, nullptr), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.link(0, 1).duplicate_lag = -0.1;
+    EXPECT_THROW(FaultInjector(plan, 3, nullptr), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.default_link.spike_probability = 0.5;  // magnitude left at 0
+    EXPECT_THROW(FaultInjector(plan, 3, nullptr), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.default_link.down.push_back(
+        TimeWindow{RealTime{2.0}, RealTime{1.0}});
+    EXPECT_THROW(FaultInjector(plan, 3, nullptr), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.crash(0, RealTime{3.0}, RealTime{1.0});
+    EXPECT_THROW(
+        simulate(model, make_beacon(dense_beacons()),
+                 base_options(3, 1, &plan, nullptr)),
+        Error);
+  }
+}
+
+TEST(FaultPlan, CrashWindowMustNotCoverStart) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  FaultPlan plan;
+  plan.crash(1, RealTime{-1.0}, RealTime{0.5});  // start is at 0
+  EXPECT_THROW(simulate(model, make_beacon(dense_beacons()),
+                        base_options(2, 1, &plan, nullptr)),
+               Error);
+}
+
+TEST(FaultPlan, DeterministicGivenSeeds) {
+  const SystemModel model = test::bounded_model(make_ring(5), 0.01, 0.05);
+  FaultPlan plan;
+  plan.default_link.drop_probability = 0.3;
+  plan.default_link.duplicate_probability = 0.2;
+  plan.default_link.spike_probability = 0.1;
+  plan.default_link.spike_magnitude = 0.2;
+  plan.crash(2, RealTime{0.8}, RealTime{1.2});
+
+  auto run = [&](Metrics& m) {
+    return simulate(model, make_beacon(dense_beacons()),
+                    base_options(5, 7, &plan, &m));
+  };
+  Metrics m1, m2;
+  const SimResult r1 = run(m1);
+  const SimResult r2 = run(m2);
+  EXPECT_EQ(r1.execution.views(), r2.execution.views());
+  EXPECT_EQ(r1.delivered_messages, r2.delivered_messages);
+  EXPECT_EQ(r1.fault_dropped_messages, r2.fault_dropped_messages);
+  EXPECT_EQ(r1.duplicated_messages, r2.duplicated_messages);
+  EXPECT_EQ(r1.crash_dropped_deliveries, r2.crash_dropped_deliveries);
+  EXPECT_EQ(r1.suppressed_timers, r2.suppressed_timers);
+  EXPECT_EQ(m1.counters(), m2.counters());
+  EXPECT_GT(m1.counter("fault.dropped"), 0u);
+  EXPECT_GT(m1.counter("fault.duplicated"), 0u);
+  EXPECT_GT(m1.counter("fault.delay_spikes"), 0u);
+}
+
+TEST(FaultPlan, DropsReduceDeliveriesAndStayAdmissible) {
+  const SystemModel model = test::bounded_model(make_complete(4), 0.01, 0.05);
+  Metrics metrics;
+  FaultPlan plan;
+  plan.default_link.drop_probability = 0.4;
+  const SimResult faulty =
+      simulate(model, make_beacon(dense_beacons()),
+               base_options(4, 11, &plan, &metrics));
+  const SimResult clean = simulate(model, make_beacon(dense_beacons()),
+                                   base_options(4, 11, nullptr, nullptr));
+  EXPECT_EQ(metrics.counter("fault.dropped"),
+            faulty.fault_dropped_messages);
+  EXPECT_GT(faulty.fault_dropped_messages, 0u);
+  EXPECT_EQ(clean.delivered_messages,
+            faulty.delivered_messages + faulty.fault_dropped_messages);
+  // Omission faults keep the execution admissible, and the simulator's own
+  // post-hoc check stayed on (it would have thrown otherwise).
+  EXPECT_TRUE(model.admissible(faulty.execution));
+}
+
+TEST(FaultPlan, DuplicationRedeliversSameId) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  Metrics metrics;
+  FaultPlan plan;
+  plan.default_link.duplicate_probability = 1.0;
+  plan.default_link.duplicate_lag = 0.01;
+  const SimResult r = simulate(model, make_beacon(dense_beacons()),
+                               base_options(2, 3, &plan, &metrics));
+  EXPECT_GT(r.duplicated_messages, 0u);
+  EXPECT_EQ(r.duplicated_messages, metrics.counter("fault.duplicated"));
+
+  // Every message id is received exactly twice.
+  const auto views = r.execution.views();
+  std::map<MessageId, std::size_t> copies;
+  for (const View& v : views)
+    for (const ViewEvent& e : v.events)
+      if (e.kind == EventKind::kReceive) ++copies[e.msg];
+  ASSERT_FALSE(copies.empty());
+  for (const auto& [id, n] : copies) EXPECT_EQ(n, 2u) << "msg " << id;
+
+  // Strict pairing rejects the duplicates; orphan-dropping pairing keeps
+  // exactly one copy per send.
+  EXPECT_THROW(pair_messages(views, MatchPolicy::kStrict),
+               InvalidExecution);
+  PairingStats stats;
+  const auto paired =
+      pair_messages(views, MatchPolicy::kDropOrphans, &stats);
+  EXPECT_EQ(paired.size(), copies.size());
+  EXPECT_EQ(stats.duplicate_receives, copies.size());
+}
+
+TEST(FaultPlan, LinkDownWindowSilencesTheLink) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  Metrics metrics;
+  FaultPlan plan;
+  // Link is down for the whole run: beacons start at 0.3.
+  plan.link(0, 1).down.push_back(TimeWindow{RealTime{0.0}});
+  const SimResult r = simulate(model, make_beacon(dense_beacons()),
+                               base_options(2, 5, &plan, &metrics));
+  EXPECT_EQ(r.delivered_messages, 0u);
+  EXPECT_GT(metrics.counter("fault.link_down_drops"), 0u);
+  EXPECT_EQ(r.fault_dropped_messages,
+            metrics.counter("fault.link_down_drops"));
+}
+
+TEST(FaultPlan, CrashedProcessorReceivesNothingAndMissesTimers) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  Metrics metrics;
+  FaultPlan plan;
+  plan.crash(2, RealTime{0.1});  // no restart; beacons begin at 0.3
+  const SimResult r = simulate(model, make_beacon(dense_beacons()),
+                               base_options(4, 9, &plan, &metrics));
+  EXPECT_GT(r.crash_dropped_deliveries, 0u);
+  EXPECT_GT(r.suppressed_timers, 0u);
+  const auto views = r.execution.views();
+  EXPECT_TRUE(views[2].receives().empty());
+  EXPECT_TRUE(views[2].sends().empty());
+  // The survivors keep talking among themselves.
+  EXPECT_FALSE(views[0].receives().empty());
+}
+
+TEST(FaultPlan, CrashRestartResumesDeliveries) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.001, 0.002);
+  Metrics metrics;
+  FaultPlan plan;
+  plan.crash(1, RealTime{0.4}, RealTime{0.8});
+  const SimResult r = simulate(model, make_beacon(dense_beacons()),
+                               base_options(2, 13, &plan, &metrics));
+  EXPECT_GT(r.crash_dropped_deliveries, 0u);
+  // Beacons run from 0.3 to ~1.3; receives exist before 0.4 and after 0.8
+  // on processor 1's clock (rate 1, start offset 0).
+  bool before = false, after = false;
+  for (const ViewEvent& e : r.execution.views()[1].receives()) {
+    if (e.when < ClockTime{0.4}) before = true;
+    if (e.when >= ClockTime{0.8}) after = true;
+  }
+  EXPECT_TRUE(before);
+  EXPECT_TRUE(after);
+}
+
+TEST(FaultPlan, SpikesViolateAssumptionsAndSkipTheCheck) {
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  FaultPlan plan;
+  plan.default_link.spike_probability = 1.0;
+  plan.default_link.spike_magnitude = 1.0;
+  // check_admissible stays at its default (true): the simulator must skip
+  // it for a spiking plan rather than reject its own execution.
+  const SimResult r = simulate(model, make_beacon(dense_beacons()),
+                               base_options(2, 17, &plan, nullptr));
+  EXPECT_GT(r.delivered_messages, 0u);
+  EXPECT_FALSE(model.admissible(r.execution));
+}
+
+TEST(FaultPlan, BaseDelayStreamAlignedWithFaultFreeRun) {
+  // Timer-driven beacons send the same messages in the same order whether
+  // or not faults fire, and fault randomness lives on separate streams —
+  // so every message delivered in BOTH runs must realize the same delay.
+  const SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  FaultPlan plan;
+  plan.default_link.drop_probability = 0.5;
+  const SimResult faulty = simulate(model, make_beacon(dense_beacons()),
+                                    base_options(2, 23, &plan, nullptr));
+  const SimResult clean = simulate(model, make_beacon(dense_beacons()),
+                                   base_options(2, 23, nullptr, nullptr));
+
+  std::map<MessageId, double> clean_delay;
+  for (const TracedMessage& t : trace_messages(clean.execution))
+    clean_delay[t.msg.id] = t.delay().sec;
+  std::size_t compared = 0;
+  for (const TracedMessage& t : trace_messages(faulty.execution)) {
+    const auto it = clean_delay.find(t.msg.id);
+    ASSERT_NE(it, clean_delay.end());
+    EXPECT_DOUBLE_EQ(t.delay().sec, it->second);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+  EXPECT_LT(compared, clean_delay.size());  // some were dropped
+}
+
+}  // namespace
+}  // namespace cs
