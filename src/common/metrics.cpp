@@ -33,17 +33,22 @@ const MetricSeries* Metrics::series(const std::string& name) const {
   return it == series_.end() ? nullptr : &it->second;
 }
 
+void MetricSeries::merge(const MetricSeries& other) {
+  if (other.count == 0) return;  // identity: nothing was ever observed
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
 void Metrics::merge(const Metrics& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
-  for (const auto& [name, s] : other.series_) {
-    auto [it, inserted] = series_.try_emplace(name, s);
-    if (inserted) continue;
-    MetricSeries& mine = it->second;
-    mine.min = std::min(mine.min, s.min);
-    mine.max = std::max(mine.max, s.max);
-    mine.count += s.count;
-    mine.sum += s.sum;
-  }
+  for (const auto& [name, s] : other.series_)
+    series_.try_emplace(name).first->second.merge(s);
 }
 
 void Metrics::clear() {

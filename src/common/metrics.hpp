@@ -28,6 +28,11 @@ struct MetricSeries {
   double max{0.0};
 
   double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Folds another summary into this one.  A never-observed series
+  /// (count == 0) is the identity element: its zero-initialized min/max
+  /// carry no observation and must not poison the fold.
+  void merge(const MetricSeries& other);
 };
 
 class Metrics {

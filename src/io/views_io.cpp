@@ -35,6 +35,20 @@ double parse_double(const std::string& tok, std::size_t line_no) {
   return v;
 }
 
+std::uint64_t parse_u64(const std::string& tok, std::size_t line_no) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &pos, 10);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != tok.size() || tok.empty() || tok[0] == '-' || tok[0] == '+')
+    throw Error("parse error at line " + std::to_string(line_no) +
+                ": bad unsigned integer '" + tok + "'");
+  return v;
+}
+
 /// Reads the next meaningful line (skipping comments/blanks); false at EOF.
 bool next_line(std::istream& is, std::string& line, std::size_t& line_no) {
   while (std::getline(is, line)) {
@@ -97,33 +111,55 @@ void save_views(std::ostream& os, std::span<const View> views) {
 std::vector<View> load_views(std::istream& is) {
   std::string line;
   std::size_t line_no = 0;
-  if (!next_line(is, line, line_no) || tokens_of(line) != tokens_of(kViewsHeader))
-    throw Error("not a chronosync-views v1 stream");
+  if (!next_line(is, line, line_no))
+    parse_fail(line_no + 1, "missing header 'chronosync-views v1'");
+  if (tokens_of(line) != tokens_of(kViewsHeader))
+    parse_fail(line_no, "expected header 'chronosync-views v1', got '" +
+                            line + "'");
 
-  if (!next_line(is, line, line_no)) parse_fail(line_no, "missing processors");
+  if (!next_line(is, line, line_no))
+    parse_fail(line_no + 1, "missing 'processors <n>'");
   auto toks = tokens_of(line);
   if (toks.size() != 2 || toks[0] != "processors")
-    parse_fail(line_no, "expected 'processors <n>'");
-  const auto n = static_cast<std::size_t>(parse_double(toks[1], line_no));
+    parse_fail(line_no, "expected 'processors <n>', got '" + line + "'");
+  const auto n = static_cast<std::size_t>(parse_u64(toks[1], line_no));
 
   std::vector<View> views(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (!next_line(is, line, line_no)) parse_fail(line_no, "missing view");
+    if (!next_line(is, line, line_no))
+      parse_fail(line_no + 1, "truncated stream: expected view block for "
+                              "processor " +
+                                  std::to_string(i) + " of " +
+                                  std::to_string(n));
     toks = tokens_of(line);
     if (toks.size() != 3 || toks[0] != "view")
-      parse_fail(line_no, "expected 'view <pid> <events>'");
+      parse_fail(line_no, "expected 'view <pid> <events>', got '" + line +
+                              "'");
     const auto pid =
-        static_cast<ProcessorId>(parse_double(toks[1], line_no));
+        static_cast<ProcessorId>(parse_u64(toks[1], line_no));
+    if (pid < i)
+      parse_fail(line_no, "duplicate view block for processor " +
+                              std::to_string(pid));
     if (pid != i) parse_fail(line_no, "views must appear in pid order");
     const auto count =
-        static_cast<std::size_t>(parse_double(toks[2], line_no));
+        static_cast<std::size_t>(parse_u64(toks[2], line_no));
     View& v = views[i];
     v.pid = pid;
     v.events.reserve(count);
     for (std::size_t e = 0; e < count; ++e) {
-      if (!next_line(is, line, line_no)) parse_fail(line_no, "missing event");
+      if (!next_line(is, line, line_no))
+        parse_fail(line_no + 1,
+                   "truncated stream: view " + std::to_string(pid) +
+                       " declares " + std::to_string(count) +
+                       " events but only " + std::to_string(e) +
+                       " are present");
       toks = tokens_of(line);
-      if (toks.empty()) parse_fail(line_no, "empty event");
+      if (toks[0] == "view")
+        parse_fail(line_no, "event count mismatch: view " +
+                                std::to_string(pid) + " declares " +
+                                std::to_string(count) +
+                                " events but only " + std::to_string(e) +
+                                " precede the next view block");
       ViewEvent ev;
       if (toks[0] == "S" && toks.size() == 2) {
         ev.kind = EventKind::kStart;
@@ -131,16 +167,19 @@ std::vector<View> load_views(std::istream& is) {
       } else if ((toks[0] == "D" || toks[0] == "R") && toks.size() == 4) {
         ev.kind = toks[0] == "D" ? EventKind::kSend : EventKind::kReceive;
         ev.when = ClockTime{parse_double(toks[1], line_no)};
-        ev.msg = static_cast<MessageId>(
-            std::strtoull(toks[2].c_str(), nullptr, 10));
-        ev.peer = static_cast<ProcessorId>(parse_double(toks[3], line_no));
+        ev.msg = static_cast<MessageId>(parse_u64(toks[2], line_no));
+        ev.peer = static_cast<ProcessorId>(parse_u64(toks[3], line_no));
       } else if ((toks[0] == "T" || toks[0] == "F") && toks.size() == 3) {
         ev.kind =
             toks[0] == "T" ? EventKind::kTimerSet : EventKind::kTimerFire;
         ev.when = ClockTime{parse_double(toks[1], line_no)};
         ev.timer_at = ClockTime{parse_double(toks[2], line_no)};
+      } else if (toks[0] == "S" || toks[0] == "D" || toks[0] == "R" ||
+                 toks[0] == "T" || toks[0] == "F") {
+        parse_fail(line_no, "wrong field count for event tag '" + toks[0] +
+                                "' in '" + line + "'");
       } else {
-        parse_fail(line_no, "malformed event '" + line + "'");
+        parse_fail(line_no, "unknown event tag '" + toks[0] + "'");
       }
       v.events.push_back(ev);
     }
@@ -196,15 +235,18 @@ void save_model(std::ostream& os, const SystemModel& model) {
 SystemModel load_model(std::istream& is) {
   std::string line;
   std::size_t line_no = 0;
-  if (!next_line(is, line, line_no) ||
-      tokens_of(line) != tokens_of(kModelHeader))
-    throw Error("not a chronosync-model v1 stream");
+  if (!next_line(is, line, line_no))
+    parse_fail(line_no + 1, "missing header 'chronosync-model v1'");
+  if (tokens_of(line) != tokens_of(kModelHeader))
+    parse_fail(line_no, "expected header 'chronosync-model v1', got '" +
+                            line + "'");
 
-  if (!next_line(is, line, line_no)) parse_fail(line_no, "missing processors");
+  if (!next_line(is, line, line_no))
+    parse_fail(line_no + 1, "missing 'processors <n>'");
   auto toks = tokens_of(line);
   if (toks.size() != 2 || toks[0] != "processors")
-    parse_fail(line_no, "expected 'processors <n>'");
-  const auto n = static_cast<std::size_t>(parse_double(toks[1], line_no));
+    parse_fail(line_no, "expected 'processors <n>', got '" + line + "'");
+  const auto n = static_cast<std::size_t>(parse_u64(toks[1], line_no));
 
   // Gather constraint specs per link; repeated lines conjoin (Thm 5.6).
   struct Spec {
@@ -222,11 +264,15 @@ SystemModel load_model(std::istream& is) {
   while (next_line(is, line, line_no)) {
     toks = tokens_of(line);
     if (toks.size() < 4 || toks[0] != "link")
-      parse_fail(line_no, "expected 'link <a> <b> <kind> ...'");
-    auto a = static_cast<ProcessorId>(parse_double(toks[1], line_no));
-    auto b = static_cast<ProcessorId>(parse_double(toks[2], line_no));
+      parse_fail(line_no,
+                 "expected 'link <a> <b> <kind> ...', got '" + line + "'");
+    auto a = static_cast<ProcessorId>(parse_u64(toks[1], line_no));
+    auto b = static_cast<ProcessorId>(parse_u64(toks[2], line_no));
     if (a > b) std::swap(a, b);
-    if (b >= n) parse_fail(line_no, "link endpoint out of range");
+    if (b >= n)
+      parse_fail(line_no, "link endpoint " + std::to_string(b) +
+                              " out of range (processors " +
+                              std::to_string(n) + ")");
     const std::string& kind = toks[3];
     std::unique_ptr<LinkConstraint> c;
     if (kind == "none" && toks.size() == 4) {
@@ -241,6 +287,10 @@ SystemModel load_model(std::istream& is) {
     } else if (kind == "wbias" && toks.size() == 6) {
       c = make_windowed_bias(a, b, parse_double(toks[4], line_no),
                              parse_double(toks[5], line_no));
+    } else if (kind == "none" || kind == "lower" || kind == "bounds" ||
+               kind == "bias" || kind == "wbias") {
+      parse_fail(line_no, "wrong field count for link kind '" + kind +
+                              "' in '" + line + "'");
     } else {
       parse_fail(line_no, "unknown link kind '" + kind + "'");
     }

@@ -97,11 +97,13 @@ FaultDecision FaultInjector::on_send(std::size_t link, ProcessorId a,
   FaultDecision d;
   if (f.down_at(now)) {
     d.drop = true;
+    d.cause = DropCause::kLinkDown;
     metrics_increment(metrics_, "fault.link_down_drops");
     return d;
   }
   if (u_drop < f.drop_probability) {
     d.drop = true;
+    d.cause = DropCause::kRandom;
     metrics_increment(metrics_, "fault.dropped");
     return d;
   }

@@ -136,11 +136,20 @@ class FaultPlan {
   std::vector<CrashWindow> crashes_;
 };
 
+/// Why a send was dropped (trace records carry the split, mirroring the
+/// "fault.dropped" / "fault.link_down_drops" counters).
+enum class DropCause : std::uint8_t {
+  kNone,      ///< not dropped
+  kRandom,    ///< lost to drop_probability
+  kLinkDown,  ///< sent while the link was in a down window
+};
+
 /// Outcome of the per-send fault draw.  `extra_delay` applies to every
 /// delivered copy; `duplicate_lag` is the duplicate's additional delay
 /// beyond the first copy's.
 struct FaultDecision {
   bool drop{false};
+  DropCause cause{DropCause::kNone};
   bool duplicate{false};
   double extra_delay{0.0};
   double duplicate_lag{0.0};

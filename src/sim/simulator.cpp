@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/trace_sink.hpp"
 
 namespace cs {
 namespace {
@@ -19,7 +20,8 @@ class SimulatorImpl {
   SimulatorImpl(const SystemModel& model, const AutomatonFactory& factory,
                 std::vector<std::unique_ptr<DelaySampler>> samplers,
                 const SimOptions& options)
-      : model_(model), samplers_(std::move(samplers)), options_(options) {
+      : model_(model), samplers_(std::move(samplers)), options_(options),
+        trace_(options.trace) {
     const std::size_t n = model.processor_count();
     if (options.start_offsets.size() != n)
       throw Error("start_offsets size must equal processor count");
@@ -81,6 +83,7 @@ class SimulatorImpl {
   }
 
   SimResult run() {
+    if (trace_ != nullptr) trace_->begin_run(model_, options_);
     for (ProcessorId p = 0; p < procs_.size(); ++p) {
       SimEvent ev;
       ev.kind = SimEvent::Kind::kStart;
@@ -122,6 +125,7 @@ class SimulatorImpl {
       throw InvalidExecution(
           "simulated execution violates the declared delay assumptions; "
           "sampler and constraint configuration disagree");
+    if (trace_ != nullptr) trace_->end_run(result);
     return result;
   }
 
@@ -178,6 +182,9 @@ class SimulatorImpl {
         if (injector_ && injector_->crashed(ev.processor, now_)) {
           ++crash_dropped_;
           metrics_increment(options_.metrics, "fault.crash_dropped_deliveries");
+          if (trace_ != nullptr)
+            trace_->record_crash_drop(now_, ev.processor, ev.message.from,
+                                      ev.message.id);
           break;  // the processor is dead: no view event, no callback
         }
         ViewEvent ve;
@@ -187,6 +194,9 @@ class SimulatorImpl {
         ve.peer = ev.message.from;
         proc.history.append(ve);
         ++delivered_;
+        if (trace_ != nullptr)
+          trace_->record_delivery(now_, ev.processor, ev.message.from,
+                                  ev.message.id, ve.when);
         proc.automaton->on_message(ctx, ev.message);
         break;
       }
@@ -194,6 +204,8 @@ class SimulatorImpl {
         if (injector_ && injector_->crashed(ev.processor, now_)) {
           ++suppressed_timers_;
           metrics_increment(options_.metrics, "fault.suppressed_timers");
+          if (trace_ != nullptr)
+            trace_->record_timer_suppressed(now_, ev.processor, ev.timer_at);
           break;  // lost wakeup: crashed nodes miss their timers
         }
         ViewEvent ve;
@@ -202,6 +214,8 @@ class SimulatorImpl {
         ve.timer_at = ev.timer_at;
         proc.history.append(ve);
         ++fired_timers_;
+        if (trace_ != nullptr)
+          trace_->record_timer_fire(now_, ev.processor, ve.when, ev.timer_at);
         proc.automaton->on_timer(ctx, ev.timer_at);
         break;
       }
@@ -226,6 +240,8 @@ class SimulatorImpl {
     ve.msg = msg.id;
     ve.peer = to;
     sender.history.append(ve);
+    if (trace_ != nullptr)
+      trace_->record_send(now_, from, to, msg.id, ve.when);
 
     const std::size_t link = it->second;
     const bool a_to_b = from < to;
@@ -233,6 +249,8 @@ class SimulatorImpl {
     if (delay < 0.0) throw Error("sampler produced a negative delay");
     if (!std::isfinite(delay)) {
       ++lost_;  // message lost in transit: sent, never delivered
+      if (trace_ != nullptr)
+        trace_->record_loss(now_, from, to, msg.id, LossCause::kSampler);
       return;
     }
 
@@ -245,8 +263,15 @@ class SimulatorImpl {
                                  std::max(from, to), now_);
     if (fault.drop) {
       ++fault_dropped_;
+      if (trace_ != nullptr)
+        trace_->record_loss(now_, from, to, msg.id,
+                            fault.cause == DropCause::kLinkDown
+                                ? LossCause::kLinkDown
+                                : LossCause::kFaultDrop);
       return;  // sent, never delivered (same observable shape as loss)
     }
+    if (fault.extra_delay > 0.0 && trace_ != nullptr)
+      trace_->record_spike(now_, from, to, msg.id, fault.extra_delay);
     delay += fault.extra_delay;
 
     // A message cannot be consumed before its receiver starts executing; if
@@ -265,6 +290,8 @@ class SimulatorImpl {
       // Second delivery of the *same* message id, a little later — the
       // pairing layer's duplicate hazard made real.
       ++duplicated_;
+      if (trace_ != nullptr)
+        trace_->record_duplicate(now_, from, to, msg.id, fault.duplicate_lag);
       SimEvent dup;
       dup.kind = SimEvent::Kind::kDelivery;
       dup.processor = to;
@@ -283,6 +310,8 @@ class SimulatorImpl {
     ve.when = now_clock;
     ve.timer_at = at;
     proc.history.append(ve);
+    if (trace_ != nullptr)
+      trace_->record_timer_set(now_, pid, now_clock, at);
 
     SimEvent ev;
     ev.kind = SimEvent::Kind::kTimer;
@@ -294,6 +323,7 @@ class SimulatorImpl {
   const SystemModel& model_;
   std::vector<std::unique_ptr<DelaySampler>> samplers_;
   SimOptions options_;
+  TraceSink* trace_;
 
   std::vector<Proc> procs_;
   std::vector<Rng> link_rngs_;

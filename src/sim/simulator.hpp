@@ -20,6 +20,8 @@
 
 namespace cs {
 
+class TraceSink;
+
 using AutomatonFactory =
     std::function<std::unique_ptr<Automaton>(ProcessorId)>;
 
@@ -58,6 +60,13 @@ struct SimOptions {
   /// Optional instrumentation sink for the "fault.*" counters and any
   /// future sim-side series.  nullptr = off.
   Metrics* metrics{nullptr};
+
+  /// Optional execution-trace sink (sim/trace_sink.hpp): receives every
+  /// event of the run — sends, deliveries, fault decisions with cause,
+  /// timers — in dispatch order with ground-truth real times.  Feed a
+  /// cs::TraceWriter (src/trace) here to capture a replayable trace.
+  /// nullptr = off.  Must outlive the simulate() call.
+  TraceSink* trace{nullptr};
 };
 
 struct SimResult {

@@ -1,0 +1,81 @@
+// The simulator's trace hook: every observable (and every faulted) event
+// of a run, in dispatch order, with ground-truth real times.
+//
+// TraceSink is the seam between the simulator and the execution-trace
+// subsystem (src/trace): the simulator calls these hooks as it dispatches,
+// and src/trace's TraceWriter serializes them into the versioned
+// chronosync-trace format.  Keeping the interface here (and the
+// serialization there) preserves the layering — cs_sim knows nothing about
+// file formats, cs_trace knows nothing about event queues.
+//
+// Hook order contract: hooks fire in the exact order the corresponding
+// History::append calls happen (deliveries and timer fires before the
+// automaton callback they trigger, sends inside it), so a single pass over
+// the recorded events rebuilds every processor's View verbatim.  That is
+// what makes replay (src/trace/replay.hpp) possible without a simulator.
+#pragma once
+
+#include "common/time.hpp"
+#include "model/ids.hpp"
+
+namespace cs {
+
+class SystemModel;
+struct SimOptions;
+struct SimResult;
+
+/// Why a sent message never produced a delivery event.
+enum class LossCause : std::uint8_t {
+  kSampler,   ///< the delay sampler drew +inf (modeled transit loss)
+  kFaultDrop, ///< FaultPlan drop_probability fired
+  kLinkDown,  ///< sent during a FaultPlan link outage window
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once, before any event, with the model and the options of the
+  /// run (ground-truth start offsets, seed, clock rates).
+  virtual void begin_run(const SystemModel& model,
+                         const SimOptions& options) = 0;
+
+  /// Message departure: `when` is the sender's clock at the send.
+  virtual void record_send(RealTime t, ProcessorId from, ProcessorId to,
+                           MessageId msg, ClockTime when) = 0;
+
+  /// Message delivery consumed by a live receiver.
+  virtual void record_delivery(RealTime t, ProcessorId to, ProcessorId from,
+                               MessageId msg, ClockTime when) = 0;
+
+  /// Message sent but never delivered, with the cause of the loss.
+  virtual void record_loss(RealTime t, ProcessorId from, ProcessorId to,
+                           MessageId msg, LossCause cause) = 0;
+
+  /// Fault decision: a duplicate delivery of `msg` was scheduled `lag`
+  /// seconds after the first copy.
+  virtual void record_duplicate(RealTime t, ProcessorId from, ProcessorId to,
+                                MessageId msg, double lag) = 0;
+
+  /// Fault decision: the message's delay was inflated by `extra` seconds.
+  virtual void record_spike(RealTime t, ProcessorId from, ProcessorId to,
+                            MessageId msg, double extra) = 0;
+
+  /// A delivery arrived at a crashed processor and was discarded.
+  virtual void record_crash_drop(RealTime t, ProcessorId to,
+                                 ProcessorId from, MessageId msg) = 0;
+
+  virtual void record_timer_set(RealTime t, ProcessorId pid, ClockTime now,
+                                ClockTime at) = 0;
+  virtual void record_timer_fire(RealTime t, ProcessorId pid, ClockTime when,
+                                 ClockTime at) = 0;
+
+  /// A timer fired while its processor was crashed (lost wakeup).
+  virtual void record_timer_suppressed(RealTime t, ProcessorId pid,
+                                       ClockTime at) = 0;
+
+  /// Called once after the last event with the run's summary tallies.
+  virtual void end_run(const SimResult& result) = 0;
+};
+
+}  // namespace cs

@@ -1,0 +1,97 @@
+// Recording side of the trace subsystem.
+//
+// TraceWriter implements the simulator's TraceSink: point
+// SimOptions::trace at one, run simulate(), then append the replay plan,
+// the per-epoch outcomes and the counters, and finish() to serialize.  The
+// writer accumulates the full Trace in memory and dumps it in one pass, so
+// there is exactly one formatter (save_trace) and one parser (load_trace)
+// for the format.
+//
+// record_run() is the one-call driver the CLI, tests and examples use:
+// simulate → epoch pipeline → fully recorded trace, with every
+// deterministic counter captured for replay verification.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace cs {
+
+class TraceWriter final : public TraceSink {
+ public:
+  /// Serialize to `os` on finish().  The stream must outlive the writer.
+  explicit TraceWriter(std::ostream& os) : os_(&os) {}
+
+  /// Serialize to `path` on finish().
+  explicit TraceWriter(std::string path) : path_(std::move(path)) {}
+
+  // TraceSink (called by the simulator):
+  void begin_run(const SystemModel& model, const SimOptions& options) override;
+  void record_send(RealTime t, ProcessorId from, ProcessorId to,
+                   MessageId msg, ClockTime when) override;
+  void record_delivery(RealTime t, ProcessorId to, ProcessorId from,
+                       MessageId msg, ClockTime when) override;
+  void record_loss(RealTime t, ProcessorId from, ProcessorId to,
+                   MessageId msg, LossCause cause) override;
+  void record_duplicate(RealTime t, ProcessorId from, ProcessorId to,
+                        MessageId msg, double lag) override;
+  void record_spike(RealTime t, ProcessorId from, ProcessorId to,
+                    MessageId msg, double extra) override;
+  void record_crash_drop(RealTime t, ProcessorId to, ProcessorId from,
+                         MessageId msg) override;
+  void record_timer_set(RealTime t, ProcessorId pid, ClockTime now,
+                        ClockTime at) override;
+  void record_timer_fire(RealTime t, ProcessorId pid, ClockTime when,
+                         ClockTime at) override;
+  void record_timer_suppressed(RealTime t, ProcessorId pid,
+                               ClockTime at) override;
+  void end_run(const SimResult& result) override;
+
+  // Post-simulation sections (any order; finish() serializes canonically):
+  void plan(const ReplayPlan& plan);
+  void outcome(const EpochOutcome& epoch);
+  void counters(const Metrics& metrics);
+
+  /// The accumulated trace (valid any time; complete after the sections
+  /// above were fed).
+  const Trace& trace() const { return trace_; }
+
+  /// Serialize the accumulated trace to the target stream/file.  Throws
+  /// cs::Error if called twice or if the file cannot be written.
+  void finish();
+
+ private:
+  std::ostream* os_{nullptr};
+  std::string path_;
+  Trace trace_;
+  bool finished_{false};
+};
+
+/// One-call record driver: simulate under `sim_options` (with this writer
+/// wired in as the trace sink and a fresh Metrics as the sink for all
+/// "fault.*" and pipeline counters), drive the epoch pipeline per `plan`,
+/// record outcomes + counters, and finish() the writer.
+///
+/// If `plan.boundaries` is empty, a single epoch boundary is synthesized
+/// one second past the last recorded clock time (every event is in the
+/// cut), and the synthesized boundary is what gets recorded.
+///
+/// Any `metrics`/`trace` sinks already present in `sim_options` and
+/// `plan.options.sync` are replaced by the writer's own.
+struct RecordResult {
+  SimResult sim;
+  std::vector<EpochOutcome> epochs;
+  Metrics metrics;
+  ReplayPlan plan;  ///< the plan as recorded (boundaries filled in)
+};
+
+RecordResult record_run(const SystemModel& model,
+                        const AutomatonFactory& factory,
+                        const SimOptions& sim_options, const ReplayPlan& plan,
+                        TraceWriter& writer);
+
+}  // namespace cs

@@ -1,0 +1,103 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(MetricSeries, MergeOfEmptyIsIdentity) {
+  MetricSeries a;
+  a.count = 3;
+  a.sum = 9.0;
+  a.min = 2.0;
+  a.max = 4.0;
+
+  // Regression: a never-observed series is zero-initialized; folding it in
+  // must not drag min to 0 (or max, for all-negative observations).
+  MetricSeries empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 9.0);
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 4.0);
+}
+
+TEST(MetricSeries, MergeIntoEmptyAdoptsOther) {
+  MetricSeries a;
+  MetricSeries b;
+  b.count = 2;
+  b.sum = -6.0;
+  b.min = -4.0;
+  b.max = -2.0;
+  a.merge(b);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_DOUBLE_EQ(a.sum, -6.0);
+  EXPECT_DOUBLE_EQ(a.min, -4.0);
+  EXPECT_DOUBLE_EQ(a.max, -2.0);  // not poisoned to 0 by a's zero state
+}
+
+TEST(MetricSeries, MergeFoldsBothSummaries) {
+  MetricSeries a;
+  a.count = 1;
+  a.sum = 5.0;
+  a.min = 5.0;
+  a.max = 5.0;
+  MetricSeries b;
+  b.count = 2;
+  b.sum = 3.0;
+  b.min = 1.0;
+  b.max = 2.0;
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 8.0);
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+}
+
+TEST(Metrics, MergePreservesSeriesBoundsAcrossRuns) {
+  // The original bug: Metrics::merge value-initialized the destination
+  // series, so every merged series acquired min = 0 (and max = 0 for
+  // negative-valued series) regardless of the actual observations.
+  Metrics run1;
+  run1.observe("stage.seconds", 5.0);
+  Metrics run2;
+  run2.observe("stage.seconds", 7.0);
+
+  Metrics total;
+  total.merge(run1);
+  total.merge(run2);
+
+  const MetricSeries* s = total.series("stage.seconds");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 2u);
+  EXPECT_DOUBLE_EQ(s->sum, 12.0);
+  EXPECT_DOUBLE_EQ(s->min, 5.0);  // was 0.0 before the fix
+  EXPECT_DOUBLE_EQ(s->max, 7.0);
+}
+
+TEST(Metrics, MergeAllNegativeSeries) {
+  Metrics run;
+  run.observe("drift", -3.0);
+  run.observe("drift", -1.0);
+
+  Metrics total;
+  total.merge(run);
+  const MetricSeries* s = total.series("drift");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->min, -3.0);
+  EXPECT_DOUBLE_EQ(s->max, -1.0);  // was 0.0 before the fix
+}
+
+TEST(Metrics, MergeAddsCounters) {
+  Metrics a;
+  a.increment("x", 2);
+  Metrics b;
+  b.increment("x", 3);
+  b.increment("y");
+  a.merge(b);
+  EXPECT_EQ(a.counter("x"), 5u);
+  EXPECT_EQ(a.counter("y"), 1u);
+}
+
+}  // namespace
+}  // namespace cs

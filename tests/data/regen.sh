@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Regenerate the golden traces.  Run from the repo root after building:
+#
+#   cmake --build build -j --target cs_sync && sh tests/data/regen.sh
+#
+# Only do this after an *intentional* pipeline change, and audit the diff:
+# the goldens pin the bit-exact numeric behavior of the epoch pipeline.
+# The recorded events depend on this machine's libm via the delay samplers,
+# so regeneration rewrites every event line — what must stay invariant
+# across regenerations on any platform is that replay matches the recording.
+set -eu
+cd "$(dirname "$0")"
+CS_SYNC=${CS_SYNC:-../../build/tools/cs_sync}
+
+# Fault-free: 5-ring, ping-pong probing, one epoch over everything.
+"$CS_SYNC" simulate golden_clean.trace \
+  --topology ring --n 5 --seed 42 --skew 0.2
+
+# 20% message loss plus a crashed processor, three cumulative epochs.
+"$CS_SYNC" simulate golden_faulty.trace \
+  --topology ring --n 6 --seed 7 --proto beacon \
+  --warmup 0.1 --period 0.05 --count 40 \
+  --drop 0.2 --crash 5:1.5 --fault-seed 99 \
+  --boundaries 0.8,1.4,2.0
+
+# Sliding-window epochs with staleness carry-forward over the same faults.
+"$CS_SYNC" simulate golden_windowed.trace \
+  --topology ring --n 6 --seed 7 --skew 0.1 --proto beacon \
+  --warmup 0.1 --period 0.05 --count 40 \
+  --drop 0.2 --crash 5:1.5 --fault-seed 99 \
+  --boundaries 0.8,1.4,2.0 --window 0.6 \
+  --carry --widen 0.005 --max-age 2

@@ -1,0 +1,85 @@
+// Consistency of the two fault-accounting channels: the SimResult summary
+// tallies and the "fault.*" counters in SimOptions::metrics must describe
+// the same run (docs/FAULTS.md pins the schema).
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "proto/beacon.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(FaultMetrics, TalliesMatchCounters) {
+  SystemModel model = test::bounded_model(make_ring(6), 0.002, 0.010);
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.default_link.drop_probability = 0.2;
+  plan.default_link.duplicate_probability = 0.1;
+  plan.default_link.spike_probability = 0.1;
+  plan.default_link.spike_magnitude = 0.02;
+  plan.link(2, 3).down.push_back(TimeWindow{RealTime{0.5}, RealTime{1.5}});
+  plan.crash(5, RealTime{1.0});
+
+  Metrics metrics;
+  SimOptions opts;
+  opts.start_offsets.assign(6, Duration{0.0});
+  opts.seed = 17;
+  opts.faults = &plan;
+  opts.metrics = &metrics;
+
+  BeaconParams probe;
+  probe.warmup = Duration{0.1};
+  probe.period = Duration{0.05};
+  probe.count = 50;
+  const SimResult sim = simulate(model, make_beacon(probe), opts);
+
+  // The run must actually exercise every fault path, or the assertions
+  // below are vacuous.
+  ASSERT_GT(sim.fault_dropped_messages, 0u);
+  ASSERT_GT(sim.duplicated_messages, 0u);
+  ASSERT_GT(sim.crash_dropped_deliveries, 0u);
+  ASSERT_GT(metrics.counter("fault.link_down_drops"), 0u);
+  ASSERT_GT(metrics.counter("fault.delay_spikes"), 0u);
+
+  // SimResult folds random drops and outage drops into one tally; the
+  // counters carry the split.
+  EXPECT_EQ(sim.fault_dropped_messages,
+            metrics.counter("fault.dropped") +
+                metrics.counter("fault.link_down_drops"));
+  EXPECT_EQ(sim.duplicated_messages, metrics.counter("fault.duplicated"));
+  EXPECT_EQ(sim.crash_dropped_deliveries,
+            metrics.counter("fault.crash_dropped_deliveries"));
+  EXPECT_EQ(sim.suppressed_timers,
+            metrics.counter("fault.suppressed_timers"));
+}
+
+TEST(FaultMetrics, FaultFreeRunHasZeroFaultCounters) {
+  SystemModel model = test::bounded_model(make_ring(4), 0.002, 0.010);
+  Metrics metrics;
+  SimOptions opts;
+  opts.start_offsets.assign(4, Duration{0.0});
+  opts.seed = 3;
+  opts.metrics = &metrics;
+
+  BeaconParams probe;
+  probe.warmup = Duration{0.1};
+  probe.period = Duration{0.05};
+  probe.count = 10;
+  const SimResult sim = simulate(model, make_beacon(probe), opts);
+
+  EXPECT_EQ(sim.fault_dropped_messages, 0u);
+  EXPECT_EQ(sim.duplicated_messages, 0u);
+  EXPECT_EQ(sim.crash_dropped_deliveries, 0u);
+  EXPECT_EQ(sim.suppressed_timers, 0u);
+  for (const auto& [name, value] : metrics.counters())
+    if (name.rfind("fault.", 0) == 0)
+      EXPECT_EQ(value, 0u) << name;
+}
+
+}  // namespace
+}  // namespace cs

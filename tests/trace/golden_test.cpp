@@ -1,0 +1,74 @@
+// Golden traces: checked-in recordings that every build must replay
+// bit-identically.  A failure here means the pipeline's numeric behavior
+// changed — either an intentional algorithm change (regenerate via
+// tests/data/regen.sh and audit the diff) or a regression.
+//
+// Replaying a golden uses only the parser and IEEE arithmetic — no
+// simulator, no RNG, no libm-dependent sampling — so these are stable
+// across platforms and toolchains.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
+
+#ifndef CS_TEST_DATA_DIR
+#error "CS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace cs {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(CS_TEST_DATA_DIR) + "/" + name;
+}
+
+class GoldenTrace : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenTrace, ReplaysBitIdentically) {
+  const Trace trace = load_trace_file(data_path(GetParam()));
+  ASSERT_FALSE(trace.recorded.empty()) << "golden has no recorded outcomes";
+  const ReplayResult result = replay(trace);
+  EXPECT_TRUE(result.matches_recording()) << [&] {
+    std::string all;
+    for (const std::string& d : result.divergences) all += d + "\n";
+    return all;
+  }();
+}
+
+TEST_P(GoldenTrace, SerializationRoundTripIsStable) {
+  const Trace trace = load_trace_file(data_path(GetParam()));
+  std::stringstream ss;
+  save_trace(ss, trace);
+  const Trace back = load_trace(ss);
+  EXPECT_TRUE(diff_traces(trace, back).empty());
+
+  // Byte-stable too: the on-disk golden is exactly what save_trace emits
+  // (so regenerating without a pipeline change produces no diff noise).
+  std::ifstream file(data_path(GetParam()));
+  std::ostringstream disk;
+  disk << file.rdbuf();
+  EXPECT_EQ(ss.str(), disk.str());
+}
+
+TEST_P(GoldenTrace, RerecordingIsIdempotent) {
+  const Trace trace = load_trace_file(data_path(GetParam()));
+  const ReplayResult result = replay(trace);
+  EXPECT_TRUE(diff_traces(trace, rerecorded(trace, result)).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Goldens, GoldenTrace,
+                         ::testing::Values("golden_clean.trace",
+                                           "golden_faulty.trace",
+                                           "golden_windowed.trace"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           return name.substr(7, name.find('.') - 7);
+                         });
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,641 @@
+// cs_sync — the command-line driver for the chronosync pipeline.
+//
+//   cs_sync simulate <out.trace> [flags]   record a run as a replayable trace
+//   cs_sync sync <views> <model> [flags]   offline synchronization (§3–§6)
+//   cs_sync replay <trace> [flags]         deterministic replay + self-check
+//   cs_sync diff <a.trace> <b.trace>       structural trace comparison
+//   cs_sync metrics <trace> [flags]        replay and dump counters/metrics
+//
+// Every subcommand takes --json for machine-readable output.  Exit codes:
+// 0 success, 1 divergences found (replay/diff), 2 usage error, 3 runtime
+// error.  Run with no arguments (or --help) for the full flag reference.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/epochs.hpp"
+#include "core/synchronizer.hpp"
+#include "delaymodel/constraint.hpp"
+#include "graph/topology.hpp"
+#include "io/views_io.hpp"
+#include "proto/beacon.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace cs;
+
+constexpr int kExitOk = 0;
+constexpr int kExitDivergence = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+
+struct UsageError {
+  std::string message;
+};
+
+[[noreturn]] void usage_fail(const std::string& message) {
+  throw UsageError{message};
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+
+/// Hand-rolled `--flag value` / `--switch` parser.  Flags may appear in any
+/// order, interleaved with positionals; unknown flags are usage errors.
+class Args {
+ public:
+  Args(int argc, char** argv, std::set<std::string> valued,
+       std::set<std::string> switches)
+      : valued_(std::move(valued)), switches_(std::move(switches)) {
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      if (switches_.count(arg) != 0) {
+        set_switches_.insert(arg);
+        continue;
+      }
+      if (valued_.count(arg) == 0) usage_fail("unknown flag '" + arg + "'");
+      if (i + 1 >= argc) usage_fail("flag '" + arg + "' needs a value");
+      values_[arg] = argv[++i];
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool on(const std::string& name) const {
+    return set_switches_.count(name) != 0;
+  }
+
+  bool has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::set<std::string> valued_, switches_, set_switches_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  if (text == "inf") return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    usage_fail("flag '" + flag + "': '" + text + "' is not a number");
+  return v;
+}
+
+std::uint64_t parse_u64_flag(const std::string& flag,
+                             const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || text[0] == '-')
+    usage_fail("flag '" + flag + "': '" + text +
+               "' is not a non-negative integer");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream is(text);
+  while (std::getline(is, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers
+
+std::string num(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "inf";
+  if (v == -std::numeric_limits<double>::infinity()) return "-inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// JSON number: "inf" is not valid JSON, so infinities become strings.
+std::string jnum(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "\"inf\"";
+  if (v == -std::numeric_limits<double>::infinity()) return "\"-inf\"";
+  return num(v);
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string jarray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += jnum(values[i]);
+  }
+  return out + "]";
+}
+
+std::string jarray(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += jstr(values[i]);
+  }
+  return out + "]";
+}
+
+std::string jmap(const std::map<std::string, std::uint64_t>& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ", ";
+    first = false;
+    out += jstr(k) + ": " + std::to_string(v);
+  }
+  return out + "}";
+}
+
+// ---------------------------------------------------------------------------
+// Shared option builders
+
+SyncOptions sync_options_from(const Args& args) {
+  SyncOptions opts;
+  if (args.has("--root"))
+    opts.root = static_cast<NodeId>(
+        parse_u64_flag("--root", args.get("--root")));
+  const std::string apsp = args.get("--apsp", "johnson");
+  if (apsp == "johnson")
+    opts.apsp = ApspAlgorithm::kJohnson;
+  else if (apsp == "floyd-warshall")
+    opts.apsp = ApspAlgorithm::kFloydWarshall;
+  else
+    usage_fail("--apsp must be johnson or floyd-warshall, got '" + apsp +
+               "'");
+  const std::string cm = args.get("--cycle-mean", "karp");
+  if (cm == "karp")
+    opts.cycle_mean = CycleMeanAlgorithm::kKarp;
+  else if (cm == "howard")
+    opts.cycle_mean = CycleMeanAlgorithm::kHoward;
+  else
+    usage_fail("--cycle-mean must be karp or howard, got '" + cm + "'");
+  const std::string match = args.get("--match", "strict");
+  if (match == "strict")
+    opts.match = MatchPolicy::kStrict;
+  else if (match == "drop-orphans")
+    opts.match = MatchPolicy::kDropOrphans;
+  else
+    usage_fail("--match must be strict or drop-orphans, got '" + match +
+               "'");
+  return opts;
+}
+
+ReplayPlan plan_from(const Args& args) {
+  ReplayPlan plan;
+  plan.options.sync = sync_options_from(args);
+  plan.incremental = !args.on("--rebuild");
+  if (args.has("--window"))
+    plan.options.window =
+        Duration{parse_double_flag("--window", args.get("--window"))};
+  if (args.on("--carry")) plan.options.staleness.carry_forward = true;
+  if (args.has("--widen")) {
+    plan.options.staleness.carry_forward = true;
+    plan.options.staleness.widen_per_epoch =
+        parse_double_flag("--widen", args.get("--widen"));
+  }
+  if (args.has("--max-age")) {
+    plan.options.staleness.carry_forward = true;
+    plan.options.staleness.max_carry_epochs = static_cast<std::size_t>(
+        parse_u64_flag("--max-age", args.get("--max-age")));
+  }
+  if (args.has("--boundaries")) {
+    for (const std::string& part :
+         split(args.get("--boundaries"), ','))
+      plan.boundaries.push_back(
+          ClockTime{parse_double_flag("--boundaries", part)});
+  }
+  return plan;
+}
+
+void describe_epoch(std::size_t k, const EpochOutcome& ep) {
+  std::printf("epoch %zu  boundary %s  precision %s  coverage %zu/%zu  "
+              "carried %zu  paired %zu\n",
+              k, num(ep.boundary.sec).c_str(),
+              num(ep.sync.optimal_precision.value()).c_str(),
+              ep.coverage.observed_directions, ep.coverage.total_directions,
+              ep.carried_edges, ep.pairing.paired);
+}
+
+std::string epoch_json(const EpochOutcome& ep) {
+  std::string out = "{";
+  out += "\"boundary\": " + jnum(ep.boundary.sec);
+  out += ", \"precision\": " + jnum(ep.sync.optimal_precision.value());
+  out += ", \"coverage\": [" +
+         std::to_string(ep.coverage.observed_directions) + ", " +
+         std::to_string(ep.coverage.total_directions) + "]";
+  out += ", \"carried_edges\": " + std::to_string(ep.carried_edges);
+  out += ", \"paired\": " + std::to_string(ep.pairing.paired);
+  out += ", \"corrections\": " + jarray(ep.sync.corrections);
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// simulate
+
+int cmd_simulate(const Args& args) {
+  if (args.positional().empty())
+    usage_fail("simulate needs an output trace path");
+  const std::string out_path = args.positional()[0];
+
+  const std::uint64_t seed =
+      parse_u64_flag("--seed", args.get("--seed", "1"));
+  Rng rng(seed);
+
+  // The system: an explicit model file, or a generated topology with
+  // uniform [lower, upper] bounds on every link.
+  SystemModel model = [&] {
+    if (args.has("--model")) return load_model_file(args.get("--model"));
+    const std::size_t n = static_cast<std::size_t>(
+        parse_u64_flag("--n", args.get("--n", "5")));
+    SystemModel m(make_named(args.get("--topology", "ring"), n, rng));
+    const double lower =
+        parse_double_flag("--lower", args.get("--lower", "0.002"));
+    const double upper =
+        parse_double_flag("--upper", args.get("--upper", "0.010"));
+    for (auto [a, b] : m.topology().links)
+      m.set_constraint(make_bounds(a, b, lower, upper));
+    return m;
+  }();
+  const std::size_t n = model.processor_count();
+
+  // The interactive part.
+  AutomatonFactory factory;
+  const std::string proto = args.get("--proto", "ping-pong");
+  if (proto == "ping-pong") {
+    PingPongParams params;
+    params.warmup =
+        Duration{parse_double_flag("--warmup", args.get("--warmup", "0.5"))};
+    params.spacing = Duration{
+        parse_double_flag("--spacing", args.get("--spacing", "0.05"))};
+    params.rounds = static_cast<std::size_t>(
+        parse_u64_flag("--rounds", args.get("--rounds", "4")));
+    factory = make_ping_pong(params);
+  } else if (proto == "beacon") {
+    BeaconParams params;
+    params.warmup =
+        Duration{parse_double_flag("--warmup", args.get("--warmup", "0.5"))};
+    params.period = Duration{
+        parse_double_flag("--period", args.get("--period", "0.1"))};
+    params.count = static_cast<std::size_t>(
+        parse_u64_flag("--count", args.get("--count", "5")));
+    factory = make_beacon(params);
+  } else {
+    usage_fail("--proto must be ping-pong or beacon, got '" + proto + "'");
+  }
+
+  // The environment.
+  SimOptions sim_opts;
+  sim_opts.seed = seed;
+  const double skew = parse_double_flag("--skew", args.get("--skew", "0"));
+  if (skew > 0.0) {
+    Rng skew_rng = rng.split(0x5EEDu);
+    sim_opts.start_offsets = random_start_offsets(n, skew, skew_rng);
+  } else {
+    sim_opts.start_offsets.assign(n, Duration{0.0});
+  }
+  if (args.has("--delay-scale"))
+    sim_opts.delay_scale =
+        parse_double_flag("--delay-scale", args.get("--delay-scale"));
+
+  FaultPlan faults;
+  bool any_faults = false;
+  faults.seed = parse_u64_flag("--fault-seed",
+                               args.get("--fault-seed", "64279"));
+  if (args.has("--drop")) {
+    faults.default_link.drop_probability =
+        parse_double_flag("--drop", args.get("--drop"));
+    any_faults = true;
+  }
+  if (args.has("--dup")) {
+    faults.default_link.duplicate_probability =
+        parse_double_flag("--dup", args.get("--dup"));
+    any_faults = true;
+  }
+  if (args.has("--spike")) {
+    faults.default_link.spike_probability =
+        parse_double_flag("--spike", args.get("--spike"));
+    faults.default_link.spike_magnitude = parse_double_flag(
+        "--spike-mag", args.get("--spike-mag", "0.05"));
+    any_faults = true;
+  }
+  if (args.has("--down")) {
+    // --down a:b:from:until — a link outage window.
+    const auto parts = split(args.get("--down"), ':');
+    if (parts.size() != 4) usage_fail("--down wants a:b:from:until");
+    const auto a =
+        static_cast<ProcessorId>(parse_u64_flag("--down", parts[0]));
+    const auto b =
+        static_cast<ProcessorId>(parse_u64_flag("--down", parts[1]));
+    faults.link(a, b).down.push_back(
+        TimeWindow{RealTime{parse_double_flag("--down", parts[2])},
+                   RealTime{parse_double_flag("--down", parts[3])}});
+    any_faults = true;
+  }
+  if (args.has("--crash")) {
+    // --crash pid:from[:until] — a processor crash window.
+    const auto parts = split(args.get("--crash"), ':');
+    if (parts.size() != 2 && parts.size() != 3)
+      usage_fail("--crash wants pid:from[:until]");
+    const auto pid =
+        static_cast<ProcessorId>(parse_u64_flag("--crash", parts[0]));
+    const RealTime from{parse_double_flag("--crash", parts[1])};
+    if (parts.size() == 3)
+      faults.crash(pid, from,
+                   RealTime{parse_double_flag("--crash", parts[2])});
+    else
+      faults.crash(pid, from);
+    any_faults = true;
+  }
+  if (any_faults) sim_opts.faults = &faults;
+
+  const ReplayPlan plan = plan_from(args);
+
+  TraceWriter writer(out_path);
+  const RecordResult result =
+      record_run(model, factory, sim_opts, plan, writer);
+
+  if (args.has("--views"))
+    save_views_file(args.get("--views"), result.sim.execution.views());
+
+  if (args.on("--json")) {
+    std::string out = "{\"trace\": " + jstr(out_path);
+    out += ", \"processors\": " + std::to_string(n);
+    out += ", \"seed\": " + std::to_string(seed);
+    out += ", \"delivered\": " +
+           std::to_string(result.sim.delivered_messages);
+    out += ", \"fault_dropped\": " +
+           std::to_string(result.sim.fault_dropped_messages);
+    out += ", \"epochs\": [";
+    for (std::size_t k = 0; k < result.epochs.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += epoch_json(result.epochs[k]);
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return kExitOk;
+  }
+
+  std::printf("recorded %s: %zu processors, %zu events, %zu epochs\n",
+              out_path.c_str(), n, writer.trace().events.size(),
+              result.epochs.size());
+  std::printf("delivered %zu  lost %zu  fault-dropped %zu  duplicated %zu  "
+              "crash-dropped %zu\n",
+              result.sim.delivered_messages, result.sim.lost_messages,
+              result.sim.fault_dropped_messages,
+              result.sim.duplicated_messages,
+              result.sim.crash_dropped_deliveries);
+  for (std::size_t k = 0; k < result.epochs.size(); ++k)
+    describe_epoch(k, result.epochs[k]);
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// sync
+
+int cmd_sync(const Args& args) {
+  if (args.positional().size() != 2)
+    usage_fail("sync needs exactly <views-file> <model-file>");
+  const std::vector<View> views = load_views_file(args.positional()[0]);
+  const SystemModel model = load_model_file(args.positional()[1]);
+  const SyncOptions opts = sync_options_from(args);
+  const SyncOutcome outcome = synchronize(model, views, opts);
+
+  if (args.on("--json")) {
+    std::string out = "{\"precision\": " +
+                      jnum(outcome.optimal_precision.value());
+    out += ", \"bounded\": ";
+    out += outcome.bounded() ? "true" : "false";
+    out += ", \"corrections\": " + jarray(outcome.corrections);
+    if (!outcome.bounded())
+      out += ", \"component_precision\": " +
+             jarray(outcome.component_precision);
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return kExitOk;
+  }
+
+  std::printf("precision %s\n",
+              num(outcome.optimal_precision.value()).c_str());
+  for (std::size_t p = 0; p < outcome.corrections.size(); ++p)
+    std::printf("correction %zu %s\n", p,
+                num(outcome.corrections[p]).c_str());
+  if (!outcome.bounded())
+    for (std::size_t c = 0; c < outcome.component_precision.size(); ++c)
+      std::printf("component %zu precision %s\n", c,
+                  num(outcome.component_precision[c]).c_str());
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// replay
+
+int cmd_replay(const Args& args) {
+  if (args.positional().size() != 1)
+    usage_fail("replay needs exactly one <trace-file>");
+  const Trace trace = load_trace_file(args.positional()[0]);
+  const ReplayResult result = replay(trace);
+
+  if (args.has("--rerecord"))
+    save_trace_file(args.get("--rerecord"), rerecorded(trace, result));
+
+  if (args.on("--json")) {
+    std::string out = "{\"epochs\": " + std::to_string(result.epochs.size());
+    out += ", \"match\": ";
+    out += result.matches_recording() ? "true" : "false";
+    out += ", \"divergences\": " + jarray(result.divergences) + "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    for (std::size_t k = 0; k < result.epochs.size(); ++k)
+      describe_epoch(k, result.epochs[k]);
+    if (result.matches_recording()) {
+      std::printf("replay matches the recording (%zu events, %zu epochs)\n",
+                  trace.events.size(), result.epochs.size());
+    } else {
+      for (const std::string& d : result.divergences)
+        std::printf("divergence: %s\n", d.c_str());
+    }
+  }
+  return result.matches_recording() ? kExitOk : kExitDivergence;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+int cmd_diff(const Args& args) {
+  if (args.positional().size() != 2)
+    usage_fail("diff needs exactly <a.trace> <b.trace>");
+  const Trace a = load_trace_file(args.positional()[0]);
+  const Trace b = load_trace_file(args.positional()[1]);
+  const std::size_t cap = static_cast<std::size_t>(
+      parse_u64_flag("--max-reports", args.get("--max-reports", "16")));
+  const std::vector<std::string> divergences = diff_traces(a, b, cap);
+
+  if (args.on("--json")) {
+    std::string out = "{\"equal\": ";
+    out += divergences.empty() ? "true" : "false";
+    out += ", \"divergences\": " + jarray(divergences) + "}";
+    std::printf("%s\n", out.c_str());
+  } else if (divergences.empty()) {
+    std::printf("traces are structurally identical\n");
+  } else {
+    for (const std::string& d : divergences)
+      std::printf("diff: %s\n", d.c_str());
+  }
+  return divergences.empty() ? kExitOk : kExitDivergence;
+}
+
+// ---------------------------------------------------------------------------
+// metrics
+
+int cmd_metrics(const Args& args) {
+  if (args.positional().size() != 1)
+    usage_fail("metrics needs exactly one <trace-file>");
+  const Trace trace = load_trace_file(args.positional()[0]);
+  const ReplayResult result = replay(trace);
+
+  if (args.on("--json")) {
+    std::string out = "{\n\"tallies\": " + jmap(trace.tallies);
+    out += ",\n\"recorded_counters\": " + jmap(trace.counters);
+    out += ",\n\"replayed\": " + result.metrics.to_json(2);
+    out += "\n}";
+    std::printf("%s\n", out.c_str());
+    return kExitOk;
+  }
+
+  for (const auto& [name, value] : trace.tallies)
+    std::printf("tally %s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  for (const auto& [name, value] : result.metrics.counters())
+    std::printf("counter %s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out, R"(cs_sync — chronosync pipeline driver
+
+usage: cs_sync <subcommand> [args] [flags]
+
+subcommands:
+  simulate <out.trace>     record a simulated run as a replayable trace
+  sync <views> <model>     offline synchronization from interchange files
+  replay <trace>           deterministic replay, verified vs. the recording
+  diff <a.trace> <b.trace> structural trace comparison
+  metrics <trace>          replay and dump tallies/counters
+
+common flags:
+  --json                   machine-readable output
+  --root N --apsp johnson|floyd-warshall --cycle-mean karp|howard
+  --match strict|drop-orphans
+
+simulate flags:
+  --topology ring|line|star|complete|... --n N --lower S --upper S
+  --model FILE             use an explicit chronosync-model file instead
+  --proto ping-pong|beacon --rounds N --spacing S --warmup S
+  --period S --count N     (beacon)
+  --seed U --skew S --delay-scale S
+  --drop P --dup P --spike P --spike-mag S --fault-seed U
+  --down a:b:from:until    link outage window
+  --crash pid:from[:until] processor crash window
+  --boundaries t1,t2,...   epoch schedule (default: one epoch over all)
+  --window S --carry --widen S --max-age N --rebuild
+  --views FILE             also dump the views interchange file
+
+replay flags:
+  --rerecord FILE          write the trace with replayed outcomes
+
+diff flags:
+  --max-reports N          divergence report cap (default 16)
+
+exit codes: 0 ok, 1 divergence found, 2 usage error, 3 runtime error
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    print_usage(argc < 2 ? stderr : stdout);
+    return argc < 2 ? kExitUsage : kExitOk;
+  }
+  const std::string command = argv[1];
+  try {
+    const std::set<std::string> valued{
+        "--root",     "--apsp",      "--cycle-mean", "--match",
+        "--topology", "--n",         "--lower",      "--upper",
+        "--model",    "--proto",     "--rounds",     "--spacing",
+        "--warmup",   "--period",    "--count",      "--seed",
+        "--skew",     "--delay-scale", "--drop",     "--dup",
+        "--spike",    "--spike-mag", "--fault-seed", "--down",
+        "--crash",    "--boundaries", "--window",    "--widen",
+        "--max-age",  "--views",     "--rerecord",   "--max-reports"};
+    const std::set<std::string> switches{"--json", "--carry", "--rebuild"};
+    const Args args(argc - 2, argv + 2, valued, switches);
+
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "sync") return cmd_sync(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "metrics") return cmd_metrics(args);
+    usage_fail("unknown subcommand '" + command + "'");
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "cs_sync: usage error: %s\n", e.message.c_str());
+    std::fprintf(stderr, "run 'cs_sync help' for the flag reference\n");
+    return kExitUsage;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cs_sync: error: %s\n", e.what());
+    return kExitError;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cs_sync: error: %s\n", e.what());
+    return kExitError;
+  }
+}
