@@ -2,14 +2,45 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace cs {
 
+Metrics::Metrics(const Metrics& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = other.counters_;
+  series_ = other.series_;
+}
+
+Metrics::Metrics(Metrics&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = std::move(other.counters_);
+  series_ = std::move(other.series_);
+}
+
+Metrics& Metrics::operator=(const Metrics& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  counters_ = other.counters_;
+  series_ = other.series_;
+  return *this;
+}
+
+Metrics& Metrics::operator=(Metrics&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  counters_ = std::move(other.counters_);
+  series_ = std::move(other.series_);
+  return *this;
+}
+
 void Metrics::increment(const std::string& counter, std::uint64_t by) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[counter] += by;
 }
 
 void Metrics::observe(const std::string& series, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = series_.try_emplace(series);
   MetricSeries& s = it->second;
   if (inserted) {
@@ -24,11 +55,19 @@ void Metrics::observe(const std::string& series, double value) {
 }
 
 std::uint64_t Metrics::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
+MetricSeries Metrics::series_snapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? MetricSeries{} : it->second;
+}
+
 const MetricSeries* Metrics::series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = series_.find(name);
   return it == series_.end() ? nullptr : &it->second;
 }
@@ -46,12 +85,18 @@ void MetricSeries::merge(const MetricSeries& other) {
 }
 
 void Metrics::merge(const Metrics& other) {
+  // Self-merge would scoped_lock the same mutex twice (deadlock) and
+  // corrupt the maps mid-iteration; a == b means every entry is already
+  // accounted for, so it is a no-op by definition.
+  if (this == &other) return;
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
   for (const auto& [name, s] : other.series_)
     series_.try_emplace(name).first->second.merge(s);
 }
 
 void Metrics::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   series_.clear();
 }
@@ -73,6 +118,7 @@ void append_number(std::ostringstream& out, double v) {
 }  // namespace
 
 std::string Metrics::to_json(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::string pad2 = pad + pad;
   const std::string pad3 = pad2 + pad;

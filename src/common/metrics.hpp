@@ -9,13 +9,19 @@
 // observations).  A null sink is always legal — every pipeline entry point
 // takes `Metrics*` defaulting to nullptr and pays nothing when absent.
 //
-// Not thread-safe by design: one Metrics per pipeline run; merge() combines
-// runs after the fact.
+// Thread safety: producers (increment/observe/merge/clear) may run
+// concurrently from any number of threads — the live runtime's transports
+// and agent host share one sink.  Point reads (counter(), series(),
+// to_json()) take the same lock and are safe at any time.  The bulk
+// const-reference accessors counters()/all_series() hand out the internal
+// maps and are safe only once producers have quiesced (after a run, after
+// joining worker threads) — the same moment the numbers become meaningful.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace cs {
@@ -37,6 +43,16 @@ struct MetricSeries {
 
 class Metrics {
  public:
+  Metrics() = default;
+
+  // The mutex kills the defaulted special members; Metrics still travels by
+  // value (RecordResult, LiveReport) so they are written out by hand.  Copy
+  // and move lock the source; each object gets its own fresh mutex.
+  Metrics(const Metrics& other);
+  Metrics(Metrics&& other) noexcept;
+  Metrics& operator=(const Metrics& other);
+  Metrics& operator=(Metrics&& other) noexcept;
+
   /// Adds `by` to the named monotonic counter (created at 0 on first use).
   void increment(const std::string& counter, std::uint64_t by = 1);
 
@@ -74,9 +90,16 @@ class Metrics {
   /// Value of a counter (0 when never incremented).
   std::uint64_t counter(const std::string& name) const;
 
-  /// Series summary, or nullptr when never observed.
+  /// Point-in-time copy of a series summary; count 0 when never observed.
+  /// (A copy, not a pointer: concurrent producers may keep appending.)
+  MetricSeries series_snapshot(const std::string& name) const;
+
+  /// Series summary, or nullptr when never observed.  The pointer stays
+  /// valid for the Metrics' lifetime (map nodes are stable), but reading
+  /// through it is only safe once producers have quiesced.
   const MetricSeries* series(const std::string& name) const;
 
+  /// Quiesced-only bulk accessors (see the thread-safety note above).
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
@@ -85,7 +108,9 @@ class Metrics {
   }
 
   /// Folds another run's metrics into this one (counters add, series
-  /// concatenate).
+  /// concatenate).  Safe against concurrent producers on either side;
+  /// merging a Metrics into itself is a no-op (everything is already
+  /// there), not a deadlock.
   void merge(const Metrics& other);
 
   void clear();
@@ -96,6 +121,7 @@ class Metrics {
   std::string to_json(int indent = 2) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, MetricSeries> series_;
 };

@@ -1,0 +1,11 @@
+// Library version, surfaced by the command-line tools (`cs_sync --version`,
+// `cs_syncd --version`).  Bumped per shipped change set; the minor number
+// tracks the subsystem milestones in CHANGES.md.
+#pragma once
+
+namespace cs {
+
+inline constexpr const char kVersion[] = "0.4.0";
+inline constexpr const char kVersionBanner[] = "chronosync 0.4.0";
+
+}  // namespace cs

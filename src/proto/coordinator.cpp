@@ -5,9 +5,8 @@
 #include <set>
 
 #include "common/error.hpp"
-#include "core/global_estimates.hpp"
 #include "core/local_estimates.hpp"
-#include "core/shifts.hpp"
+#include "core/synchronizer.hpp"
 
 namespace cs {
 
@@ -42,9 +41,22 @@ class CoordinatorAutomaton final : public Automaton {
     report_clock_ = ClockTime{} + params_.report_at;
     if (params_.rounds > 0) ctx.set_timer(ctx.now() + params_.warmup);
     ctx.set_timer(report_clock_);
+    if (self_ == params_.leader && params_.compute_grace > Duration{0.0}) {
+      grace_clock_ = report_clock_ + params_.compute_grace;
+      ctx.set_timer(*grace_clock_);
+    }
   }
 
   void on_timer(Context& ctx, ClockTime at) override {
+    if (grace_clock_.has_value() && at >= *grace_clock_) {
+      // Watchdog: reports are overdue — compute from what arrived rather
+      // than hang forever (degraded mode; see docs/FAULTS.md).
+      if (!computed_ && reports_absorbed_ > 0) {
+        computed_ = true;
+        finish_compute(ctx, /*degraded=*/true);
+      }
+      return;
+    }
     if (at >= report_clock_) {
       send_report(ctx);
       return;
@@ -145,23 +157,34 @@ class CoordinatorAutomaton final : public Automaton {
       gathered_.add(from, origin, d[base + 2]);
     }
     ++reports_absorbed_;
+    results_->reports_absorbed = reports_absorbed_;
   }
 
   void maybe_compute(Context& ctx) {
     if (computed_ || reports_absorbed_ < model_->processor_count()) return;
     computed_ = true;
+    finish_compute(ctx, /*degraded=*/false);
+  }
 
-    const Digraph mls = mls_graph_from_stats(*model_, gathered_);
-    const DistanceMatrix ms = global_shift_estimates(mls);
-    const ShiftsResult shifts = compute_shifts(ms, params_.leader);
+  void finish_compute(Context& ctx, bool degraded) {
+    // synchronize_mls is the full pipeline tail (GLOBAL ESTIMATES +
+    // SHIFTS); unlike a direct compute_shifts it also handles partitioned
+    // graphs — exactly what a degraded, partial report set can produce —
+    // by degrading to per-finiteness-component corrections.
+    SyncOptions options;
+    options.root = params_.leader;
+    const SyncOutcome out =
+        synchronize_mls(mls_graph_from_stats(*model_, gathered_), options);
 
-    results_->claimed_precision = shifts.a_max.value();
-    results_->corrections[self_] = shifts.corrections[self_];
+    results_->claimed_precision = out.optimal_precision.value();
+    results_->corrections[self_] = out.corrections[self_];
+    results_->status = degraded ? CoordinatorStatus::kDegraded
+                                : CoordinatorStatus::kComplete;
 
-    Payload out;
-    out.tag = kTagCoordCorrections;
-    out.data.assign(shifts.corrections.begin(), shifts.corrections.end());
-    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, out);
+    Payload payload;
+    payload.tag = kTagCoordCorrections;
+    payload.data.assign(out.corrections.begin(), out.corrections.end());
+    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, payload);
   }
 
   void handle_corrections(Context& ctx, const Message& msg) {
@@ -179,6 +202,7 @@ class CoordinatorAutomaton final : public Automaton {
   CoordinatorResults* results_;
 
   ClockTime report_clock_{};
+  std::optional<ClockTime> grace_clock_;  // leader watchdog deadline
   std::size_t sent_rounds_{0};
   bool reported_{false};
   bool computed_{false};
@@ -203,8 +227,12 @@ AutomatonFactory make_coordinator(const SystemModel* model,
     throw Error("report_at must come after the probe phase completes");
   if (params.leader >= model->processor_count())
     throw Error("leader id out of range");
+  if (params.compute_grace < Duration{0.0})
+    throw Error("compute_grace must be non-negative");
   results->corrections.assign(model->processor_count(), std::nullopt);
   results->claimed_precision.reset();
+  results->status = CoordinatorStatus::kPending;
+  results->reports_absorbed = 0;
   return [model, params, results](ProcessorId self) {
     return std::make_unique<CoordinatorAutomaton>(self, model, params,
                                                   results);

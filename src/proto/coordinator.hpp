@@ -34,6 +34,20 @@ struct CoordinatorParams {
   /// Must exceed warmup + rounds * spacing (checked).
   Duration report_at{2.0};
   ProcessorId leader{0};
+  /// Watchdog: when positive, the leader computes at clock time
+  /// report_at + compute_grace from whatever reports arrived, instead of
+  /// waiting forever for reports lost to faults.  The outcome is flagged
+  /// kDegraded (and may be per-component when the surviving traffic leaves
+  /// the m̃ls graph partitioned).  Zero = wait indefinitely (historic
+  /// behavior: under message loss the protocol silently never completes).
+  Duration compute_grace{0.0};
+};
+
+/// Where the protocol run ended up, from the leader's point of view.
+enum class CoordinatorStatus : std::uint8_t {
+  kPending,   ///< leader never computed (missing reports, no watchdog)
+  kComplete,  ///< computed from all n reports
+  kDegraded,  ///< watchdog computed from a partial report set
 };
 
 /// Sink filled in as the protocol completes; owned by the caller and shared
@@ -41,6 +55,9 @@ struct CoordinatorParams {
 struct CoordinatorResults {
   std::vector<std::optional<double>> corrections;
   std::optional<double> claimed_precision;  ///< +inf encodes unbounded
+  CoordinatorStatus status{CoordinatorStatus::kPending};
+  /// Reports the leader had absorbed when it computed (n when kComplete).
+  std::size_t reports_absorbed{0};
 
   bool complete() const;
 };

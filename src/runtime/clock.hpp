@@ -1,0 +1,79 @@
+// Time bases for the live runtime.
+//
+// The offline simulator owns real time outright: it *is* the outside
+// observer, advancing `now_` as it pops its event queue.  A live runtime
+// has to get real time from somewhere, and which somewhere decides whether
+// a run is reproducible:
+//
+//   * WallTimeBase reads the process steady clock — the production mode,
+//     and the mode the UDP transport runs under.  Nondeterministic by
+//     nature (scheduling, network timing).
+//   * VirtualTimeBase is advanced explicitly by the agent host as it
+//     dispatches its deterministic event heap — the virtual-time mode the
+//     tier-1 tests run the loopback transport under.  Given identical
+//     seeds and configuration, two virtual runs produce identical event
+//     sequences, identical traces, identical corrections (the determinism
+//     contract; see docs/RUNTIME.md).
+//
+// Per-agent clocks reuse cs::Clock (sim/clock.hpp): the host instantiates
+// one per agent with the configured start offset, and converts between the
+// shared RealTime base and each agent's ClockTime exactly the way the
+// simulator does — same arithmetic, same doubles, which is what makes live
+// corrections bit-comparable with the offline pipeline's.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+
+#include "common/time.hpp"
+
+namespace cs {
+
+class TimeBase {
+ public:
+  virtual ~TimeBase() = default;
+
+  /// Current real time on the shared runtime timeline.
+  virtual RealTime now() const = 0;
+
+  /// True when time only moves via an explicit advance by the host (the
+  /// deterministic mode); false when time flows by itself.
+  virtual bool is_virtual() const = 0;
+};
+
+/// Process steady clock, zeroed at construction.
+class WallTimeBase final : public TimeBase {
+ public:
+  WallTimeBase() : epoch_(std::chrono::steady_clock::now()) {}
+
+  RealTime now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return RealTime{std::chrono::duration<double>(elapsed).count()};
+  }
+  bool is_virtual() const override { return false; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Host-advanced time.  Reads are thread-safe (threaded transports observe
+/// it for delay scheduling); advancing is the host's privilege and must be
+/// monotone.
+class VirtualTimeBase final : public TimeBase {
+ public:
+  RealTime now() const override {
+    return RealTime{now_.load(std::memory_order_acquire)};
+  }
+  bool is_virtual() const override { return true; }
+
+  void advance_to(RealTime t) {
+    assert(t.sec >= now_.load(std::memory_order_relaxed));
+    now_.store(t.sec, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+}  // namespace cs

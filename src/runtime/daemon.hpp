@@ -1,0 +1,102 @@
+// run_live(): one fully assembled live synchronization run — transport,
+// host, n SyncAgents — plus the post-run analysis: ground-truth realized
+// precision, the offline cross-check over the recorded views, and optional
+// trace recording for bit-for-bit replay.
+//
+// This is the layer `cs_sync live`, the cs_syncd daemon, examples and tests
+// all call; everything below it is reusable parts, everything above it is
+// argument parsing and printing.  See docs/RUNTIME.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "runtime/agent.hpp"
+
+namespace cs {
+
+enum class LiveTransportKind {
+  kLoopback,          ///< virtual time, deterministic (the tier-1 mode)
+  kLoopbackThreaded,  ///< wall time, in-process dispatcher thread
+  kUdp,               ///< wall time, real datagram sockets on 127.0.0.1
+};
+
+const char* to_string(LiveTransportKind kind);
+
+struct LiveConfig {
+  std::uint64_t seed{1};
+  /// Start offsets S_p; empty = uniform in [0, skew] drawn from the seed.
+  std::vector<Duration> start_offsets;
+  double skew{0.05};
+
+  LiveTransportKind transport{LiveTransportKind::kLoopback};
+  /// Loopback delay/drop knobs (ignored by UDP, which has real delays).
+  double delay_scale{0.01};
+  double drop_probability{0.0};
+
+  /// Protocol schedule and pipeline options.
+  SyncAgentParams agent;
+
+  /// Record the run to this trace file ("" = off).  Recorded traces replay
+  /// through `cs_sync replay` like simulator traces.
+  std::string trace_path;
+
+  /// Re-run the offline pipeline over the recorded views and compare
+  /// per-epoch corrections/precision against the live protocol's.
+  bool offline_check{true};
+
+  /// Wall-mode run budget (virtual mode runs to quiescence).
+  Duration deadline{30.0};
+  std::size_t max_events{1'000'000};
+};
+
+struct LiveEpochReport {
+  std::size_t epoch{0};
+  ClockTime boundary{};
+  std::vector<double> corrections;
+  std::optional<double> claimed_precision;
+  bool degraded{false};
+  std::size_t reports_absorbed{0};
+  std::size_t acks{0};
+
+  /// Ground truth: max pairwise spread of the corrected clocks,
+  /// max_{p,q} |(x_p - S_p) - (x_q - S_q)| — time-independent under the
+  /// paper's drift-free clocks.  Thm 4.6: <= claimed_precision on every
+  /// admissible run.  Unset until the epoch computed.
+  std::optional<double> realized_precision;
+
+  /// Offline pipeline over the recorded views at the same boundary
+  /// (set when LiveConfig::offline_check).
+  std::optional<double> offline_precision;
+  std::vector<double> offline_corrections;
+  /// Live corrections and precision equal the offline ones bit-for-bit.
+  bool matches_offline{false};
+};
+
+struct LiveReport {
+  std::string transport;
+  std::size_t agents{0};
+  std::vector<Duration> start_offsets;
+  std::vector<LiveEpochReport> epochs;
+
+  /// Every epoch computed and disseminated to every agent.
+  bool converged{false};
+  /// Offline cross-check ran and every computed epoch matched bit-for-bit.
+  bool checked{false};
+  bool all_match{false};
+
+  std::size_t dispatched{0};
+  bool timed_out{false};
+
+  /// "runtime.*" host counters merged with the offline pipeline's
+  /// "stage.*"/"apsp.*" instrumentation.
+  Metrics metrics;
+};
+
+/// Assemble and run a live synchronization over `model` (its processor
+/// count is the agent count).  Throws cs::Error on invalid configuration.
+LiveReport run_live(const SystemModel& model, const LiveConfig& config);
+
+}  // namespace cs

@@ -1,0 +1,106 @@
+#include "runtime/online.hpp"
+
+#include "common/error.hpp"
+
+namespace cs {
+
+OnlineViewBuilder::OnlineViewBuilder(std::size_t processors)
+    : views_(processors) {
+  for (std::size_t p = 0; p < processors; ++p)
+    views_[p].pid = static_cast<ProcessorId>(p);
+}
+
+void OnlineViewBuilder::start(ProcessorId pid) {
+  ViewEvent ev;
+  ev.kind = EventKind::kStart;
+  ev.when = ClockTime{0.0};
+  views_.at(pid).events.push_back(ev);
+}
+
+void OnlineViewBuilder::send(ProcessorId pid, ClockTime when, MessageId msg,
+                             ProcessorId peer) {
+  ViewEvent ev;
+  ev.kind = EventKind::kSend;
+  ev.when = when;
+  ev.msg = msg;
+  ev.peer = peer;
+  views_.at(pid).events.push_back(ev);
+}
+
+void OnlineViewBuilder::receive(ProcessorId pid, ClockTime when,
+                                MessageId msg, ProcessorId peer) {
+  ViewEvent ev;
+  ev.kind = EventKind::kReceive;
+  ev.when = when;
+  ev.msg = msg;
+  ev.peer = peer;
+  views_.at(pid).events.push_back(ev);
+}
+
+void OnlineViewBuilder::timer_set(ProcessorId pid, ClockTime when,
+                                  ClockTime at) {
+  ViewEvent ev;
+  ev.kind = EventKind::kTimerSet;
+  ev.when = when;
+  ev.timer_at = at;
+  views_.at(pid).events.push_back(ev);
+}
+
+void OnlineViewBuilder::timer_fire(ProcessorId pid, ClockTime when,
+                                   ClockTime at) {
+  ViewEvent ev;
+  ev.kind = EventKind::kTimerFire;
+  ev.when = when;
+  ev.timer_at = at;
+  views_.at(pid).events.push_back(ev);
+}
+
+void OnlineEstimator::ingest(ProcessorId peer, MessageId msg,
+                             ClockTime send_clock, ClockTime recv_clock) {
+  if (!seen_.insert(msg).second) return;  // redelivery: keep the earliest
+  Banked banked;
+  banked.obs.send = send_clock.sec;
+  banked.obs.delay = recv_clock.sec - send_clock.sec;
+  banked.recv = recv_clock.sec;
+  incoming_[peer].push_back(banked);
+  ++total_;
+}
+
+std::vector<ReportObs> OnlineEstimator::take_report(ClockTime boundary) {
+  std::vector<ReportObs> out;
+  for (auto& [peer, list] : incoming_) {
+    for (Banked& banked : list) {
+      if (banked.reported) continue;
+      if (!(banked.obs.send < boundary.sec && banked.recv < boundary.sec))
+        continue;
+      banked.reported = true;
+      out.push_back(ReportObs{peer, banked.obs});
+    }
+  }
+  return out;
+}
+
+DirectedStats OnlineEstimator::stats(ProcessorId peer) const {
+  DirectedStats stats;
+  const auto it = incoming_.find(peer);
+  if (it == incoming_.end()) return stats;
+  for (const Banked& banked : it->second) stats.add(banked.obs.delay);
+  return stats;
+}
+
+DirectedStats OnlineEstimator::window_stats(ProcessorId peer,
+                                            ClockTime boundary,
+                                            Duration window) const {
+  if (window <= Duration{0.0})
+    throw Error("OnlineEstimator::window_stats: window must be positive");
+  DirectedStats stats;
+  const auto it = incoming_.find(peer);
+  if (it == incoming_.end()) return stats;
+  const double from = (boundary - window).sec;
+  for (const Banked& banked : it->second)
+    if (banked.recv >= from && banked.recv < boundary.sec)
+      stats.add(banked.obs.delay);
+  return stats;
+}
+
+}  // namespace cs

@@ -1,0 +1,105 @@
+// Streaming estimator state: what a live agent accumulates as messages
+// arrive, and how it is cut at epoch boundaries.
+//
+// OnlineViewBuilder is the live counterpart of Execution::views(): the host
+// appends each dispatched event as it happens, so at any moment views()
+// holds exactly what an offline observer would have reconstructed from a
+// trace of the run so far.  It is what the daemon's offline self-check and
+// the recorded trace are computed from.
+//
+// OnlineEstimator is the per-agent ingest path of Lemma 6.1 done online:
+// every probe carries its send clock, the receiver stamps its receive
+// clock, and d̃ = T_recv − T_send is banked per incoming direction.  The
+// subtlety is the epoch cut.  The offline pipeline cuts every view at
+// boundary T with View::prefix (events strictly before T) and pairs under
+// MatchPolicy::kDropOrphans, so an observation survives the epoch-k cut
+// iff *both* its send clock and its receive clock are < T.  take_report(T)
+// applies exactly that predicate — not "observations that arrived before
+// my report timer fired", which can disagree with the prefix cut by one
+// event when clock arithmetic lands within an ulp of the boundary.  Each
+// observation is reported once (cumulative cuts ⇒ delta reports); the
+// leader accumulates the deltas, which reconstructs the cumulative
+// LinkTraffic of every epoch.
+//
+// Staleness: running extremes never expire under the paper's drift-free
+// clocks (d̃min only tightens).  window_stats() is the bounded-memory /
+// drift-aware variant — extremes over observations received in
+// [T − window, T) — matching the offline sliding-window mode
+// (EpochOptions::window); see docs/RUNTIME.md for the semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "delaymodel/link_stats.hpp"
+#include "model/view.hpp"
+
+namespace cs {
+
+/// Incrementally maintained per-processor views.
+class OnlineViewBuilder {
+ public:
+  explicit OnlineViewBuilder(std::size_t processors);
+
+  void start(ProcessorId pid);
+  void send(ProcessorId pid, ClockTime when, MessageId msg,
+            ProcessorId peer);
+  void receive(ProcessorId pid, ClockTime when, MessageId msg,
+               ProcessorId peer);
+  void timer_set(ProcessorId pid, ClockTime when, ClockTime at);
+  void timer_fire(ProcessorId pid, ClockTime when, ClockTime at);
+
+  std::span<const View> views() const { return views_; }
+
+ private:
+  std::vector<View> views_;
+};
+
+/// One reported (or reportable) delay observation.
+struct ReportObs {
+  ProcessorId peer{0};  ///< the sender: direction is peer -> self
+  TimedObs obs;         ///< send clock + estimated delay d̃
+};
+
+/// One agent's incoming-direction estimator.
+class OnlineEstimator {
+ public:
+  /// Bank one probe observation.  Duplicate message ids (a transport may
+  /// redeliver) are ignored — keep-earliest, mirroring kDropOrphans.
+  void ingest(ProcessorId peer, MessageId msg, ClockTime send_clock,
+              ClockTime recv_clock);
+
+  /// Observations inside the cumulative epoch cut at `boundary` (send < T
+  /// and recv < T, the View::prefix × kDropOrphans predicate) that no
+  /// earlier take_report() returned.  Deterministic order: by direction
+  /// (peer ascending), then ingest order.
+  std::vector<ReportObs> take_report(ClockTime boundary);
+
+  /// Running per-direction extremes over everything ingested (live
+  /// diagnostics; never expires).
+  DirectedStats stats(ProcessorId peer) const;
+
+  /// Extremes restricted to observations *received* in
+  /// [boundary − window, boundary) — the staleness-windowed view of a
+  /// direction.  A direction silent for a full window reports count 0.
+  DirectedStats window_stats(ProcessorId peer, ClockTime boundary,
+                             Duration window) const;
+
+  std::size_t total_observations() const { return total_; }
+
+ private:
+  struct Banked {
+    TimedObs obs;
+    double recv{0.0};
+    bool reported{false};
+  };
+
+  std::map<ProcessorId, std::vector<Banked>> incoming_;
+  std::unordered_set<MessageId> seen_;
+  std::size_t total_{0};
+};
+
+}  // namespace cs

@@ -1,0 +1,147 @@
+#include "runtime/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cs {
+
+namespace {
+
+// Wire layout: header then payload.data doubles.  65507 bytes is the
+// largest safe UDP payload; the header is 24 bytes.
+struct WireHeader {
+  std::uint64_t id;
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint32_t tag;
+  std::uint32_t count;
+};
+
+constexpr std::size_t kMaxDatagram = 65507;
+constexpr std::size_t kMaxDoubles =
+    (kMaxDatagram - sizeof(WireHeader)) / sizeof(double);
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+std::size_t UdpTransport::max_payload_doubles() { return kMaxDoubles; }
+
+UdpTransport::UdpTransport(std::size_t agents) : endpoints_(agents) {}
+
+UdpTransport::~UdpTransport() {
+  stop();
+  for (Endpoint& ep : endpoints_)
+    if (ep.fd >= 0) ::close(ep.fd);
+}
+
+void UdpTransport::open(ProcessorId pid, DeliverFn sink) {
+  if (pid >= endpoints_.size())
+    throw Error("UdpTransport: endpoint id out of range");
+  Endpoint& ep = endpoints_[pid];
+  if (ep.fd >= 0) throw Error("UdpTransport: endpoint opened twice");
+
+  ep.fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (ep.fd < 0) throw Error("UdpTransport: socket() failed");
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(ep.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0)
+    throw Error("UdpTransport: bind() failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(ep.fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw Error("UdpTransport: getsockname() failed");
+  ep.port = ntohs(bound.sin_port);
+  ep.sink = std::move(sink);
+}
+
+std::uint16_t UdpTransport::port_of(ProcessorId pid) const {
+  if (pid >= endpoints_.size())
+    throw Error("UdpTransport: endpoint id out of range");
+  return endpoints_[pid].port;
+}
+
+void UdpTransport::start() {
+  if (running_.exchange(true)) return;
+  for (std::size_t pid = 0; pid < endpoints_.size(); ++pid) {
+    if (endpoints_[pid].fd < 0)
+      throw Error("UdpTransport: start() before all endpoints opened");
+    endpoints_[pid].reader = std::thread(
+        [this, pid] { recv_loop(static_cast<ProcessorId>(pid)); });
+  }
+}
+
+void UdpTransport::stop() {
+  if (!running_.exchange(false)) return;
+  for (Endpoint& ep : endpoints_)
+    if (ep.reader.joinable()) ep.reader.join();
+}
+
+bool UdpTransport::send(const WireMessage& msg) {
+  if (msg.from >= endpoints_.size() || msg.to >= endpoints_.size())
+    throw Error("UdpTransport: send endpoint out of range");
+  if (msg.payload.data.size() > kMaxDoubles) return false;  // would truncate
+
+  WireHeader header{msg.id, msg.from, msg.to, msg.payload.tag,
+                    static_cast<std::uint32_t>(msg.payload.data.size())};
+  std::vector<char> buf(sizeof header +
+                        msg.payload.data.size() * sizeof(double));
+  std::memcpy(buf.data(), &header, sizeof header);
+  if (!msg.payload.data.empty())
+    std::memcpy(buf.data() + sizeof header, msg.payload.data.data(),
+                msg.payload.data.size() * sizeof(double));
+
+  const sockaddr_in dst = loopback_addr(endpoints_[msg.to].port);
+  const ssize_t sent =
+      ::sendto(endpoints_[msg.from].fd, buf.data(), buf.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
+  return sent == static_cast<ssize_t>(buf.size());
+}
+
+void UdpTransport::recv_loop(ProcessorId pid) {
+  Endpoint& ep = endpoints_[pid];
+  std::vector<char> buf(kMaxDatagram);
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{ep.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50 /*ms*/);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check running_
+    const ssize_t got = ::recvfrom(ep.fd, buf.data(), buf.size(), 0,
+                                   nullptr, nullptr);
+    if (got < static_cast<ssize_t>(sizeof(WireHeader))) continue;
+
+    WireHeader header;
+    std::memcpy(&header, buf.data(), sizeof header);
+    const std::size_t want =
+        sizeof header + header.count * sizeof(double);
+    if (header.count > kMaxDoubles ||
+        static_cast<std::size_t>(got) != want)
+      continue;  // malformed datagram: drop
+
+    WireMessage msg;
+    msg.id = header.id;
+    msg.from = header.from;
+    msg.to = header.to;
+    msg.payload.tag = header.tag;
+    msg.payload.data.resize(header.count);
+    if (header.count > 0)
+      std::memcpy(msg.payload.data.data(), buf.data() + sizeof header,
+                  header.count * sizeof(double));
+    if (ep.sink) ep.sink(std::move(msg));
+  }
+}
+
+}  // namespace cs

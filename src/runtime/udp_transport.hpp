@@ -1,0 +1,57 @@
+// Real datagram transport: one AF_INET UDP socket per agent on 127.0.0.1.
+//
+// This is the production-shaped path of the runtime — real sockets, real
+// kernel queues, real (tiny) localhost delays, one receive thread per
+// endpoint.  Ports are ephemeral: every socket binds port 0 in open() and
+// the actual port is learned via getsockname(), so parallel test runs never
+// collide.  start() publishes the pid→address table and spawns the receive
+// threads; stop() flags them down and they exit on their poll timeout.
+//
+// The wire format is a fixed little header plus the payload doubles,
+// memcpy'd — both ends are the same process on the same machine, so no
+// byte-order or layout negotiation is needed (documented limitation; this
+// is a localhost lab transport, not an internet protocol).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+namespace cs {
+
+class UdpTransport final : public Transport {
+ public:
+  /// `agents` endpoints, ids 0..agents-1.
+  explicit UdpTransport(std::size_t agents);
+  ~UdpTransport() override;
+
+  void open(ProcessorId pid, DeliverFn sink) override;
+  void start() override;
+  void stop() override;
+  bool send(const WireMessage& msg) override;
+  const char* name() const override { return "udp"; }
+
+  /// Bound port of an endpoint (valid after its open()).
+  std::uint16_t port_of(ProcessorId pid) const;
+
+  /// Largest payload (in doubles) that fits one datagram.
+  static std::size_t max_payload_doubles();
+
+ private:
+  void recv_loop(ProcessorId pid);
+
+  struct Endpoint {
+    int fd{-1};
+    std::uint16_t port{0};
+    DeliverFn sink;
+    std::thread reader;
+  };
+
+  std::vector<Endpoint> endpoints_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace cs

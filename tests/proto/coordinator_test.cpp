@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/precision.hpp"
 #include "core/synchronizer.hpp"
+#include "sim/fault_plan.hpp"
 #include "support/builders.hpp"
 
 namespace cs {
@@ -136,6 +137,93 @@ TEST(Coordinator, MessageLossCanStallTheProtocol) {
     // Some processor never learned its correction.
     EXPECT_FALSE(results.complete());
   }
+}
+
+// --- compute_grace: the watchdog path (ISSUE 4 satellite) -----------------
+
+TEST(CoordinatorWatchdog, FaultFreeRunWithGraceCompletesNormally) {
+  // With no faults the grace timer fires after the compute already
+  // happened: the watchdog must be a no-op, not a second compute.
+  SystemModel model = test::bounded_model(make_ring(5), 0.01, 0.05);
+  CoordinatorParams params;
+  params.compute_grace = Duration{1.0};
+  const CoordinatorRun run = run_coordinator(model, 7, 0.2, params);
+  ASSERT_TRUE(run.results.complete());
+  EXPECT_EQ(run.results.status, CoordinatorStatus::kComplete);
+  EXPECT_EQ(run.results.reports_absorbed, 5u);
+}
+
+TEST(CoordinatorWatchdog, ComputesDegradedFromPartialReportsUnderLoss) {
+  // The historic hazard MessageLossCanStallTheProtocol documents: lost
+  // reports leave the leader waiting forever.  With a grace deadline it
+  // computes from whatever arrived and flags the outcome degraded.
+  SystemModel model = test::bounded_model(make_line(4), 0.01, 0.05);
+  CoordinatorResults results;
+  CoordinatorParams params;
+  params.warmup = Duration{0.3};
+  params.compute_grace = Duration{1.0};
+  const AutomatonFactory factory =
+      make_coordinator(&model, params, &results);
+
+  // Deterministic omission: the 2-3 link is down for the whole run, so
+  // processor 3's report can never reach the leader.
+  FaultPlan faults;
+  faults.link(2, 3).down.push_back(TimeWindow{});
+  SimOptions opts;
+  opts.start_offsets.assign(4, Duration{0.0});
+  opts.seed = 5;
+  opts.faults = &faults;
+
+  const SimResult sim = simulate(model, factory, opts);
+  (void)sim;
+  EXPECT_EQ(results.status, CoordinatorStatus::kDegraded);
+  ASSERT_TRUE(results.claimed_precision.has_value());
+  EXPECT_LT(results.reports_absorbed, 4u);
+  EXPECT_GE(results.reports_absorbed, 1u);
+  // The leader always learns its own correction from the partial compute.
+  EXPECT_TRUE(results.corrections[0].has_value());
+  // No silent hang: the simulation drained (this test returning at all is
+  // the point), and the leader did not stay kPending.
+  EXPECT_NE(results.status, CoordinatorStatus::kPending);
+}
+
+TEST(CoordinatorWatchdog, SeveredLeaderStaysPendingButTerminates) {
+  // Cut both of the leader's links on a ring of 4: no report other than
+  // its own, but also no probe traffic *into* the leader... it still has
+  // its own report (absorbed locally), so the watchdog computes degraded
+  // per-component corrections rather than hanging.
+  SystemModel model = test::bounded_model(make_ring(4), 0.01, 0.05);
+  CoordinatorResults results;
+  CoordinatorParams params;
+  params.warmup = Duration{0.3};
+  params.compute_grace = Duration{0.5};
+  const AutomatonFactory factory =
+      make_coordinator(&model, params, &results);
+
+  FaultPlan faults;
+  faults.link(0, 1).down.push_back(TimeWindow{});
+  faults.link(0, 3).down.push_back(TimeWindow{});
+  SimOptions opts;
+  opts.start_offsets.assign(4, Duration{0.0});
+  opts.seed = 6;
+  opts.faults = &faults;
+
+  simulate(model, factory, opts);
+  EXPECT_EQ(results.status, CoordinatorStatus::kDegraded);
+  EXPECT_EQ(results.reports_absorbed, 1u);  // only the leader's own
+  // An isolated leader has no delay estimates at all: the per-component
+  // precision for its singleton component is 0 and its correction is the
+  // gauge zero.
+  ASSERT_TRUE(results.corrections[0].has_value());
+  EXPECT_DOUBLE_EQ(*results.corrections[0], 0.0);
+}
+
+TEST(CoordinatorWatchdog, GraceValidation) {
+  SystemModel model = test::bounded_model(make_line(2), 0.01, 0.05);
+  CoordinatorResults results;
+  CoordinatorParams params;
+  params.compute_grace = Duration{-0.5};
+  EXPECT_THROW(make_coordinator(&model, params, &results), Error);
 }
 
 TEST(Coordinator, BiasModelEndToEnd) {

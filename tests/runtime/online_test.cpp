@@ -1,0 +1,115 @@
+// OnlineEstimator and OnlineViewBuilder unit tests: the epoch-cut
+// predicate must agree with the offline View::prefix × kDropOrphans
+// semantics, duplicates must be ignored keep-earliest, and the windowed
+// stats must expire silent directions.
+
+#include <gtest/gtest.h>
+
+#include "runtime/online.hpp"
+
+namespace cs {
+namespace {
+
+ClockTime ct(double sec) { return ClockTime{sec}; }
+
+TEST(OnlineEstimator, BanksExtremesPerDirection) {
+  OnlineEstimator est;
+  est.ingest(1, 10, ct(0.0), ct(0.030));
+  est.ingest(1, 11, ct(0.1), ct(0.112));
+  est.ingest(2, 12, ct(0.2), ct(0.290));
+
+  const DirectedStats from1 = est.stats(1);
+  EXPECT_EQ(from1.count, 2u);
+  EXPECT_DOUBLE_EQ(from1.dmin.finite(), 0.012);
+  EXPECT_DOUBLE_EQ(from1.dmax.finite(), 0.030);
+  EXPECT_EQ(est.stats(2).count, 1u);
+  EXPECT_EQ(est.stats(3).count, 0u);
+  EXPECT_EQ(est.total_observations(), 3u);
+}
+
+TEST(OnlineEstimator, DuplicateMessageIdsKeepEarliest) {
+  OnlineEstimator est;
+  est.ingest(1, 10, ct(0.0), ct(0.020));
+  // A redelivery of the same message id with a later (larger d̃) stamp
+  // must not widen the extremes.
+  est.ingest(1, 10, ct(0.0), ct(0.500));
+  EXPECT_EQ(est.stats(1).count, 1u);
+  EXPECT_DOUBLE_EQ(est.stats(1).dmax.finite(), 0.020);
+  EXPECT_EQ(est.total_observations(), 1u);
+}
+
+TEST(OnlineEstimator, TakeReportAppliesThePrefixCut) {
+  OnlineEstimator est;
+  est.ingest(1, 10, ct(0.10), ct(0.15));  // both < 1: inside the cut
+  est.ingest(1, 11, ct(0.95), ct(1.05));  // recv >= 1: orphaned at T=1
+  est.ingest(1, 12, ct(1.00), ct(1.10));  // send == T: strictly-before fails
+
+  const std::vector<ReportObs> cut1 = est.take_report(ct(1.0));
+  ASSERT_EQ(cut1.size(), 1u);
+  EXPECT_EQ(cut1[0].peer, 1u);
+  EXPECT_DOUBLE_EQ(cut1[0].obs.send, 0.10);
+
+  // The next cumulative cut reports only the delta: the two observations
+  // that crossed the T=1 boundary, not the one already reported.
+  const std::vector<ReportObs> cut2 = est.take_report(ct(2.0));
+  ASSERT_EQ(cut2.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut2[0].obs.send, 0.95);
+  EXPECT_DOUBLE_EQ(cut2[1].obs.send, 1.00);
+
+  EXPECT_TRUE(est.take_report(ct(3.0)).empty());
+}
+
+TEST(OnlineEstimator, TakeReportOrdersByPeerThenIngest) {
+  OnlineEstimator est;
+  est.ingest(3, 20, ct(0.3), ct(0.35));
+  est.ingest(1, 21, ct(0.1), ct(0.15));
+  est.ingest(3, 22, ct(0.2), ct(0.25));
+
+  const std::vector<ReportObs> cut = est.take_report(ct(1.0));
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut[0].peer, 1u);
+  EXPECT_EQ(cut[1].peer, 3u);
+  EXPECT_DOUBLE_EQ(cut[1].obs.send, 0.3);  // ingest order within peer
+  EXPECT_EQ(cut[2].peer, 3u);
+  EXPECT_DOUBLE_EQ(cut[2].obs.send, 0.2);
+}
+
+TEST(OnlineEstimator, WindowStatsExpireSilentDirections) {
+  OnlineEstimator est;
+  est.ingest(1, 10, ct(0.10), ct(0.15));
+  est.ingest(1, 11, ct(2.00), ct(2.04));
+
+  // Window [1.1, 2.1): only the second observation was received inside.
+  const double d2 = 2.04 - 2.00;  // the exact double the estimator computes
+  const DirectedStats recent = est.window_stats(1, ct(2.1), Duration{1.0});
+  EXPECT_EQ(recent.count, 1u);
+  EXPECT_DOUBLE_EQ(recent.dmin.finite(), d2);
+
+  // Window [4, 5): the direction has gone silent entirely.
+  EXPECT_EQ(est.window_stats(1, ct(5.0), Duration{1.0}).count, 0u);
+
+  // The running (never-expiring) extremes still cover everything.
+  EXPECT_EQ(est.stats(1).count, 2u);
+  EXPECT_DOUBLE_EQ(est.stats(1).dmin.finite(), d2);
+  EXPECT_DOUBLE_EQ(est.stats(1).dmax.finite(), 0.15 - 0.10);
+}
+
+TEST(OnlineViewBuilder, AppendsEventsPerProcessor) {
+  OnlineViewBuilder builder(2);
+  builder.start(0);
+  builder.start(1);
+  builder.send(0, ct(0.1), 1, 1);
+  builder.receive(1, ct(0.2), 1, 0);
+  builder.timer_set(0, ct(0.1), ct(0.5));
+  builder.timer_fire(0, ct(0.5), ct(0.5));
+
+  ASSERT_EQ(builder.views().size(), 2u);
+  // start + send + timer_set + timer_fire; start + receive.
+  EXPECT_EQ(builder.views()[0].events.size(), 4u);
+  EXPECT_EQ(builder.views()[1].events.size(), 2u);
+  EXPECT_EQ(builder.views()[0].sends().size(), 1u);
+  EXPECT_EQ(builder.views()[1].receives().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cs

@@ -149,5 +149,51 @@ TEST(CsSyncCli, ExitCodeContract) {
   EXPECT_EQ(run("help").exit_code, 0);
 }
 
+TEST(CsSyncCli, VersionPrintsBannerAndExitsZero) {
+  for (const char* spelling : {"--version", "version"}) {
+    const RunResult r = run(spelling);
+    EXPECT_EQ(r.exit_code, 0) << spelling;
+    EXPECT_NE(r.output.find("chronosync"), std::string::npos) << r.output;
+    // A version number, not just a name.
+    EXPECT_NE(r.output.find_first_of("0123456789"), std::string::npos);
+  }
+}
+
+TEST(CsSyncCli, HelpAfterAnySubcommandExitsZero) {
+  // `cs_sync <sub> --help` is a documentation request, not a flag error:
+  // exit 0 with the usage text on stdout, uniformly across subcommands.
+  for (const char* sub :
+       {"simulate", "sync", "replay", "diff", "metrics", "live"}) {
+    const RunResult r = run(std::string(sub) + " --help");
+    EXPECT_EQ(r.exit_code, 0) << sub << ": " << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << sub;
+  }
+}
+
+TEST(CsSyncCli, LiveLoopbackConvergesAndMatchesOffline) {
+  const RunResult r =
+      run("live --n 6 --epochs 2 --seed 4 --json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"converged\": true"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"all_match\": true"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"matches_offline\": true"), std::string::npos)
+      << r.output;
+}
+
+TEST(CsSyncCli, LiveRecordedTraceReplays) {
+  const std::string trace_path = ::testing::TempDir() + "/cs_live.trace";
+  const RunResult live =
+      run("live --n 4 --seed 8 --trace " + trace_path);
+  ASSERT_EQ(live.exit_code, 0) << live.output;
+  const RunResult rep = run("replay " + trace_path);
+  EXPECT_EQ(rep.exit_code, 0) << rep.output;
+}
+
+TEST(CsSyncCli, LiveRejectsBadTransport) {
+  EXPECT_EQ(run("live --transport carrier-pigeon").exit_code, 2);
+}
+
 }  // namespace
 }  // namespace cs

@@ -2,13 +2,15 @@
 //
 //   cs_sync simulate <out.trace> [flags]   record a run as a replayable trace
 //   cs_sync sync <views> <model> [flags]   offline synchronization (§3–§6)
+//   cs_sync live [flags]                   live agents over a real transport
 //   cs_sync replay <trace> [flags]         deterministic replay + self-check
 //   cs_sync diff <a.trace> <b.trace>       structural trace comparison
 //   cs_sync metrics <trace> [flags]        replay and dump counters/metrics
 //
-// Every subcommand takes --json for machine-readable output.  Exit codes:
-// 0 success, 1 divergences found (replay/diff), 2 usage error, 3 runtime
-// error.  Run with no arguments (or --help) for the full flag reference.
+// Every subcommand takes --json for machine-readable output and --help for
+// the flag reference (exit 0); --version prints the release.  Exit codes:
+// 0 success, 1 divergences found (replay/diff/live), 2 usage error,
+// 3 runtime error.  Run with no arguments for the full flag reference.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,8 +27,10 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/version.hpp"
 #include "core/epochs.hpp"
 #include "core/synchronizer.hpp"
+#include "runtime/daemon.hpp"
 #include "delaymodel/constraint.hpp"
 #include "graph/topology.hpp"
 #include "io/views_io.hpp"
@@ -558,6 +562,137 @@ int cmd_metrics(const Args& args) {
 }
 
 // ---------------------------------------------------------------------------
+// live
+
+int cmd_live(const Args& args) {
+  const std::uint64_t seed =
+      parse_u64_flag("--seed", args.get("--seed", "1"));
+  Rng rng(seed);
+
+  SystemModel model = [&] {
+    if (args.has("--model")) return load_model_file(args.get("--model"));
+    const std::size_t n = static_cast<std::size_t>(
+        parse_u64_flag("--n", args.get("--n", "8")));
+    SystemModel m(make_named(args.get("--topology", "complete"), n, rng));
+    const double lower =
+        parse_double_flag("--lower", args.get("--lower", "0"));
+    const double upper =
+        parse_double_flag("--upper", args.get("--upper", "1"));
+    for (auto [a, b] : m.topology().links)
+      m.set_constraint(make_bounds(a, b, lower, upper));
+    return m;
+  }();
+
+  LiveConfig config;
+  config.seed = seed;
+  config.skew = parse_double_flag("--skew", args.get("--skew", "0.05"));
+  const std::string transport = args.get("--transport", "loopback");
+  if (transport == "loopback")
+    config.transport = LiveTransportKind::kLoopback;
+  else if (transport == "loopback-threaded")
+    config.transport = LiveTransportKind::kLoopbackThreaded;
+  else if (transport == "udp")
+    config.transport = LiveTransportKind::kUdp;
+  else
+    usage_fail("--transport must be loopback, loopback-threaded or udp, "
+               "got '" + transport + "'");
+  config.delay_scale = parse_double_flag(
+      "--delay-scale", args.get("--delay-scale", "0.01"));
+  config.drop_probability =
+      parse_double_flag("--drop", args.get("--drop", "0"));
+  config.trace_path = args.get("--trace", "");
+  config.offline_check = !args.on("--no-check");
+  config.deadline =
+      Duration{parse_double_flag("--deadline", args.get("--deadline", "30"))};
+
+  config.agent.warmup =
+      Duration{parse_double_flag("--warmup", args.get("--warmup", "0.2"))};
+  config.agent.spacing = Duration{
+      parse_double_flag("--spacing", args.get("--spacing", "0.05"))};
+  config.agent.rounds = static_cast<std::size_t>(
+      parse_u64_flag("--rounds", args.get("--rounds", "4")));
+  config.agent.report_at = Duration{
+      parse_double_flag("--report-at", args.get("--report-at", "1"))};
+  config.agent.period =
+      Duration{parse_double_flag("--period", args.get("--period", "1"))};
+  config.agent.epochs = static_cast<std::size_t>(
+      parse_u64_flag("--epochs", args.get("--epochs", "2")));
+  config.agent.grace =
+      Duration{parse_double_flag("--grace", args.get("--grace", "0"))};
+  config.agent.leader = static_cast<ProcessorId>(
+      parse_u64_flag("--leader", args.get("--leader", "0")));
+  config.agent.sync = sync_options_from(args);
+
+  const LiveReport report = run_live(model, config);
+  const bool ok =
+      report.converged && (!report.checked || report.all_match);
+
+  if (args.on("--json")) {
+    std::string out = "{\"transport\": " + jstr(report.transport);
+    out += ", \"agents\": " + std::to_string(report.agents);
+    out += ", \"seed\": " + std::to_string(seed);
+    out += ", \"converged\": ";
+    out += report.converged ? "true" : "false";
+    out += ", \"checked\": ";
+    out += report.checked ? "true" : "false";
+    out += ", \"all_match\": ";
+    out += report.all_match ? "true" : "false";
+    out += ", \"dispatched\": " + std::to_string(report.dispatched);
+    out += ", \"epochs\": [";
+    for (std::size_t k = 0; k < report.epochs.size(); ++k) {
+      const LiveEpochReport& ep = report.epochs[k];
+      if (k > 0) out += ", ";
+      out += "{\"epoch\": " + std::to_string(ep.epoch);
+      out += ", \"boundary\": " + jnum(ep.boundary.sec);
+      out += ", \"computed\": ";
+      out += ep.claimed_precision.has_value() ? "true" : "false";
+      if (ep.claimed_precision.has_value())
+        out += ", \"precision\": " + jnum(*ep.claimed_precision);
+      if (ep.realized_precision.has_value())
+        out += ", \"realized\": " + jnum(*ep.realized_precision);
+      if (ep.offline_precision.has_value())
+        out += ", \"offline_precision\": " + jnum(*ep.offline_precision);
+      out += ", \"degraded\": ";
+      out += ep.degraded ? "true" : "false";
+      out += ", \"matches_offline\": ";
+      out += ep.matches_offline ? "true" : "false";
+      out += ", \"reports\": " + std::to_string(ep.reports_absorbed);
+      out += ", \"acks\": " + std::to_string(ep.acks);
+      out += ", \"corrections\": " + jarray(ep.corrections);
+      out += "}";
+    }
+    out += "], \"metrics\": " + report.metrics.to_json(0) + "}";
+    std::printf("%s\n", out.c_str());
+    return ok ? kExitOk : kExitDivergence;
+  }
+
+  std::printf("live run: %zu agents over %s, %zu events dispatched%s\n",
+              report.agents, report.transport.c_str(), report.dispatched,
+              report.timed_out ? " (deadline hit)" : "");
+  for (const LiveEpochReport& ep : report.epochs) {
+    if (!ep.claimed_precision.has_value()) {
+      std::printf("epoch %zu  boundary %s  NOT COMPUTED (%zu/%zu reports)\n",
+                  ep.epoch, num(ep.boundary.sec).c_str(),
+                  ep.reports_absorbed, report.agents);
+      continue;
+    }
+    std::printf("epoch %zu  boundary %s  precision %s  realized %s%s",
+                ep.epoch, num(ep.boundary.sec).c_str(),
+                num(*ep.claimed_precision).c_str(),
+                ep.realized_precision ? num(*ep.realized_precision).c_str()
+                                      : "?",
+                ep.degraded ? "  DEGRADED" : "");
+    if (ep.offline_precision.has_value())
+      std::printf("  offline %s  %s", num(*ep.offline_precision).c_str(),
+                  ep.matches_offline ? "match" : "MISMATCH");
+    std::printf("\n");
+  }
+  std::printf("%s\n", ok ? (report.converged ? "converged" : "ok")
+                         : "NOT CONVERGED or live/offline mismatch");
+  return ok ? kExitOk : kExitDivergence;
+}
+
+// ---------------------------------------------------------------------------
 
 void print_usage(std::FILE* out) {
   std::fprintf(out, R"(cs_sync — chronosync pipeline driver
@@ -570,6 +705,8 @@ subcommands:
   replay <trace>           deterministic replay, verified vs. the recording
   diff <a.trace> <b.trace> structural trace comparison
   metrics <trace>          replay and dump tallies/counters
+  live                     run n sync agents over a live transport
+  version                  print the release banner (also --version)
 
 common flags:
   --json                   machine-readable output
@@ -595,7 +732,18 @@ replay flags:
 diff flags:
   --max-reports N          divergence report cap (default 16)
 
+live flags:
+  --transport loopback|loopback-threaded|udp   (default loopback)
+  --topology/--n/--lower/--upper/--model       as for simulate
+  --seed U --skew S --delay-scale S --drop P   (loopback transports)
+  --warmup S --spacing S --rounds N            probe phase, per epoch
+  --report-at S --period S --epochs N          epoch schedule
+  --grace S                degraded-mode watchdog (0 = wait forever)
+  --leader N --deadline S --trace FILE
+  --no-check               skip the offline cross-check
+
 exit codes: 0 ok, 1 divergence found, 2 usage error, 3 runtime error
+any '<subcommand> --help' prints this reference and exits 0
 )");
 }
 
@@ -608,6 +756,18 @@ int main(int argc, char** argv) {
     return argc < 2 ? kExitUsage : kExitOk;
   }
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("%s\n", kVersionBanner);
+    return kExitOk;
+  }
+  // `cs_sync <sub> --help` is a request for the reference, not a flag
+  // error: honor it before flag validation, uniformly across subcommands.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout);
+      return kExitOk;
+    }
+  }
   try {
     const std::set<std::string> valued{
         "--root",     "--apsp",      "--cycle-mean", "--match",
@@ -617,8 +777,11 @@ int main(int argc, char** argv) {
         "--skew",     "--delay-scale", "--drop",     "--dup",
         "--spike",    "--spike-mag", "--fault-seed", "--down",
         "--crash",    "--boundaries", "--window",    "--widen",
-        "--max-age",  "--views",     "--rerecord",   "--max-reports"};
-    const std::set<std::string> switches{"--json", "--carry", "--rebuild"};
+        "--max-age",  "--views",     "--rerecord",   "--max-reports",
+        "--transport", "--report-at", "--epochs",    "--grace",
+        "--leader",   "--deadline",  "--trace"};
+    const std::set<std::string> switches{"--json", "--carry", "--rebuild",
+                                         "--no-check"};
     const Args args(argc - 2, argv + 2, valued, switches);
 
     if (command == "simulate") return cmd_simulate(args);
@@ -626,6 +789,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "metrics") return cmd_metrics(args);
+    if (command == "live") return cmd_live(args);
     usage_fail("unknown subcommand '" + command + "'");
   } catch (const UsageError& e) {
     std::fprintf(stderr, "cs_sync: usage error: %s\n", e.message.c_str());

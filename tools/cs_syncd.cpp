@@ -1,0 +1,224 @@
+// cs_syncd — standalone clock-synchronization agent daemon.
+//
+// Launches n SyncAgent automata over a live transport (deterministic
+// loopback, threaded loopback, or UDP over localhost), runs the §7
+// probe → report → compute → disseminate protocol for the configured
+// number of epochs, and prints the converged corrections plus the
+// achieved precision.  The heavy lifting lives in src/runtime/daemon.cpp
+// (run_live); this binary is flag parsing and reporting.
+//
+//   cs_syncd --n 8 --transport udp --epochs 2 --json
+//
+// Exit codes match cs_sync: 0 converged (and, unless --no-check, the
+// deterministic-loopback corrections matched the offline pipeline),
+// 1 not converged or live/offline mismatch, 2 usage error, 3 error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/version.hpp"
+#include "delaymodel/constraint.hpp"
+#include "graph/topology.hpp"
+#include "io/views_io.hpp"
+#include "runtime/daemon.hpp"
+
+namespace {
+
+using namespace cs;
+
+constexpr int kExitOk = 0;
+constexpr int kExitDivergence = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out, R"(cs_syncd — live clock-synchronization agent daemon
+
+usage: cs_syncd [flags]
+
+  --transport loopback|loopback-threaded|udp   (default loopback)
+  --topology NAME --n N    model shape (default complete, 8 agents)
+  --lower S --upper S      per-link delay bounds (default [0, 1])
+  --model FILE             explicit chronosync-model file instead
+  --seed U --skew S        run seed and random start-offset scale
+  --delay-scale S --drop P loopback delay/drop injection
+  --warmup S --spacing S --rounds N    probe phase, per epoch
+  --report-at S --period S --epochs N  epoch schedule
+  --grace S                degraded-mode watchdog (0 = wait forever)
+  --leader N --deadline S --trace FILE
+  --no-check               skip the offline cross-check
+  --json                   machine-readable report
+  --version                print the release banner
+
+exit codes: 0 ok, 1 not converged / mismatch, 2 usage error, 3 error
+)");
+}
+
+double num_flag(const std::string& name, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "cs_syncd: %s expects a number, got '%s'\n",
+                 name.c_str(), value.c_str());
+    std::exit(kExitUsage);
+  }
+  return v;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "help") {
+      print_usage(stdout);
+      return kExitOk;
+    }
+    if (arg == "--version") {
+      std::printf("%s\n", kVersionBanner);
+      return kExitOk;
+    }
+    if (arg == "--json" || arg == "--no-check") {
+      flags[arg] = "1";
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "cs_syncd: unknown or valueless flag '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return kExitUsage;
+    }
+    flags[arg] = argv[++i];
+  }
+  const auto get = [&](const std::string& name, const std::string& fallback) {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  };
+
+  try {
+    const auto seed =
+        static_cast<std::uint64_t>(num_flag("--seed", get("--seed", "1")));
+    Rng rng(seed);
+    SystemModel model = [&] {
+      if (flags.count("--model") != 0)
+        return load_model_file(flags.at("--model"));
+      const auto n = static_cast<std::size_t>(
+          num_flag("--n", get("--n", "8")));
+      SystemModel m(make_named(get("--topology", "complete"), n, rng));
+      const double lower = num_flag("--lower", get("--lower", "0"));
+      const double upper = num_flag("--upper", get("--upper", "1"));
+      for (auto [a, b] : m.topology().links)
+        m.set_constraint(make_bounds(a, b, lower, upper));
+      return m;
+    }();
+
+    LiveConfig config;
+    config.seed = seed;
+    config.skew = num_flag("--skew", get("--skew", "0.05"));
+    const std::string transport = get("--transport", "loopback");
+    if (transport == "loopback") {
+      config.transport = LiveTransportKind::kLoopback;
+    } else if (transport == "loopback-threaded") {
+      config.transport = LiveTransportKind::kLoopbackThreaded;
+    } else if (transport == "udp") {
+      config.transport = LiveTransportKind::kUdp;
+    } else {
+      std::fprintf(stderr, "cs_syncd: unknown transport '%s'\n",
+                   transport.c_str());
+      return kExitUsage;
+    }
+    config.delay_scale =
+        num_flag("--delay-scale", get("--delay-scale", "0.01"));
+    config.drop_probability = num_flag("--drop", get("--drop", "0"));
+    config.trace_path = get("--trace", "");
+    config.offline_check = flags.count("--no-check") == 0;
+    config.deadline = Duration{num_flag("--deadline", get("--deadline", "30"))};
+    config.agent.warmup = Duration{num_flag("--warmup", get("--warmup", "0.2"))};
+    config.agent.spacing =
+        Duration{num_flag("--spacing", get("--spacing", "0.05"))};
+    config.agent.rounds =
+        static_cast<std::size_t>(num_flag("--rounds", get("--rounds", "4")));
+    config.agent.report_at =
+        Duration{num_flag("--report-at", get("--report-at", "1"))};
+    config.agent.period = Duration{num_flag("--period", get("--period", "1"))};
+    config.agent.epochs =
+        static_cast<std::size_t>(num_flag("--epochs", get("--epochs", "2")));
+    config.agent.grace = Duration{num_flag("--grace", get("--grace", "0"))};
+    config.agent.leader =
+        static_cast<ProcessorId>(num_flag("--leader", get("--leader", "0")));
+
+    const LiveReport report = run_live(model, config);
+    const bool ok =
+        report.converged && (!report.checked || report.all_match);
+
+    if (flags.count("--json") != 0) {
+      std::string out = "{\"transport\": \"" + report.transport + "\"";
+      out += ", \"agents\": " + std::to_string(report.agents);
+      out += ", \"converged\": ";
+      out += report.converged ? "true" : "false";
+      out += ", \"all_match\": ";
+      out += report.checked ? (report.all_match ? "true" : "false") : "null";
+      out += ", \"epochs\": [";
+      for (std::size_t k = 0; k < report.epochs.size(); ++k) {
+        const LiveEpochReport& ep = report.epochs[k];
+        if (k > 0) out += ", ";
+        out += "{\"epoch\": " + std::to_string(ep.epoch);
+        out += ", \"degraded\": ";
+        out += ep.degraded ? "true" : "false";
+        if (ep.claimed_precision)
+          out += ", \"precision\": " + fmt(*ep.claimed_precision);
+        if (ep.realized_precision)
+          out += ", \"realized\": " + fmt(*ep.realized_precision);
+        out += ", \"corrections\": [";
+        for (std::size_t p = 0; p < ep.corrections.size(); ++p) {
+          if (p > 0) out += ", ";
+          out += fmt(ep.corrections[p]);
+        }
+        out += "]}";
+      }
+      out += "]}";
+      std::printf("%s\n", out.c_str());
+      return ok ? kExitOk : kExitDivergence;
+    }
+
+    std::printf("cs_syncd: %zu agents over %s (%zu events)%s\n",
+                report.agents, report.transport.c_str(), report.dispatched,
+                report.timed_out ? ", deadline hit" : "");
+    for (const LiveEpochReport& ep : report.epochs) {
+      if (!ep.claimed_precision.has_value()) {
+        std::printf("  epoch %zu: not computed (%zu/%zu reports)\n", ep.epoch,
+                    ep.reports_absorbed, report.agents);
+        continue;
+      }
+      std::printf("  epoch %zu: precision %s realized %s%s%s\n", ep.epoch,
+                  fmt(*ep.claimed_precision).c_str(),
+                  ep.realized_precision ? fmt(*ep.realized_precision).c_str()
+                                        : "?",
+                  ep.degraded ? " (degraded)" : "",
+                  report.checked
+                      ? (ep.matches_offline ? " [offline match]"
+                                            : " [OFFLINE MISMATCH]")
+                      : "");
+    }
+    std::printf("%s\n", ok ? "converged" : "NOT CONVERGED or mismatch");
+    return ok ? kExitOk : kExitDivergence;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cs_syncd: error: %s\n", e.what());
+    return kExitError;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cs_syncd: error: %s\n", e.what());
+    return kExitError;
+  }
+}
