@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/cristian.hpp"
@@ -65,6 +67,65 @@ inline double guaranteed(const SyncOutcome& opt,
 inline void print_header(const std::string& id, const std::string& title) {
   std::cout << "\n==== " << id << ": " << title << " ====\n";
 }
+
+/// Builder for the standard bench-JSON shape shared by the instrumented
+/// benches (BENCH_*.json artifacts):
+///
+///   {"schema_version": 1, "bench": NAME, "scenarios": [{...}, ...]}
+///
+/// Fields keep insertion order; doubles render with %.17g so reports
+/// round-trip exactly.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchJson& scenario(const std::string& name) {
+    rows_.emplace_back();
+    return field("name", name);
+  }
+  BenchJson& field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + value + "\"");
+    return *this;
+  }
+  BenchJson& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  BenchJson& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& field(const std::string& key, std::size_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes the document; returns false (with a stderr note) on I/O error.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    os << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << bench_
+       << "\",\n  \"scenarios\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "    {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f)
+        os << (f == 0 ? "" : ",") << "\n      \"" << rows_[r][f].first
+           << "\": " << rows_[r][f].second;
+      os << "\n    }" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// Uniform per-link constraint helpers (mirror the test builders; benches
 /// must not link against test code).

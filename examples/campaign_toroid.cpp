@@ -1,0 +1,92 @@
+// Campaign walkthrough: the Frank–Welch odd-ary m-toroid sweep.
+//
+// Frank & Welch (arXiv:1807.05139) prove the gradient-clock lower bound is
+// tight exactly on odd-ary m-toroids — tori whose every side is odd — which
+// makes them the natural stress family for Theorem 4.6: on every instance
+// the SHIFTS precision ρ̄ must *equal* the closed-form optimum Ã^max, not
+// merely bound it.  This example reproduces that sweep with the lab
+// campaign engine:
+//   1. expand the built-in "toroid" preset — rings and 2-D/3-D toroids with
+//      odd sides, 25 seeds per cell, 200 fault-free tasks,
+//   2. fan the tasks across the work-stealing pool (simulate + synchronize
+//      + validate per task),
+//   3. aggregate per-cell statistics and check the Theorem 4.6 equality on
+//      every single instance,
+//   4. re-run single-threaded and verify the deterministic report is
+//      byte-identical — the seed-derivation contract of docs/LAB.md.
+//
+// Build & run:  ./build/examples/campaign_toroid
+// CLI twin:     ./build/tools/cs_lab run --preset toroid --check
+
+#include <cstdio>
+#include <sstream>
+
+#include "lab/campaign.hpp"
+#include "lab/spec.hpp"
+#include "lab/stats.hpp"
+
+int main() {
+  using namespace cs;
+
+  // 1. The preset: 8 odd-ary cells (ring 3/5/9, toroid 3x3, 5x5, 3x3x3,
+  //    5x5x5, 3x5x7), uniform [1ms, 3ms] bounds, 25 seeds each.
+  const lab::CampaignSpec spec = lab::preset_campaign("toroid");
+  std::printf("campaign '%s': %zu cells x %u seeds = %zu tasks\n",
+              spec.name.c_str(), spec.cell_count(), spec.seeds_per_cell,
+              spec.task_count());
+  for (const lab::TopoSpec& topo : spec.topologies)
+    std::printf("  %-14s %zu nodes, odd-ary toroid: %s\n",
+                topo.describe().c_str(), topo.node_count(),
+                topo.odd_ary_toroid() ? "yes" : "no");
+
+  // 2. Run on every core.  Each task derives all of its randomness from
+  //    derive_task_seed(campaign seed, task index), so the scheduling
+  //    order cannot leak into the results.
+  Metrics metrics;
+  lab::RunOptions options;
+  options.metrics = &metrics;
+  const lab::CampaignResult run = lab::run_campaign(spec, options);
+  std::printf("\nran %zu tasks on %zu workers (%llu steals) in %.2fs\n",
+              run.results.size(), run.threads,
+              static_cast<unsigned long long>(
+                  metrics.counter("lab.pool.steals")),
+              run.wall_seconds);
+
+  // 3. Aggregate and interrogate: on an odd-ary toroid every fault-free
+  //    task must realize ρ̄ == Ã^max up to IEEE rounding noise (the
+  //    kThm46Tolerance contract), and ground truth must stay sound.
+  const lab::CampaignReport report = lab::aggregate(run);
+  std::printf("\n%-14s %5s %9s %12s %12s %14s\n", "cell", "tasks", "A^max",
+              "ratio p95", "gap p99", "thm4.6 max gap");
+  for (const lab::CellStats& cell : report.cells)
+    std::printf("%-14s %5zu %9.6f %12.3f %12.3e %14.3e\n",
+                cell.topology.c_str(), cell.tasks, cell.claimed.acc.mean(),
+                cell.ratio.quantiles.quantile(0.95),
+                cell.optimality_gap.quantiles.quantile(0.99),
+                cell.thm46_max_gap);
+
+  if (!lab::report_ok(report)) {
+    std::printf("\nFAIL: a cell violated the Theorem 4.6 equality\n");
+    return 1;
+  }
+  std::printf("\nTheorem 4.6 equality holds on all %zu instances "
+              "(max gap %.3e <= tolerance %.0e)\n",
+              report.bounded, report.thm46_max_gap, lab::kThm46Tolerance);
+
+  // 4. The determinism regression, in-process: a single-threaded re-run
+  //    must produce the identical timing-free report bytes.
+  lab::RunOptions serial;
+  serial.threads = 1;
+  const lab::CampaignReport again = lab::aggregate(run_campaign(spec, serial));
+  std::ostringstream parallel_json, serial_json;
+  lab::write_report_json(parallel_json, report, /*include_timing=*/false);
+  lab::write_report_json(serial_json, again, /*include_timing=*/false);
+  if (parallel_json.str() != serial_json.str()) {
+    std::printf("FAIL: thread count leaked into the report bytes\n");
+    return 1;
+  }
+  std::printf("threads=%zu and threads=1 reports are byte-identical "
+              "(%zu bytes)\n",
+              run.threads, parallel_json.str().size());
+  return 0;
+}

@@ -5,7 +5,7 @@
 
 namespace cs {
 
-inline constexpr const char kVersion[] = "0.4.0";
-inline constexpr const char kVersionBanner[] = "chronosync 0.4.0";
+inline constexpr const char kVersion[] = "0.5.0";
+inline constexpr const char kVersionBanner[] = "chronosync 0.5.0";
 
 }  // namespace cs

@@ -1,0 +1,90 @@
+// The parallel sweep executor: expand a campaign spec, fan the tasks out
+// over the work-stealing pool, validate every instance against the paper's
+// claims, and collect per-task results for lab/stats aggregation.
+//
+// Determinism contract (the "byte-identical regardless of thread count"
+// guarantee):
+//
+//   * task seed = derive_task_seed(campaign seed, task index) — a pure
+//     splitmix64-style hash, independent of scheduling;
+//   * every random draw of a task (topology wiring, start offsets, delay
+//     streams, fault streams) comes from RNGs derived from that seed alone;
+//   * results land in a pre-sized vector slot keyed by task index, and
+//     aggregation (lab/stats) walks that vector in index order.
+//
+// Wall-clock fields (TaskResult::seconds, CampaignResult::wall_seconds and
+// anything derived, e.g. events/s) are the only nondeterministic outputs;
+// the report writers segregate them so the deterministic sections can be
+// byte-compared across runs (see docs/LAB.md).
+//
+// Validation per task (fault-free, bounded instances):
+//
+//   * Theorem 4.6 equality: ρ̄(SHIFTS corrections) == Ã^max, within
+//     kThm46Tolerance (pure IEEE arithmetic noise; documented in LAB.md);
+//   * soundness: ground-truth realized precision ρ <= Ã^max + tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lab/pool.hpp"
+#include "lab/spec.hpp"
+
+namespace cs::lab {
+
+/// Tolerance of the Theorem 4.6 equality and soundness checks.  The two
+/// sides are the same IEEE doubles pushed through max-cycle-mean vs
+/// max-over-pairs evaluation; the residual is rounding noise orders of
+/// magnitude below any delay scale the samplers produce.
+inline constexpr double kThm46Tolerance = 1e-9;
+
+/// splitmix64-based task seed derivation.  Pure function of
+/// (campaign_seed, stream): identical for every thread count, platform and
+/// scheduling order.  Also used for a task's derived sub-streams (fault
+/// seed, sim seed) with small fixed stream offsets.
+std::uint64_t derive_task_seed(std::uint64_t campaign_seed,
+                               std::uint64_t stream);
+
+struct TaskResult {
+  bool ok{false};            ///< ran to completion (false => see `failure`)
+  std::string failure;
+  bool bounded{false};       ///< Ã^max finite
+  double claimed{0.0};       ///< Ã^max when bounded
+  double guaranteed{0.0};    ///< ρ̄ of the SHIFTS corrections (finite dirs)
+  double realized{0.0};      ///< ground-truth ρ against the true offsets
+  double thm46_gap{0.0};     ///< |ρ̄ - Ã^max| (bounded instances)
+  bool sound{true};          ///< realized <= claimed + tolerance
+  std::size_t nodes{0};
+  std::size_t links{0};
+  std::size_t events{0};     ///< delivered messages + fired timers
+  std::size_t delivered{0};
+  std::size_t dropped{0};    ///< fault-dropped sends (drops + outages)
+  double seconds{0.0};       ///< wall clock — nondeterministic, timing-only
+};
+
+struct RunOptions {
+  std::size_t threads{0};        ///< 0 = all hardware threads
+  Metrics* metrics{nullptr};     ///< shared sink: pool, sim and stage metrics
+  double tolerance{kThm46Tolerance};
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<TaskSpec> tasks;      ///< odometer order; tasks[i].index == i
+  std::vector<TaskResult> results;  ///< by task index
+  std::size_t threads{1};
+  double wall_seconds{0.0};         ///< nondeterministic, timing-only
+};
+
+/// Runs one expanded task to completion.  Never throws for per-instance
+/// pipeline failures — those come back as ok == false with the message —
+/// but spec-level errors (unknown family/mix) propagate.
+TaskResult run_task(const CampaignSpec& spec, const TaskSpec& task,
+                    double tolerance = kThm46Tolerance);
+
+/// Expands the spec and runs every task across the pool.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunOptions& options = {});
+
+}  // namespace cs::lab

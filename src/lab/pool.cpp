@@ -1,0 +1,88 @@
+#include "lab/pool.hpp"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cs::lab {
+namespace {
+
+/// One worker's task queue.  Owner pops back, thieves pop front.
+struct WorkDeque {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;
+
+  bool pop_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void run_indexed(std::size_t count,
+                 const std::function<void(std::size_t)>& fn,
+                 const PoolOptions& options) {
+  if (count == 0) return;
+  const std::size_t threads = std::min(resolve_threads(options.threads), count);
+  metrics_increment(options.metrics, "lab.pool.tasks", count);
+  metrics_increment(options.metrics, "lab.pool.threads", threads);
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::vector<WorkDeque> deques(threads);
+  // Round-robin deal in reverse so the owner's LIFO pops walk indices in
+  // ascending order (pleasant for progress output; irrelevant for results).
+  for (std::size_t i = count; i-- > 0;) deques[i % threads].tasks.push_back(i);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto worker = [&](std::size_t me) {
+    std::size_t task = 0;
+    for (;;) {
+      bool found = deques[me].pop_back(task);
+      for (std::size_t k = 1; !found && k < threads; ++k) {
+        found = deques[(me + k) % threads].pop_front(task);
+        if (found) metrics_increment(options.metrics, "lab.pool.steals");
+      }
+      if (!found) return;
+      try {
+        fn(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> crew;
+  crew.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) crew.emplace_back(worker, w);
+  for (std::thread& t : crew) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cs::lab

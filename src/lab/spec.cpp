@@ -1,0 +1,320 @@
+#include "lab/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "delaymodel/constraint.hpp"
+
+namespace cs::lab {
+namespace {
+
+/// %.17g, matching the io/ writers: doubles round-trip exactly.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& message) {
+  fail("campaign spec line " + std::to_string(line_no) + ": " + message);
+}
+
+double parse_num(const std::string& token, std::size_t line_no,
+                 const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail_line(line_no, "'" + token + "' is not a valid " + what);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line_no,
+                        const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail_line(line_no, "'" + token + "' is not a valid " + what);
+  }
+}
+
+}  // namespace
+
+std::string MixSpec::describe() const {
+  std::ostringstream os;
+  os << kind;
+  if (kind == "bounds") os << ' ' << fmt(lb) << ' ' << fmt(ub);
+  else if (kind == "lower") os << ' ' << fmt(lb);
+  else if (kind == "bias") os << ' ' << fmt(bias);
+  else if (kind == "composite" || kind == "alternating")
+    os << ' ' << fmt(lb) << ' ' << fmt(ub) << ' ' << fmt(bias);
+  return os.str();
+}
+
+std::string FaultSpec::describe() const {
+  if (!faulty()) return "none";
+  std::ostringstream os;
+  os << "drop " << fmt(drop);
+  if (has_crash)
+    os << " crash " << crash_pid << ' ' << fmt(crash_from) << ' '
+       << fmt(crash_until);
+  return os.str();
+}
+
+FaultPlan FaultSpec::build(std::uint64_t fault_seed) const {
+  FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.default_link.drop_probability = drop;
+  if (has_crash)
+    plan.crash(crash_pid, RealTime{crash_from}, RealTime{crash_until});
+  return plan;
+}
+
+std::string ProtocolSpec::describe() const {
+  std::ostringstream os;
+  if (kind == "pingpong") os << "pingpong " << rounds;
+  else os << "beacon " << fmt(period) << ' ' << count;
+  return os.str();
+}
+
+std::vector<TaskSpec> expand(const CampaignSpec& spec) {
+  if (spec.topologies.empty()) fail("campaign has no topologies");
+  if (spec.mixes.empty()) fail("campaign has no delay mixes");
+  if (spec.faults.empty()) fail("campaign has no fault plans");
+  if (spec.seeds_per_cell == 0) fail("campaign has zero seeds per cell");
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(spec.task_count());
+  std::size_t index = 0;
+  for (std::size_t t = 0; t < spec.topologies.size(); ++t)
+    for (std::size_t m = 0; m < spec.mixes.size(); ++m)
+      for (std::size_t f = 0; f < spec.faults.size(); ++f)
+        for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
+          tasks.push_back({index++, t, m, f, s});
+  return tasks;
+}
+
+void apply_mix(SystemModel& model, const MixSpec& mix) {
+  const auto& links = model.topology().links;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto [a, b] = links[i];
+    const auto composite = [&](ProcessorId x, ProcessorId y) {
+      std::vector<std::unique_ptr<LinkConstraint>> parts;
+      parts.push_back(make_bounds(x, y, mix.lb, mix.ub));
+      parts.push_back(make_bias(x, y, mix.bias));
+      return make_composite(x, y, std::move(parts));
+    };
+    if (mix.kind == "bounds") {
+      model.set_constraint(make_bounds(a, b, mix.lb, mix.ub));
+    } else if (mix.kind == "lower") {
+      model.set_constraint(make_lower_bound_only(a, b, mix.lb));
+    } else if (mix.kind == "bias") {
+      model.set_constraint(make_bias(a, b, mix.bias));
+    } else if (mix.kind == "composite") {
+      model.set_constraint(composite(a, b));
+    } else if (mix.kind == "alternating") {
+      switch (i % 3) {
+        case 0: model.set_constraint(make_bounds(a, b, mix.lb, mix.ub)); break;
+        case 1: model.set_constraint(make_bias(a, b, mix.bias)); break;
+        default: model.set_constraint(composite(a, b)); break;
+      }
+    } else {
+      fail("unknown delay mix kind: '" + mix.kind + "'");
+    }
+  }
+}
+
+CampaignSpec load_campaign(std::istream& is) {
+  CampaignSpec spec;
+  spec.seeds_per_cell = 0;  // must be declared
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank or comment-only
+    if (!saw_header) {
+      std::string version;
+      ls >> version;
+      if (word != "chronosync-campaign" || version != "v1")
+        fail_line(line_no, "expected header 'chronosync-campaign v1'");
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> params;
+    std::string token;
+    while (ls >> token) params.push_back(token);
+    const auto want = [&](std::size_t count, const char* usage) {
+      if (params.size() != count)
+        fail_line(line_no, "expected '" + word + " " + usage + "'");
+    };
+    if (word == "name") {
+      want(1, "<identifier>");
+      spec.name = params[0];
+    } else if (word == "seed") {
+      want(1, "<u64>");
+      spec.seed = parse_u64(params[0], line_no, "seed");
+    } else if (word == "seeds") {
+      want(1, "<count>");
+      spec.seeds_per_cell =
+          static_cast<std::uint32_t>(parse_u64(params[0], line_no, "count"));
+    } else if (word == "protocol") {
+      if (params.empty()) fail_line(line_no, "protocol needs a kind");
+      spec.protocol.kind = params[0];
+      if (params[0] == "pingpong") {
+        want(2, "pingpong <rounds>");
+        spec.protocol.rounds =
+            static_cast<std::size_t>(parse_u64(params[1], line_no, "rounds"));
+      } else if (params[0] == "beacon") {
+        want(3, "beacon <period> <count>");
+        spec.protocol.period = parse_num(params[1], line_no, "period");
+        spec.protocol.count =
+            static_cast<std::size_t>(parse_u64(params[2], line_no, "count"));
+      } else {
+        fail_line(line_no, "unknown protocol '" + params[0] + "'");
+      }
+    } else if (word == "skew") {
+      want(1, "<seconds>");
+      spec.skew = parse_num(params[0], line_no, "skew");
+    } else if (word == "delay-scale") {
+      want(1, "<seconds>");
+      spec.delay_scale = parse_num(params[0], line_no, "delay scale");
+    } else if (word == "topology") {
+      std::string rest;
+      for (const std::string& p : params) rest += (rest.empty() ? "" : " ") + p;
+      try {
+        spec.topologies.push_back(parse_topo_spec(rest));
+      } catch (const Error& e) {
+        fail_line(line_no, e.what());
+      }
+    } else if (word == "mix") {
+      if (params.empty()) fail_line(line_no, "mix needs a kind");
+      MixSpec mix;
+      mix.kind = params[0];
+      if (mix.kind == "bounds") {
+        want(3, "bounds <lb> <ub>");
+        mix.lb = parse_num(params[1], line_no, "lower bound");
+        mix.ub = parse_num(params[2], line_no, "upper bound");
+      } else if (mix.kind == "lower") {
+        want(2, "lower <lb>");
+        mix.lb = parse_num(params[1], line_no, "lower bound");
+      } else if (mix.kind == "bias") {
+        want(2, "bias <bound>");
+        mix.bias = parse_num(params[1], line_no, "bias bound");
+      } else if (mix.kind == "composite" || mix.kind == "alternating") {
+        want(4, (mix.kind + " <lb> <ub> <bias>").c_str());
+        mix.lb = parse_num(params[1], line_no, "lower bound");
+        mix.ub = parse_num(params[2], line_no, "upper bound");
+        mix.bias = parse_num(params[3], line_no, "bias bound");
+      } else {
+        fail_line(line_no, "unknown mix kind '" + mix.kind + "'");
+      }
+      spec.mixes.push_back(mix);
+    } else if (word == "faults") {
+      if (params.empty()) fail_line(line_no, "faults needs a kind");
+      FaultSpec fs;
+      if (params[0] == "none") {
+        want(1, "none");
+      } else if (params[0] == "drop") {
+        if (params.size() != 2 && params.size() != 6)
+          fail_line(line_no,
+                    "expected 'faults drop <p> [crash <pid> <from> <until>]'");
+        fs.drop = parse_num(params[1], line_no, "drop probability");
+        if (fs.drop < 0.0 || fs.drop > 1.0)
+          fail_line(line_no, "drop probability must be in [0, 1]");
+        if (params.size() == 6) {
+          if (params[2] != "crash")
+            fail_line(line_no, "expected 'crash', got '" + params[2] + "'");
+          fs.has_crash = true;
+          fs.crash_pid = static_cast<ProcessorId>(
+              parse_u64(params[3], line_no, "processor id"));
+          fs.crash_from = parse_num(params[4], line_no, "crash start");
+          fs.crash_until = parse_num(params[5], line_no, "crash end");
+        }
+      } else {
+        fail_line(line_no, "unknown fault kind '" + params[0] + "'");
+      }
+      spec.faults.push_back(fs);
+    } else {
+      fail_line(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_header) fail("campaign spec: missing 'chronosync-campaign v1' header");
+  if (spec.seeds_per_cell == 0)
+    fail("campaign spec: missing 'seeds <count>' directive");
+  if (spec.topologies.empty()) fail("campaign spec: no 'topology' lines");
+  if (spec.mixes.empty()) fail("campaign spec: no 'mix' lines");
+  if (spec.faults.empty()) spec.faults.push_back(FaultSpec{});
+  return spec;
+}
+
+CampaignSpec load_campaign_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open campaign spec: " + path);
+  return load_campaign(is);
+}
+
+void save_campaign(std::ostream& os, const CampaignSpec& spec) {
+  os << "chronosync-campaign v1\n";
+  os << "name " << spec.name << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "seeds " << spec.seeds_per_cell << "\n";
+  os << "protocol " << spec.protocol.describe() << "\n";
+  os << "skew " << fmt(spec.skew) << "\n";
+  os << "delay-scale " << fmt(spec.delay_scale) << "\n";
+  for (const TopoSpec& t : spec.topologies)
+    os << "topology " << t.describe() << "\n";
+  for (const MixSpec& m : spec.mixes) os << "mix " << m.describe() << "\n";
+  for (const FaultSpec& f : spec.faults)
+    os << "faults " << f.describe() << "\n";
+}
+
+CampaignSpec preset_campaign(const std::string& name) {
+  CampaignSpec spec;
+  spec.name = name;
+  if (name == "smoke") {
+    // Tiny multi-family campaign for CI: every generator family category,
+    // every mix kind, one faulty arm — a few seconds on two cores.
+    spec.seed = 2026;
+    spec.seeds_per_cell = 3;
+    spec.protocol.rounds = 3;
+    for (const char* t :
+         {"ring 6", "toroid 3x3", "hypercube 3", "er 10 0.2", "ba 12 2",
+          "dc 2 2 2"})
+      spec.topologies.push_back(parse_topo_spec(t));
+    spec.mixes.push_back({"bounds", 0.002, 0.01, 0.0});
+    spec.mixes.push_back({"alternating", 0.002, 0.01, 0.004});
+    spec.faults.push_back(FaultSpec{});
+    FaultSpec lossy;
+    lossy.drop = 0.15;
+    spec.faults.push_back(lossy);
+    return spec;
+  }
+  if (name == "toroid") {
+    // The Frank–Welch odd-ary m-toroid sweep: every odd side k in {3, 5},
+    // dimensions m in {1, 2, 3}, uniform symmetric bounds, 25 seeds per
+    // cell -> 8 cells x 25 = 200 fault-free tasks.
+    spec.seed = 1807;  // arXiv:1807.05139
+    spec.seeds_per_cell = 25;
+    spec.protocol.rounds = 4;
+    for (const char* t : {"ring 3", "ring 5", "ring 9", "toroid 3x3",
+                          "toroid 5x5", "toroid 3x3x3", "toroid 5x5x5",
+                          "toroid 3x5x7"})
+      spec.topologies.push_back(parse_topo_spec(t));
+    spec.mixes.push_back({"bounds", 0.001, 0.003, 0.0});
+    spec.faults.push_back(FaultSpec{});
+    return spec;
+  }
+  fail("unknown campaign preset: '" + name + "' (try 'smoke' or 'toroid')");
+}
+
+}  // namespace cs::lab

@@ -1,0 +1,142 @@
+// Declarative campaign specifications.
+//
+// A campaign is a cross product
+//
+//   topology family/size  ×  delay mix  ×  fault plan  ×  seed range
+//
+// expanded into a flat, stably ordered task list.  The (topology, mix,
+// fault) triple is a *cell*; each cell runs once per seed index.  Task
+// ordering is the declaration-order odometer — topology-major, then mix,
+// then fault, then seed — and task seeds are derived per index by
+// derive_task_seed (campaign.hpp), so the expansion is a pure function of
+// the spec text: re-running a campaign on any machine with any thread
+// count reproduces every instance bit for bit.
+//
+// On-disk format (line-based, '#' comments, like the io/ formats):
+//
+//   chronosync-campaign v1
+//   name <identifier>
+//   seed <campaign master seed>
+//   seeds <runs per cell>
+//   protocol pingpong <rounds> | protocol beacon <period> <count>
+//   skew <max start skew seconds>
+//   delay-scale <typical delay magnitude>
+//   topology <family> <params...>      # one line per family instance
+//   mix <kind> <params...>             # delay-assumption assignment
+//   faults <kind> <params...>          # fault plan
+//
+// Mix grammar (per-link delay-assumption assignment hooks):
+//   mix bounds <lb> <ub>            symmetric [lb, ub] on every link
+//   mix lower <lb>                  lower bound only (ub = +inf)
+//   mix bias <bound>                round-trip bias bound
+//   mix composite <lb> <ub> <bias>  bounds ∧ bias on every link
+//   mix alternating <lb> <ub> <bias>
+//       heterogeneous: link i gets bounds / bias / composite by i mod 3
+//
+// Fault grammar:
+//   faults none
+//   faults drop <p>
+//   faults drop <p> crash <pid> <from> <until>
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "delaymodel/assignment.hpp"
+#include "lab/topo.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace cs::lab {
+
+struct MixSpec {
+  std::string kind;  ///< bounds | lower | bias | composite | alternating
+  double lb{0.0};
+  double ub{0.0};
+  double bias{0.0};
+
+  std::string describe() const;
+};
+
+struct FaultSpec {
+  double drop{0.0};
+  bool has_crash{false};
+  ProcessorId crash_pid{0};
+  double crash_from{0.0};
+  double crash_until{0.0};
+
+  bool faulty() const { return drop > 0.0 || has_crash; }
+  std::string describe() const;
+
+  /// Instantiates the plan (empty for a fault-free spec).  The plan's fault
+  /// randomness is seeded separately by the campaign runner.
+  FaultPlan build(std::uint64_t fault_seed) const;
+};
+
+struct ProtocolSpec {
+  std::string kind{"pingpong"};  ///< pingpong | beacon
+  std::size_t rounds{4};         ///< pingpong
+  double period{0.15};           ///< beacon
+  std::size_t count{20};         ///< beacon
+
+  std::string describe() const;
+};
+
+struct CampaignSpec {
+  std::string name{"campaign"};
+  std::uint64_t seed{1};
+  std::uint32_t seeds_per_cell{1};
+  ProtocolSpec protocol;
+  double skew{0.25};
+  double delay_scale{0.1};
+  std::vector<TopoSpec> topologies;
+  std::vector<MixSpec> mixes;
+  std::vector<FaultSpec> faults;
+
+  std::size_t cell_count() const {
+    return topologies.size() * mixes.size() * faults.size();
+  }
+  std::size_t task_count() const { return cell_count() * seeds_per_cell; }
+};
+
+/// One expanded task: a cell plus a seed index.  `index` is the task's
+/// position in odometer order and the sole input (with the campaign seed)
+/// of its derived RNG seed.
+struct TaskSpec {
+  std::size_t index{0};
+  std::size_t topology_id{0};
+  std::size_t mix_id{0};
+  std::size_t fault_id{0};
+  std::uint32_t seed_index{0};
+
+  /// Dense cell index (topology-major, then mix, then fault).
+  std::size_t cell_id(const CampaignSpec& spec) const {
+    return (topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
+           fault_id;
+  }
+};
+
+/// Odometer expansion; tasks[i].index == i.  Throws cs::Error if the spec
+/// has no topologies, mixes, faults, or seeds.
+std::vector<TaskSpec> expand(const CampaignSpec& spec);
+
+/// Applies a mix to every link of the model (the per-link delay-assumption
+/// assignment hook into delaymodel/).
+void apply_mix(SystemModel& model, const MixSpec& mix);
+
+/// Reads the on-disk format; throws cs::Error with a 1-based line number
+/// and the offending token on malformed input.
+CampaignSpec load_campaign(std::istream& is);
+CampaignSpec load_campaign_file(const std::string& path);
+
+/// Writes the on-disk format (round-trips through load_campaign).
+void save_campaign(std::ostream& os, const CampaignSpec& spec);
+
+/// Built-in campaigns: "smoke" (tiny multi-family CI campaign) and
+/// "toroid" (the Frank–Welch odd-ary m-toroid sweep, >= 200 tasks).
+/// Throws cs::Error on unknown names.
+CampaignSpec preset_campaign(const std::string& name);
+
+}  // namespace cs::lab

@@ -1,0 +1,254 @@
+#include "lab/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace cs::lab {
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+void series_json(std::ostream& os, const char* indent, const char* name,
+                 const SeriesStats& s) {
+  os << indent << quoted(name) << ": {"
+     << "\"count\": " << s.acc.count() << ", \"mean\": "
+     << fmt(s.acc.count() == 0 ? 0.0 : s.acc.mean())
+     << ", \"min\": " << fmt(s.acc.count() == 0 ? 0.0 : s.acc.min())
+     << ", \"max\": " << fmt(s.acc.count() == 0 ? 0.0 : s.acc.max())
+     << ", \"p50\": " << fmt(s.quantiles.quantile(0.50))
+     << ", \"p95\": " << fmt(s.quantiles.quantile(0.95))
+     << ", \"p99\": " << fmt(s.quantiles.quantile(0.99)) << "}";
+}
+
+}  // namespace
+
+ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
+                                       std::uint64_t seed)
+    : rng_(seed), capacity_(capacity == 0 ? 1 : capacity) {
+  sample_.reserve(capacity_);
+}
+
+void ReservoirQuantiles::add(double x) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Algorithm R: the new element replaces a uniformly random slot with
+  // probability capacity / seen (one draw per element, always taken, so the
+  // stream position of an element alone decides the RNG state).
+  const std::uint64_t j = rng_.uniform_int(seen_);
+  if (j < sample_.size()) sample_[j] = x;
+}
+
+double ReservoirQuantiles::quantile(double q) const {
+  if (sample_.empty()) return 0.0;
+  return percentile(sample_, q);
+}
+
+CampaignReport aggregate(const CampaignResult& result) {
+  CampaignReport report;
+  report.spec = result.spec;
+  report.threads = result.threads;
+  report.wall_seconds = result.wall_seconds;
+
+  const CampaignSpec& spec = result.spec;
+  report.cells.reserve(spec.cell_count());
+  for (std::size_t t = 0; t < spec.topologies.size(); ++t)
+    for (std::size_t m = 0; m < spec.mixes.size(); ++m)
+      for (std::size_t f = 0; f < spec.faults.size(); ++f) {
+        const std::size_t id = report.cells.size();
+        CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
+        cell.cell = id;
+        cell.topology = spec.topologies[t].describe();
+        cell.nodes = spec.topologies[t].node_count();
+        cell.mix = spec.mixes[m].describe();
+        cell.faults = spec.faults[f].describe();
+        cell.faulty = spec.faults[f].faulty();
+        report.cells.push_back(std::move(cell));
+      }
+
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    const TaskSpec& task = result.tasks[i];
+    const TaskResult& r = result.results[i];
+    CellStats& cell = report.cells.at(task.cell_id(spec));
+    ++cell.tasks;
+    ++report.tasks;
+    cell.cpu_seconds += r.seconds;
+    report.cpu_seconds += r.seconds;
+    if (!r.ok) {
+      ++cell.failures;
+      ++report.failures;
+      continue;
+    }
+    cell.events += r.events;
+    cell.delivered += r.delivered;
+    cell.dropped += r.dropped;
+    report.events += r.events;
+    cell.realized_max = std::max(cell.realized_max, r.realized);
+    if (r.bounded) {
+      ++cell.bounded;
+      ++report.bounded;
+      cell.claimed.add(r.claimed);
+      cell.optimality_gap.add(r.claimed - r.realized);
+      if (r.claimed > 0.0) cell.ratio.add(r.realized / r.claimed);
+      cell.thm46_max_gap = std::max(cell.thm46_max_gap, r.thm46_gap);
+      if (!cell.faulty)
+        report.thm46_max_gap =
+            std::max(report.thm46_max_gap, r.thm46_gap);
+      if (!r.sound) {
+        ++cell.soundness_violations;
+        ++report.soundness_violations;
+      }
+    }
+  }
+  return report;
+}
+
+bool report_ok(const CampaignReport& report, double tolerance) {
+  if (report.failures != 0 || report.soundness_violations != 0) return false;
+  for (const CellStats& cell : report.cells)
+    if (!cell.faulty && cell.thm46_max_gap > tolerance) return false;
+  return true;
+}
+
+void write_report_json(std::ostream& os, const CampaignReport& report,
+                       bool include_timing) {
+  const CampaignSpec& spec = report.spec;
+  os << "{\n  \"schema_version\": 1,\n  \"tool\": \"cs_lab\",\n"
+     << "  \"campaign\": {\n"
+     << "    \"name\": " << quoted(spec.name) << ",\n"
+     << "    \"seed\": " << spec.seed << ",\n"
+     << "    \"seeds_per_cell\": " << spec.seeds_per_cell << ",\n"
+     << "    \"protocol\": " << quoted(spec.protocol.describe()) << ",\n"
+     << "    \"skew\": " << fmt(spec.skew) << ",\n"
+     << "    \"delay_scale\": " << fmt(spec.delay_scale) << ",\n"
+     << "    \"cells\": " << report.cells.size() << ",\n"
+     << "    \"tasks\": " << report.tasks << "\n  },\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellStats& c = report.cells[i];
+    os << "    {\n      \"cell\": " << c.cell << ",\n"
+       << "      \"topology\": " << quoted(c.topology) << ",\n"
+       << "      \"nodes\": " << c.nodes << ",\n"
+       << "      \"mix\": " << quoted(c.mix) << ",\n"
+       << "      \"faults\": " << quoted(c.faults) << ",\n"
+       << "      \"tasks\": " << c.tasks << ",\n"
+       << "      \"failures\": " << c.failures << ",\n"
+       << "      \"bounded\": " << c.bounded << ",\n"
+       << "      \"soundness_violations\": " << c.soundness_violations
+       << ",\n"
+       << "      \"thm46_max_gap\": " << fmt(c.thm46_max_gap) << ",\n";
+    series_json(os, "      ", "claimed_precision", c.claimed);
+    os << ",\n";
+    series_json(os, "      ", "realized_over_claimed", c.ratio);
+    os << ",\n";
+    series_json(os, "      ", "optimality_gap", c.optimality_gap);
+    os << ",\n      \"realized_max\": " << fmt(c.realized_max) << ",\n"
+       << "      \"events\": " << c.events << ",\n"
+       << "      \"delivered\": " << c.delivered << ",\n"
+       << "      \"dropped\": " << c.dropped << "\n    }"
+       << (i + 1 < report.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"totals\": {\n"
+     << "    \"tasks\": " << report.tasks << ",\n"
+     << "    \"failures\": " << report.failures << ",\n"
+     << "    \"bounded\": " << report.bounded << ",\n"
+     << "    \"soundness_violations\": " << report.soundness_violations
+     << ",\n"
+     << "    \"thm46_max_gap\": " << fmt(report.thm46_max_gap) << ",\n"
+     << "    \"events\": " << report.events << "\n  }";
+  if (include_timing) {
+    os << ",\n  \"timing\": {\n"
+       << "    \"threads\": " << report.threads << ",\n"
+       << "    \"wall_seconds\": " << fmt(report.wall_seconds) << ",\n"
+       << "    \"cpu_seconds\": " << fmt(report.cpu_seconds) << ",\n"
+       << "    \"tasks_per_second\": "
+       << fmt(report.wall_seconds > 0.0
+                  ? static_cast<double>(report.tasks) / report.wall_seconds
+                  : 0.0)
+       << ",\n    \"events_per_second\": "
+       << fmt(report.wall_seconds > 0.0
+                  ? static_cast<double>(report.events) / report.wall_seconds
+                  : 0.0)
+       << ",\n    \"parallel_efficiency\": "
+       << fmt(report.wall_seconds > 0.0 && report.threads > 0
+                  ? report.cpu_seconds /
+                        (report.wall_seconds *
+                         static_cast<double>(report.threads))
+                  : 0.0)
+       << "\n  }";
+  }
+  os << "\n}\n";
+}
+
+void write_report_csv(std::ostream& os, const CampaignReport& report) {
+  os << "cell,topology,nodes,mix,faults,tasks,failures,bounded,"
+        "soundness_violations,thm46_max_gap,claimed_mean,claimed_p50,"
+        "claimed_p95,claimed_p99,ratio_mean,ratio_p95,gap_p50,gap_p95,"
+        "gap_p99,realized_max,events,delivered,dropped\n";
+  for (const CellStats& c : report.cells) {
+    os << c.cell << ',' << quoted(c.topology) << ',' << c.nodes << ','
+       << quoted(c.mix) << ',' << quoted(c.faults) << ',' << c.tasks << ','
+       << c.failures << ',' << c.bounded << ',' << c.soundness_violations
+       << ',' << fmt(c.thm46_max_gap) << ','
+       << fmt(c.claimed.acc.count() == 0 ? 0.0 : c.claimed.acc.mean()) << ','
+       << fmt(c.claimed.quantiles.quantile(0.50)) << ','
+       << fmt(c.claimed.quantiles.quantile(0.95)) << ','
+       << fmt(c.claimed.quantiles.quantile(0.99)) << ','
+       << fmt(c.ratio.acc.count() == 0 ? 0.0 : c.ratio.acc.mean()) << ','
+       << fmt(c.ratio.quantiles.quantile(0.95)) << ','
+       << fmt(c.optimality_gap.quantiles.quantile(0.50)) << ','
+       << fmt(c.optimality_gap.quantiles.quantile(0.95)) << ','
+       << fmt(c.optimality_gap.quantiles.quantile(0.99)) << ','
+       << fmt(c.realized_max) << ',' << c.events << ',' << c.delivered << ','
+       << c.dropped << '\n';
+  }
+}
+
+void print_report(std::ostream& os, const CampaignReport& report,
+                  bool include_timing) {
+  Table table({"cell", "topology", "mix", "faults", "tasks", "fail",
+               "bounded", "A^max p50", "ratio p95", "thm4.6 gap"});
+  for (const CellStats& c : report.cells)
+    table.add_row({std::to_string(c.cell), c.topology, c.mix, c.faults,
+                   std::to_string(c.tasks), std::to_string(c.failures),
+                   std::to_string(c.bounded),
+                   Table::num(c.claimed.quantiles.quantile(0.50), 6),
+                   Table::num(c.ratio.quantiles.quantile(0.95), 3),
+                   Table::num(c.thm46_max_gap, 12)});
+  table.print(os);
+  os << "\ncampaign '" << report.spec.name << "': " << report.tasks
+     << " tasks, " << report.failures << " failures, "
+     << report.soundness_violations << " soundness violations, "
+     << "max Thm 4.6 gap " << fmt(report.thm46_max_gap)
+     << " (fault-free cells)\n";
+  if (include_timing)
+    os << "threads " << report.threads << ", wall "
+       << Table::num(report.wall_seconds, 2) << " s, cpu "
+       << Table::num(report.cpu_seconds, 2) << " s, "
+       << Table::num(report.wall_seconds > 0.0
+                         ? static_cast<double>(report.events) /
+                               report.wall_seconds
+                         : 0.0,
+                     0)
+       << " events/s, parallel efficiency "
+       << Table::num(report.wall_seconds > 0.0 && report.threads > 0
+                         ? report.cpu_seconds /
+                               (report.wall_seconds *
+                                static_cast<double>(report.threads))
+                         : 0.0,
+                     2)
+       << "\n";
+}
+
+}  // namespace cs::lab

@@ -1,0 +1,126 @@
+// Statistical aggregation of campaign results.
+//
+// Aggregates per-task results into per-cell statistics — realized-vs-
+// claimed precision ratios, optimality-gap quantiles (p50/p95/p99 via a
+// streaming reservoir), Theorem 4.6 residuals, throughput and failure
+// counts — and renders them as JSON, CSV and a stdout table.
+//
+// Output determinism: aggregation walks results in task-index order with a
+// reservoir seeded from (campaign seed, cell id), so every deterministic
+// field is byte-identical across thread counts.  Wall-clock-derived fields
+// (events/s, seconds) live exclusively in the JSON "timing" object, which
+// `include_timing = false` omits; the CSV carries deterministic columns
+// only.  docs/LAB.md documents both schemas.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "lab/campaign.hpp"
+
+namespace cs::lab {
+
+/// Streaming quantile estimator: algorithm-R reservoir sampling with a
+/// deterministic Rng, exact while count <= capacity (the common per-cell
+/// case), a uniform sample beyond.  quantile() copies and sorts.
+class ReservoirQuantiles {
+ public:
+  explicit ReservoirQuantiles(std::size_t capacity = 1024,
+                              std::uint64_t seed = 1);
+
+  void add(double x);
+  std::size_t count() const { return seen_; }
+  bool exact() const { return seen_ <= capacity_; }
+
+  /// Linear-interpolated quantile over the reservoir, q in [0, 1];
+  /// 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  Rng rng_;
+  std::size_t capacity_{0};
+  std::size_t seen_{0};
+  std::vector<double> sample_;
+};
+
+/// Distribution summary of one per-cell series.
+struct SeriesStats {
+  Accumulator acc;
+  ReservoirQuantiles quantiles;
+
+  explicit SeriesStats(std::uint64_t seed) : quantiles(1024, seed) {}
+  void add(double x) {
+    acc.add(x);
+    quantiles.add(x);
+  }
+};
+
+/// Aggregated statistics of one campaign cell (topology x mix x faults).
+struct CellStats {
+  std::size_t cell{0};
+  std::string topology;
+  std::string mix;
+  std::string faults;
+  bool faulty{false};
+  std::size_t nodes{0};
+
+  std::size_t tasks{0};
+  std::size_t failures{0};
+  std::size_t bounded{0};
+  std::size_t soundness_violations{0};
+  double thm46_max_gap{0.0};
+
+  SeriesStats claimed;        ///< Ã^max over bounded tasks
+  SeriesStats ratio;          ///< realized / claimed (bounded, claimed > 0)
+  SeriesStats optimality_gap; ///< claimed - realized (bounded tasks)
+  double realized_max{0.0};
+
+  std::size_t events{0};
+  std::size_t delivered{0};
+  std::size_t dropped{0};
+  double cpu_seconds{0.0};    ///< timing-only
+
+  explicit CellStats(std::uint64_t seed)
+      : claimed(seed), ratio(seed ^ 1), optimality_gap(seed ^ 2) {}
+};
+
+struct CampaignReport {
+  CampaignSpec spec;
+  std::vector<CellStats> cells;
+
+  std::size_t tasks{0};
+  std::size_t failures{0};
+  std::size_t bounded{0};
+  std::size_t soundness_violations{0};
+  double thm46_max_gap{0.0};        ///< over fault-free cells
+  std::size_t events{0};
+
+  std::size_t threads{1};           ///< timing-only
+  double wall_seconds{0.0};         ///< timing-only
+  double cpu_seconds{0.0};          ///< timing-only
+};
+
+/// Folds per-task results into per-cell statistics (task-index order).
+CampaignReport aggregate(const CampaignResult& result);
+
+/// True iff the campaign validates: no failed tasks, no soundness
+/// violations anywhere, and Theorem 4.6 equality within `tolerance` on
+/// every bounded task of every fault-free cell.
+bool report_ok(const CampaignReport& report,
+               double tolerance = kThm46Tolerance);
+
+/// JSON report; `include_timing = false` omits every wall-clock-derived
+/// field for byte-identical output across thread counts.
+void write_report_json(std::ostream& os, const CampaignReport& report,
+                       bool include_timing = true);
+
+/// CSV report: one row per cell, deterministic columns only.
+void write_report_csv(std::ostream& os, const CampaignReport& report);
+
+/// Human-readable stdout summary table.
+void print_report(std::ostream& os, const CampaignReport& report,
+                  bool include_timing = true);
+
+}  // namespace cs::lab

@@ -1,0 +1,136 @@
+// The campaign runner: seed derivation, per-task validation against the
+// paper's claims, and scheduling-independent results.  The Campaign suite
+// is a ThreadSanitizer target (see ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "lab/campaign.hpp"
+
+namespace cs::lab {
+namespace {
+
+CampaignSpec tiny_campaign() {
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name tiny\n"
+      "seed 99\n"
+      "seeds 2\n"
+      "protocol pingpong 3\n"
+      "skew 0.2\n"
+      "delay-scale 0.05\n"
+      "topology ring 5\n"
+      "topology toroid 3x3\n"
+      "mix bounds 0.002 0.008\n"
+      "faults none\n"
+      "faults drop 0.2\n");
+  return load_campaign(is);
+}
+
+TEST(TaskSeed, DerivationIsAPureInjectiveLookingHash) {
+  // Pure function of (seed, stream) …
+  EXPECT_EQ(derive_task_seed(1, 0), derive_task_seed(1, 0));
+  // … with no collisions across a healthy range of tasks and campaigns.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t campaign : {1ull, 2ull, 1807ull, 2026ull})
+    for (std::uint64_t stream = 0; stream < 1000; ++stream)
+      EXPECT_TRUE(seen.insert(derive_task_seed(campaign, stream)).second)
+          << campaign << "/" << stream;
+}
+
+TEST(TaskSeed, NeighboringStreamsDecorrelate) {
+  // Consecutive task indices must not produce near-identical seeds.
+  const std::uint64_t a = derive_task_seed(7, 0);
+  const std::uint64_t b = derive_task_seed(7, 1);
+  int differing_bits = 0;
+  for (std::uint64_t x = a ^ b; x != 0; x &= x - 1) ++differing_bits;
+  EXPECT_GE(differing_bits, 16);
+}
+
+TEST(Campaign, FaultFreeTaskMeetsTheorem46WithinTolerance) {
+  const CampaignSpec spec = tiny_campaign();
+  const std::vector<TaskSpec> tasks = expand(spec);
+  const TaskResult r = run_task(spec, tasks[0]);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.bounded);
+  EXPECT_GT(r.claimed, 0.0);
+  EXPECT_LE(r.thm46_gap, kThm46Tolerance);
+  EXPECT_TRUE(r.sound);
+  EXPECT_EQ(r.nodes, 5u);
+  EXPECT_EQ(r.links, 5u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(Campaign, FaultyTaskStaysSound) {
+  const CampaignSpec spec = tiny_campaign();
+  const std::vector<TaskSpec> tasks = expand(spec);
+  // Task index 2: ring 5, drop 0.2, seed_index 0.
+  ASSERT_EQ(tasks[2].fault_id, 1u);
+  const TaskResult r = run_task(spec, tasks[2]);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_TRUE(r.sound);
+}
+
+TEST(Campaign, TaskResultsAreReproducible) {
+  const CampaignSpec spec = tiny_campaign();
+  const std::vector<TaskSpec> tasks = expand(spec);
+  const TaskResult a = run_task(spec, tasks[3]);
+  const TaskResult b = run_task(spec, tasks[3]);
+  EXPECT_EQ(a.claimed, b.claimed);
+  EXPECT_EQ(a.guaranteed, b.guaranteed);
+  EXPECT_EQ(a.realized, b.realized);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+TEST(Campaign, ResultsIdenticalForAnyThreadCount) {
+  // The determinism contract at the library layer: every deterministic
+  // TaskResult field is bit-identical between a serial and a parallel run.
+  const CampaignSpec spec = tiny_campaign();
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok) << i;
+    EXPECT_EQ(a.results[i].bounded, b.results[i].bounded) << i;
+    EXPECT_EQ(a.results[i].claimed, b.results[i].claimed) << i;
+    EXPECT_EQ(a.results[i].guaranteed, b.results[i].guaranteed) << i;
+    EXPECT_EQ(a.results[i].realized, b.results[i].realized) << i;
+    EXPECT_EQ(a.results[i].thm46_gap, b.results[i].thm46_gap) << i;
+    EXPECT_EQ(a.results[i].events, b.results[i].events) << i;
+    EXPECT_EQ(a.results[i].delivered, b.results[i].delivered) << i;
+    EXPECT_EQ(a.results[i].dropped, b.results[i].dropped) << i;
+  }
+}
+
+TEST(Campaign, MetricsCountTaskOutcomes) {
+  const CampaignSpec spec = tiny_campaign();
+  Metrics metrics;
+  RunOptions options;
+  options.threads = 2;
+  options.metrics = &metrics;
+  const CampaignResult result = run_campaign(spec, options);
+  EXPECT_EQ(metrics.counter("lab.tasks_ok") + metrics.counter("lab.tasks_failed"),
+            result.results.size());
+  EXPECT_EQ(metrics.counter("lab.pool.tasks"), result.results.size());
+}
+
+TEST(Campaign, UnknownProtocolSurfacesAsTaskFailure) {
+  CampaignSpec spec = tiny_campaign();
+  spec.protocol.kind = "smoke-signals";
+  const TaskResult r = run_task(spec, expand(spec)[0]);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("protocol"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::lab

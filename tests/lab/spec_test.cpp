@@ -1,0 +1,184 @@
+// Campaign spec grammar: parse/save round-trips, odometer expansion,
+// per-link mix assignment, and diagnostics with 1-based line numbers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "lab/spec.hpp"
+#include "support/builders.hpp"
+
+namespace cs::lab {
+namespace {
+
+CampaignSpec parse(const std::string& text) {
+  std::istringstream is(text);
+  return load_campaign(is);
+}
+
+std::string expect_error(const std::string& text) {
+  try {
+    parse(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a parse error for: " << text;
+  return "";
+}
+
+constexpr const char kMinimalSpec[] =
+    "chronosync-campaign v1\n"
+    "name mini\n"
+    "seed 7\n"
+    "seeds 2\n"
+    "protocol beacon 0.25 10\n"
+    "skew 0.5\n"
+    "delay-scale 0.05\n"
+    "topology ring 4\n"
+    "topology toroid 3x3\n"
+    "mix bounds 0.001 0.004\n"
+    "mix lower 0.002\n"
+    "faults none\n"
+    "faults drop 0.25 crash 1 2.5 3.5\n";
+
+TEST(CampaignSpec, ParsesEveryDirective) {
+  const CampaignSpec spec = parse(kMinimalSpec);
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.seeds_per_cell, 2u);
+  EXPECT_EQ(spec.protocol.kind, "beacon");
+  EXPECT_DOUBLE_EQ(spec.protocol.period, 0.25);
+  EXPECT_EQ(spec.protocol.count, 10u);
+  EXPECT_DOUBLE_EQ(spec.skew, 0.5);
+  EXPECT_DOUBLE_EQ(spec.delay_scale, 0.05);
+  ASSERT_EQ(spec.topologies.size(), 2u);
+  EXPECT_EQ(spec.topologies[1].describe(), "toroid 3x3");
+  ASSERT_EQ(spec.mixes.size(), 2u);
+  EXPECT_EQ(spec.mixes[1].kind, "lower");
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_FALSE(spec.faults[0].faulty());
+  EXPECT_TRUE(spec.faults[1].has_crash);
+  EXPECT_EQ(spec.faults[1].crash_pid, 1u);
+  EXPECT_EQ(spec.cell_count(), 2u * 2u * 2u);
+  EXPECT_EQ(spec.task_count(), 16u);
+}
+
+TEST(CampaignSpec, SaveLoadRoundTripsExactly) {
+  const CampaignSpec spec = parse(kMinimalSpec);
+  std::ostringstream first;
+  save_campaign(first, spec);
+  std::istringstream is(first.str());
+  std::ostringstream second;
+  save_campaign(second, load_campaign(is));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CampaignSpec, CommentsAndBlankLinesIgnored) {
+  const CampaignSpec spec = parse(
+      "chronosync-campaign v1\n\n# a comment\nseeds 1  # trailing\n"
+      "topology ring 3\nmix bounds 0.001 0.002\n");
+  EXPECT_EQ(spec.seeds_per_cell, 1u);
+  ASSERT_EQ(spec.faults.size(), 1u);  // defaulted to fault-free
+  EXPECT_FALSE(spec.faults[0].faulty());
+}
+
+TEST(CampaignSpec, DiagnosticsCarryLineNumbers) {
+  EXPECT_NE(expect_error("chronosync-campaign v1\nseeds 1\nbogus 3\n")
+                .find("line 3"),
+            std::string::npos);
+  EXPECT_NE(expect_error("chronosync-campaign v1\nseeds one\n")
+                .find("'one'"),
+            std::string::npos);
+  EXPECT_NE(expect_error("not-a-campaign\n").find("header"),
+            std::string::npos);
+  EXPECT_NE(expect_error("chronosync-campaign v1\ntopology ring 3\n"
+                         "mix bounds 0.001 0.002\n")
+                .find("seeds"),
+            std::string::npos);
+  EXPECT_NE(expect_error("chronosync-campaign v1\nseeds 1\n"
+                         "topology ring 3\nmix bounds 0.001 0.002\n"
+                         "faults drop 1.5\n")
+                .find("[0, 1]"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, ExpandIsTheDeclarationOrderOdometer) {
+  const CampaignSpec spec = parse(kMinimalSpec);
+  const std::vector<TaskSpec> tasks = expand(spec);
+  ASSERT_EQ(tasks.size(), 16u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+    // Seed index cycles fastest, then faults, then mixes, then topologies.
+    EXPECT_EQ(tasks[i].seed_index, i % 2);
+    EXPECT_EQ(tasks[i].fault_id, (i / 2) % 2);
+    EXPECT_EQ(tasks[i].mix_id, (i / 4) % 2);
+    EXPECT_EQ(tasks[i].topology_id, i / 8);
+    EXPECT_EQ(tasks[i].cell_id(spec), i / 2);
+  }
+}
+
+TEST(CampaignSpec, ExpandRejectsEmptyAxes) {
+  CampaignSpec spec;
+  spec.seeds_per_cell = 1;
+  EXPECT_THROW(expand(spec), Error);
+}
+
+TEST(CampaignSpec, ApplyMixCoversEveryLink) {
+  for (const char* kind :
+       {"bounds", "lower", "bias", "composite", "alternating"}) {
+    SystemModel model{make_ring(5)};
+    MixSpec mix;
+    mix.kind = kind;
+    mix.lb = 0.001;
+    mix.ub = 0.004;
+    mix.bias = 0.002;
+    apply_mix(model, mix);
+    for (const auto& [a, b] : model.topology().links)
+      EXPECT_FALSE(model.constraint(a, b).describe().empty()) << kind;
+  }
+}
+
+TEST(CampaignSpec, AlternatingMixIsHeterogeneous) {
+  SystemModel model{make_ring(6)};
+  MixSpec mix;
+  mix.kind = "alternating";
+  mix.lb = 0.001;
+  mix.ub = 0.004;
+  mix.bias = 0.002;
+  apply_mix(model, mix);
+  const auto& links = model.topology().links;
+  // Links 0 and 1 fall in different i%3 classes: bounds vs bias.
+  EXPECT_NE(model.constraint(links[0].first, links[0].second).describe(),
+            model.constraint(links[1].first, links[1].second).describe());
+}
+
+TEST(CampaignSpec, ApplyMixRejectsUnknownKind) {
+  SystemModel model{make_ring(3)};
+  MixSpec mix;
+  mix.kind = "wormhole";
+  EXPECT_THROW(apply_mix(model, mix), Error);
+}
+
+TEST(CampaignSpec, SmokePresetIsValid) {
+  const CampaignSpec spec = preset_campaign("smoke");
+  EXPECT_EQ(expand(spec).size(), spec.task_count());
+  EXPECT_GE(spec.topologies.size(), 5u);  // multi-family by design
+}
+
+TEST(CampaignSpec, ToroidPresetMeetsTheAcceptanceFloor) {
+  // The acceptance campaign: >= 200 tasks, all odd-ary toroids, fault-free.
+  const CampaignSpec spec = preset_campaign("toroid");
+  EXPECT_GE(spec.task_count(), 200u);
+  for (const TopoSpec& t : spec.topologies)
+    EXPECT_TRUE(t.odd_ary_toroid()) << t.describe();
+  for (const FaultSpec& f : spec.faults) EXPECT_FALSE(f.faulty());
+}
+
+TEST(CampaignSpec, UnknownPresetFails) {
+  EXPECT_THROW(preset_campaign("nope"), Error);
+}
+
+}  // namespace
+}  // namespace cs::lab

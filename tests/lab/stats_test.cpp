@@ -1,0 +1,163 @@
+// Aggregation and reporting: streaming quantiles, per-cell folds, the
+// report_ok validation gate, and the byte-identical-output regression — a
+// campaign aggregated after a serial run and after a parallel run must
+// render the exact same bytes of (timing-free) JSON and CSV.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "lab/stats.hpp"
+
+namespace cs::lab {
+namespace {
+
+CampaignSpec two_cell_campaign() {
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name stats\n"
+      "seed 31\n"
+      "seeds 3\n"
+      "protocol pingpong 3\n"
+      "skew 0.2\n"
+      "delay-scale 0.05\n"
+      "topology ring 4\n"
+      "mix bounds 0.002 0.008\n"
+      "faults none\n"
+      "faults drop 0.3\n");
+  return load_campaign(is);
+}
+
+TEST(Reservoir, ExactUnderCapacity) {
+  ReservoirQuantiles q(8, 1);
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) q.add(x);
+  EXPECT_TRUE(q.exact());
+  EXPECT_EQ(q.count(), 5u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+}
+
+TEST(Reservoir, EmptyQuantileIsZero) {
+  const ReservoirQuantiles q(8, 1);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Reservoir, SampledBeyondCapacityStaysInRange) {
+  ReservoirQuantiles q(32, 7);
+  for (int i = 0; i < 10000; ++i) q.add(static_cast<double>(i % 100));
+  EXPECT_FALSE(q.exact());
+  EXPECT_EQ(q.count(), 10000u);
+  EXPECT_GE(q.quantile(0.0), 0.0);
+  EXPECT_LE(q.quantile(1.0), 99.0);
+  // A uniform 0..99 stream should put the median loosely near 50.
+  EXPECT_GT(q.quantile(0.5), 20.0);
+  EXPECT_LT(q.quantile(0.5), 80.0);
+}
+
+TEST(Reservoir, DeterministicForEqualSeeds) {
+  ReservoirQuantiles a(16, 3), b(16, 3);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  for (const double q : {0.1, 0.5, 0.9})
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(Aggregate, FoldsTasksIntoDeclaredCells) {
+  const CampaignSpec spec = two_cell_campaign();
+  const CampaignResult result = run_campaign(spec, {});
+  const CampaignReport report = aggregate(result);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.tasks, 6u);
+  EXPECT_EQ(report.cells[0].tasks, 3u);
+  EXPECT_EQ(report.cells[1].tasks, 3u);
+  EXPECT_FALSE(report.cells[0].faulty);
+  EXPECT_TRUE(report.cells[1].faulty);
+  EXPECT_EQ(report.cells[0].dropped, 0u);
+  EXPECT_GT(report.cells[1].dropped, 0u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_TRUE(report_ok(report));
+}
+
+TEST(Aggregate, ReportOkGates) {
+  const CampaignSpec spec = two_cell_campaign();
+  CampaignReport report = aggregate(run_campaign(spec, {}));
+  EXPECT_TRUE(report_ok(report));
+
+  CampaignReport failed = report;
+  failed.failures = 1;
+  EXPECT_FALSE(report_ok(failed));
+
+  CampaignReport unsound = report;
+  unsound.soundness_violations = 1;
+  EXPECT_FALSE(report_ok(unsound));
+
+  CampaignReport gapped = report;
+  gapped.cells[0].thm46_max_gap = 1e-3;  // fault-free cell: gate trips
+  EXPECT_FALSE(report_ok(gapped));
+  gapped.cells[0].thm46_max_gap = 0.0;
+  gapped.cells[1].thm46_max_gap = 1e-3;  // faulty cell: exempt
+  EXPECT_TRUE(report_ok(gapped));
+}
+
+TEST(Reports, JsonAndCsvAreByteIdenticalAcrossThreadCounts) {
+  // Satellite regression for the determinism contract: aggregate a serial
+  // and a 4-thread run of the same campaign and byte-compare the rendered
+  // timing-free JSON and the CSV.
+  const CampaignSpec spec = two_cell_campaign();
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const CampaignReport a = aggregate(run_campaign(spec, serial));
+  const CampaignReport b = aggregate(run_campaign(spec, parallel));
+
+  std::ostringstream ja, jb, ca, cb;
+  write_report_json(ja, a, /*include_timing=*/false);
+  write_report_json(jb, b, /*include_timing=*/false);
+  EXPECT_EQ(ja.str(), jb.str());
+  write_report_csv(ca, a);
+  write_report_csv(cb, b);
+  EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(Reports, TimingSectionOnlyWhenRequested) {
+  const CampaignReport report =
+      aggregate(run_campaign(two_cell_campaign(), {}));
+  std::ostringstream with, without;
+  write_report_json(with, report, /*include_timing=*/true);
+  write_report_json(without, report, /*include_timing=*/false);
+  EXPECT_NE(with.str().find("\"timing\""), std::string::npos);
+  EXPECT_EQ(without.str().find("\"timing\""), std::string::npos);
+  EXPECT_EQ(without.str().find("seconds"), std::string::npos);
+}
+
+TEST(Reports, CsvHasOneRowPerCellAndStableHeader) {
+  const CampaignReport report =
+      aggregate(run_campaign(two_cell_campaign(), {}));
+  std::ostringstream os;
+  write_report_csv(os, report);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.rfind("cell,topology,nodes,mix,faults,tasks", 0), 0u);
+  std::size_t rows = 0;
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, report.cells.size());
+}
+
+TEST(Reports, PrintReportMentionsTheSummaryLine) {
+  const CampaignReport report =
+      aggregate(run_campaign(two_cell_campaign(), {}));
+  std::ostringstream os;
+  print_report(os, report, /*include_timing=*/false);
+  EXPECT_NE(os.str().find("campaign 'stats'"), std::string::npos);
+  EXPECT_NE(os.str().find("Thm 4.6 gap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::lab
