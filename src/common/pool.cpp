@@ -1,12 +1,13 @@
-#include "lab/pool.hpp"
+#include "common/pool.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-namespace cs::lab {
+namespace cs {
 namespace {
 
 /// One worker's task queue.  Owner pops back, thieves pop front.
@@ -85,4 +86,4 @@ void run_indexed(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace cs::lab
+}  // namespace cs

@@ -27,7 +27,8 @@ SyncOutcome IncrementalSynchronizer::step(std::span<const View> views) {
   {
     auto timer =
         Metrics::scoped(options_.metrics, "stage.local_estimates_seconds");
-    mls = local_shift_estimates(*model_, views, options_.match);
+    mls = local_shift_estimates(*model_, views, options_.match,
+                                options_.threads);
   }
   return step_mls(std::move(mls));
 }
@@ -58,6 +59,8 @@ SyncOutcome IncrementalSynchronizer::step_mls(Digraph mls_graph) {
   shift_options.root = options_.root;
   shift_options.algorithm = options_.cycle_mean;
   shift_options.metrics = metrics;
+  shift_options.arena = &shifts_arena_;
+  shift_options.threads = options_.threads;
   if (options_.cycle_mean == CycleMeanAlgorithm::kHoward &&
       policy_.size() == out.mls_graph.node_count())
     shift_options.warm_policy = &policy_;

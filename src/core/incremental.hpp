@@ -62,6 +62,7 @@ class IncrementalSynchronizer {
   SyncOptions options_;
   IncrementalApsp apsp_;
   std::vector<NodeId> policy_;  // previous epoch's Howard policy
+  EpochArena shifts_arena_;     // SHIFTS scratch, reused across epochs
 };
 
 }  // namespace cs

@@ -17,10 +17,13 @@ namespace cs {
 
 /// m̃ls graph from views — the pipeline path (uses estimated delays only).
 /// Use MatchPolicy::kDropOrphans when the views are epoch-boundary
-/// prefixes (see View::prefix).
+/// prefixes (see View::prefix).  `threads` shards the per-link constraint
+/// folds across the work-stealing pool (1 = serial; byte-identical output
+/// for any value — see mls_graph_from_traffic).
 Digraph local_shift_estimates(const SystemModel& model,
                               std::span<const View> views,
-                              MatchPolicy policy = MatchPolicy::kStrict);
+                              MatchPolicy policy = MatchPolicy::kStrict,
+                              std::size_t threads = 1);
 
 /// mls graph from ground truth — observer path, for lower-bound evaluation
 /// and tests.  Identical formulas over actual delays (Lemma 6.2/6.5 give
@@ -37,8 +40,13 @@ Digraph mls_graph_from_stats(const SystemModel& model,
                              const LinkStats& stats);
 
 /// Full-fidelity kernel over per-direction timed observations; what
-/// local_shift_estimates / local_shifts_actual use.
+/// local_shift_estimates / local_shifts_actual use.  With threads != 1 the
+/// per-link m̃ls folds (independent closed-form evaluations over disjoint
+/// observation spans) run across the work-stealing pool; edges are then
+/// inserted serially in link order, so the resulting Digraph is
+/// byte-identical to the serial build for any thread count.
 Digraph mls_graph_from_traffic(const SystemModel& model,
-                               const LinkTraffic& traffic);
+                               const LinkTraffic& traffic,
+                               std::size_t threads = 1);
 
 }  // namespace cs

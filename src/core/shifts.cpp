@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/pool.hpp"
+#include "graph/arena.hpp"
 
 namespace cs {
 namespace {
@@ -30,14 +32,15 @@ Digraph finite_ms_graph(const DistanceMatrix& ms) {
 void component_corrections(const DistanceMatrix& ms,
                            const std::vector<NodeId>& members, NodeId root,
                            double a_max, double tolerance_scale,
-                           std::vector<double>& corrections) {
+                           std::vector<double>& corrections,
+                           EpochArena& arena) {
   const std::size_t k = members.size();
   if (k == 1) {
     corrections[members[0]] = 0.0;
     return;
   }
   const double epsilon = tolerance_scale * std::max(1.0, std::fabs(a_max));
-  std::vector<double> dist(k, kInfDist);
+  std::span<double> dist = arena.alloc_fill<double>(k, kInfDist);
   for (std::size_t i = 0; i < k; ++i)
     if (members[i] == root) dist[i] = 0.0;
 
@@ -75,6 +78,89 @@ void component_corrections(const DistanceMatrix& ms,
           "component; m̃s matrix carries non-finite entries");
     corrections[members[i]] = dist[i];
   }
+}
+
+/// Local index of `want` within the ascending member list of component `c`,
+/// or kNoPolicyEdge when `want` lives elsewhere — the warm-policy mapping
+/// the per-component local[] array used to provide.
+NodeId warm_local_index(const std::vector<NodeId>& members,
+                        const SccResult& components, std::size_t c,
+                        NodeId want, std::size_t n) {
+  if (want == kNoPolicyEdge || want >= n) return kNoPolicyEdge;
+  if (components.component[want] != c) return kNoPolicyEdge;
+  const auto it = std::lower_bound(members.begin(), members.end(), want);
+  return static_cast<NodeId>(it - members.begin());
+}
+
+/// Solves one finiteness component: dense max cycle mean over the compacted
+/// k x k m̃s block, then matrix Bellman–Ford corrections.  Writes only this
+/// component's slices of `res` (disjoint across components), so components
+/// may be solved concurrently with byte-identical output.
+void solve_component(const DistanceMatrix& ms, const ShiftsOptions& options,
+                     const std::vector<NodeId>& members, std::size_t c,
+                     ShiftsResult& res, EpochArena& arena) {
+  const std::size_t n = ms.size();
+  const std::size_t k = members.size();
+  double a_max_c = 0.0;
+  if (k > 1) {
+    // Max mean cycle within the component.  The m̃s entries between
+    // component members are all finite (strong connectivity of the finite
+    // graph + the matrix being a shortest-path closure); compact them into
+    // a dense block so the kernels run off flat rows.
+    std::span<double> w = arena.alloc<double>(k * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      double* wi = w.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) {
+          wi[j] = 0.0;
+          continue;
+        }
+        const double ms_ij = ms.at(members[i], members[j]);
+        if (ms_ij == kInfDist)
+          throw Error(
+              "compute_shifts: m̃s matrix is not a shortest-path "
+              "closure (finite component with infinite entry)");
+        wi[j] = ms_ij;
+      }
+    }
+    if (options.algorithm == CycleMeanAlgorithm::kKarp) {
+      a_max_c = max_cycle_mean_karp_dense(w.data(), k, arena);
+    } else {
+      // Warm policy mapped into the component's local indices; entries
+      // pointing outside this component fall back to greedy.
+      std::span<NodeId> warm_local;
+      if (options.warm_policy != nullptr && options.warm_policy->size() == n) {
+        warm_local = arena.alloc<NodeId>(k);
+        for (std::size_t i = 0; i < k; ++i)
+          warm_local[i] = warm_local_index(
+              members, res.components, c, (*options.warm_policy)[members[i]],
+              n);
+      }
+      std::span<NodeId> policy_local = arena.alloc<NodeId>(k);
+      const HowardDenseResult hr = max_cycle_mean_howard_dense(
+          w.data(), k, warm_local, policy_local, arena, options.metrics);
+      if (!hr.converged) {
+        // Reported through metrics above; without a sink this must not
+        // pass silently (the mean may undershoot and poison corrections).
+        if (options.metrics == nullptr)
+          throw Error(
+              "compute_shifts: Howard iteration exited on its backstop "
+              "without converging");
+      }
+      a_max_c = hr.mean;
+      for (std::size_t i = 0; i < k; ++i)
+        res.policy[members[i]] = members[policy_local[i]];
+    }
+  }
+  res.component_a_max[c] = a_max_c;
+
+  // Per-component root: the global root if it lives here, else the
+  // smallest member (gauge choice only).
+  const NodeId comp_root =
+      (res.components.component[options.root] == c) ? options.root
+                                                    : members.front();
+  component_corrections(ms, members, comp_root, a_max_c,
+                        options.tolerance_scale, res.corrections, arena);
 }
 
 }  // namespace
@@ -117,76 +203,26 @@ ShiftsResult compute_shifts(const DistanceMatrix& ms,
   if (options.algorithm == CycleMeanAlgorithm::kHoward)
     res.policy.assign(n, kNoPolicyEdge);
 
-  bool bounded = groups.size() == 1;
+  const bool bounded = groups.size() == 1;
 
-  for (std::size_t c = 0; c < groups.size(); ++c) {
-    const auto& members = groups[c];
-    double a_max_c = 0.0;
-    if (members.size() > 1) {
-      // Max mean cycle within the component.  The m̃s entries between
-      // component members are all finite (strong connectivity of the
-      // finite graph + the matrix being a shortest-path closure).
-      Digraph sub(members.size());
-      std::vector<std::size_t> local(n,
-                                     std::numeric_limits<std::size_t>::max());
-      for (std::size_t i = 0; i < members.size(); ++i)
-        local[members[i]] = i;
-      for (std::size_t i = 0; i < members.size(); ++i)
-        for (std::size_t j = 0; j < members.size(); ++j)
-          if (i != j) {
-            const double w = ms.at(members[i], members[j]);
-            if (w == kInfDist)
-              throw Error(
-                  "compute_shifts: m̃s matrix is not a shortest-path "
-                  "closure (finite component with infinite entry)");
-            sub.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), w);
-          }
-      if (options.algorithm == CycleMeanAlgorithm::kKarp) {
-        const auto mean = max_cycle_mean_karp(sub);
-        if (!mean)
-          throw Error("compute_shifts: component unexpectedly acyclic");
-        a_max_c = *mean;
-      } else {
-        // Warm policy mapped into the component's local indices; entries
-        // pointing outside this component fall back to greedy.
-        std::vector<NodeId> warm_local;
-        if (options.warm_policy != nullptr &&
-            options.warm_policy->size() == n) {
-          warm_local.assign(members.size(), kNoPolicyEdge);
-          for (std::size_t i = 0; i < members.size(); ++i) {
-            const NodeId want = (*options.warm_policy)[members[i]];
-            if (want != kNoPolicyEdge && want < n &&
-                local[want] != std::numeric_limits<std::size_t>::max())
-              warm_local[i] = static_cast<NodeId>(local[want]);
-          }
-        }
-        const HowardResult hr = max_cycle_mean_howard_warm(
-            sub, warm_local.empty() ? nullptr : &warm_local, metrics);
-        if (!hr.converged) {
-          // Reported through metrics above; without a sink this must not
-          // pass silently (the mean may undershoot and poison corrections).
-          if (metrics == nullptr)
-            throw Error(
-                "compute_shifts: Howard iteration exited on its backstop "
-                "without converging");
-        }
-        if (!hr.mean)
-          throw Error("compute_shifts: component unexpectedly acyclic");
-        a_max_c = *hr.mean;
-        for (std::size_t i = 0; i < members.size(); ++i)
-          if (hr.policy[i] != kNoPolicyEdge)
-            res.policy[members[i]] = members[hr.policy[i]];
-      }
-    }
-    res.component_a_max[c] = a_max_c;
-
-    // Per-component root: the global root if it lives here, else the
-    // smallest member (gauge choice only).
-    const NodeId comp_root =
-        (res.components.component[options.root] == c) ? options.root
-                                                      : members.front();
-    component_corrections(ms, members, comp_root, a_max_c,
-                          options.tolerance_scale, res.corrections);
+  if (options.threads != 1 && groups.size() > 1) {
+    // Components are independent: disjoint result slices, private arenas,
+    // a thread-safe metrics sink — byte-identical for any worker count.
+    PoolOptions pool;
+    pool.threads = options.threads;
+    run_indexed(
+        groups.size(),
+        [&](std::size_t c) {
+          EpochArena worker_arena;
+          solve_component(ms, options, groups[c], c, res, worker_arena);
+        },
+        pool);
+  } else {
+    EpochArena local;
+    EpochArena& arena = options.arena != nullptr ? *options.arena : local;
+    if (options.arena != nullptr) options.arena->reset();
+    for (std::size_t c = 0; c < groups.size(); ++c)
+      solve_component(ms, options, groups[c], c, res, arena);
   }
 
   if (bounded) {

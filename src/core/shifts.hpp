@@ -78,6 +78,21 @@ struct ShiftsOptions {
   /// Optional instrumentation sink (stage timings, Howard iteration counts,
   /// backstop reports).  nullptr = no instrumentation.
   Metrics* metrics{nullptr};
+
+  /// Scratch arena for the dense cycle-mean kernels and correction
+  /// distances (walk tables, policy/value vectors).  The call reset()s it
+  /// on entry and leaves its allocations dead on exit.  nullptr = the call
+  /// uses a private arena (still no per-component heap churn, but capacity
+  /// is not retained across epochs).
+  EpochArena* arena{nullptr};
+
+  /// Worker threads for per-component solves on unbounded instances.
+  /// Components are independent — each writes a disjoint slice of the
+  /// corrections/policy arrays and all float work is confined to its own
+  /// members — so any thread count produces byte-identical results
+  /// (enforced by tests/core/shifts_threads_test.cpp).  1 = serial; only
+  /// engaged when there is more than one component.
+  std::size_t threads{1};
 };
 
 /// `ms` is the m̃s matrix from global_shift_estimates (diagonal 0, +inf for

@@ -17,7 +17,7 @@ SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
   {
     auto timer =
         Metrics::scoped(options.metrics, "stage.local_estimates_seconds");
-    mls = local_shift_estimates(model, views, options.match);
+    mls = local_shift_estimates(model, views, options.match, options.threads);
   }
   return synchronize_mls(std::move(mls), options);
 }
@@ -32,6 +32,7 @@ SyncOutcome synchronize_mls(Digraph mls_graph, const SyncOptions& options) {
   shift_options.root = options.root;
   shift_options.algorithm = options.cycle_mean;
   shift_options.metrics = options.metrics;
+  shift_options.threads = options.threads;
   ShiftsResult shifts = compute_shifts(out.ms_estimates, shift_options);
   out.corrections = std::move(shifts.corrections);
   out.optimal_precision = shifts.a_max;

@@ -30,6 +30,14 @@ struct SyncOptions {
   /// Optional instrumentation sink: per-stage wall-clock timings
   /// ("stage.*_seconds" series), APSP and Howard counters.  nullptr = off.
   Metrics* metrics{nullptr};
+
+  /// Worker threads for the independently-parallel pipeline stages: the
+  /// per-link m̃ls estimator folds and, on unbounded instances, the
+  /// per-finiteness-component SHIFTS solves.  1 = serial (default); 0 =
+  /// hardware concurrency.  Results are byte-identical for any value — the
+  /// parallel stages only shard work whose writes are disjoint (see
+  /// local_estimates.hpp and ShiftsOptions::threads).
+  std::size_t threads{1};
 };
 
 struct SyncOutcome {

@@ -1,0 +1,54 @@
+#include "graph/arena.hpp"
+
+#include <algorithm>
+
+namespace cs {
+namespace {
+
+constexpr std::size_t kMinChunk = 64 * 1024;
+
+inline std::size_t align_up(std::size_t x, std::size_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+void EpochArena::reset() {
+  active_ = 0;
+  offset_ = 0;
+}
+
+std::size_t EpochArena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+void* EpochArena::raw(std::size_t bytes, std::size_t align) {
+  // Walk forward from the active chunk until one fits; chunks are
+  // geometrically sized so the walk is O(1) amortized.
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    const std::size_t at = align_up(offset_, align);
+    if (at + bytes <= c.capacity) {
+      offset_ = at + bytes;
+      return c.data.get() + at;
+    }
+    ++active_;
+    offset_ = 0;
+  }
+  const std::size_t last = chunks_.empty() ? 0 : chunks_.back().capacity;
+  const std::size_t capacity =
+      std::max({kMinChunk, 2 * last, align_up(bytes, kMinChunk)});
+  Chunk c;
+  // new[] storage is aligned for every fundamental type; the arena only
+  // serves trivially-destructible PODs (doubles, ids, flags).
+  c.data = std::make_unique<std::byte[]>(capacity);
+  c.capacity = capacity;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  offset_ = bytes;
+  return chunks_.back().data.get();
+}
+
+}  // namespace cs

@@ -76,4 +76,45 @@ HowardResult max_cycle_mean_howard_warm(
 /// node_count small).
 std::optional<double> max_cycle_mean_brute(const Digraph& g);
 
+class EpochArena;
+
+// ---------------------------------------------------------------------------
+// Dense kernels for SHIFTS (core/shifts.cpp).
+//
+// A finiteness component's m̃s entries form a COMPLETE weighted graph, so
+// materializing a Digraph per epoch only to tear it apart again inside the
+// cycle-mean routines is pure allocation churn.  These kernels run straight
+// off a row-major k x k weight matrix (diagonal ignored) with all scratch in
+// an EpochArena, and reproduce the graph-based results BIT FOR BIT:
+//   * Karp's walk table is a pure min-fold over fixed candidate sets, so
+//     the edge iteration order the Digraph path used is irrelevant;
+//   * Howard's greedy initialization and two-stage improvement scan
+//     successors in ascending index skipping the diagonal — exactly the
+//     j-ascending edge order compute_shifts built its complete subgraphs in.
+// ---------------------------------------------------------------------------
+
+/// Karp's maximum cycle mean of the complete graph on k >= 2 nodes with
+/// arc weights w[i*k + j] (i != j).  Mirrors
+/// max_cycle_mean_karp(complete graph) exactly.
+double max_cycle_mean_karp_dense(const double* w, std::size_t k,
+                                 EpochArena& arena);
+
+struct HowardDenseResult {
+  double mean{0.0};
+  std::size_t iterations{0};
+  bool converged{true};
+};
+
+/// Howard's policy iteration on the complete graph on k >= 2 nodes with arc
+/// weights w[i*k + j].  `warm` is empty or k entries of seed successors
+/// (kNoPolicyEdge = greedy init for that node); `policy` receives the final
+/// successor per node (k entries).  Mirrors
+/// max_cycle_mean_howard_warm(complete graph) exactly, including the
+/// "cycle_mean.howard_*" counters and iteration series.
+HowardDenseResult max_cycle_mean_howard_dense(const double* w, std::size_t k,
+                                              std::span<const NodeId> warm,
+                                              std::span<NodeId> policy,
+                                              EpochArena& arena,
+                                              Metrics* metrics);
+
 }  // namespace cs

@@ -26,6 +26,15 @@ class DistanceMatrix {
   double& at(std::size_t i, std::size_t j) { return d_[i * n_ + j]; }
   double at(std::size_t i, std::size_t j) const { return d_[i * n_ + j]; }
 
+  /// Re-initializes to the n-node identity matrix (+inf off-diagonal),
+  /// reusing the existing buffer when the size matches — the per-epoch
+  /// rebuild path re-fills in place instead of reallocating.
+  void reset(std::size_t n) {
+    n_ = n;
+    d_.assign(n * n, kInfDist);
+    for (std::size_t i = 0; i < n; ++i) at(i, i) = 0.0;
+  }
+
  private:
   std::size_t n_{0};
   std::vector<double> d_;

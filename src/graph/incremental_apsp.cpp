@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "graph/dijkstra.hpp"
+#include "graph/csr.hpp"
 #include "graph/johnson.hpp"
 
 namespace cs {
@@ -41,24 +41,24 @@ IncrementalApsp::EdgeMap IncrementalApsp::condense(const Digraph& g) {
 void IncrementalApsp::refresh_potentials() {
   // h(v) = min_i D(i, v) is a valid Johnson potential for the current
   // graph: D(i,v) <= D(i,u) + w(u,v) for every edge (u,v) and source i, and
-  // the minimum is finite because D(v,v) = 0.
+  // the minimum is finite because D(v,v) = 0.  Folded row-major so the scan
+  // walks the matrix in storage order; per column the fold still meets
+  // sources in ascending order, so the result is bit-identical to the
+  // column-major version.
   potential_.assign(n_, 0.0);
-  for (std::size_t v = 0; v < n_; ++v) {
-    double h = 0.0;
-    for (std::size_t i = 0; i < n_; ++i)
-      h = std::min(h, dist_.at(i, v));
-    potential_[v] = h;
-  }
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t v = 0; v < n_; ++v)
+      potential_[v] = std::min(potential_[v], dist_.at(i, v));
 }
 
 bool IncrementalApsp::rebuild(const Digraph& g) {
   metrics_increment(metrics_, "apsp.full_rebuilds");
   last_step_ = StepStats{};
+  last_step_.path = StepStats::Path::kExplicitRebuild;
   valid_ = false;
-  auto m = johnson(g);
-  if (!m) return false;
+  arena_.reset();
+  if (!johnson_into(g, dist_, arena_)) return false;
   n_ = g.node_count();
-  dist_ = std::move(*m);
   weights_ = condense(g);
   refresh_potentials();
   valid_ = true;
@@ -66,7 +66,13 @@ bool IncrementalApsp::rebuild(const Digraph& g) {
 }
 
 bool IncrementalApsp::update(const Digraph& g) {
-  if (!valid_ || g.node_count() != n_) return rebuild(g);
+  if (!valid_ || g.node_count() != n_) {
+    const StepStats::Path path = !valid_ ? StepStats::Path::kColdBuild
+                                         : StepStats::Path::kResizeBuild;
+    const bool ok = rebuild(g);
+    last_step_.path = path;
+    return ok;
+  }
 
   const EdgeMap next = condense(g);
 
@@ -94,6 +100,7 @@ bool IncrementalApsp::update(const Digraph& g) {
   last_step_.increased_edges = increases.size();
 
   if (increases.empty() && decreases.empty()) {
+    last_step_.path = StepStats::Path::kNoChange;
     last_step_.incremental = true;
     metrics_increment(metrics_, "apsp.incremental_updates");
     return true;
@@ -130,35 +137,62 @@ bool IncrementalApsp::update(const Digraph& g) {
   if (static_cast<double>(dirty_count) >
       options_.max_dirty_fraction * static_cast<double>(n_)) {
     metrics_increment(metrics_, "apsp.dirty_fallbacks");
-    return rebuild(g);
+    const bool ok = rebuild(g);
+    last_step_.path = StepStats::Path::kDirtyFallback;
+    return ok;
   }
 
   if (dirty_count > 0) {
     // Graph with increases applied but decreases NOT yet applied, reweighted
     // by the previous potentials.  Those potentials stay valid because every
-    // weight here is >= its value in the accepted graph.
-    Digraph inc_rw(n_);
-    auto add_rw = [&](NodeId from, NodeId to, double w) {
-      double rw = w + potential_[from] - potential_[to];
-      if (rw < 0.0 && rw > -1e-9) rw = 0.0;  // float residue, as in johnson()
-      inc_rw.add_edge(from, to, rw);
-    };
+    // weight here is >= its value in the accepted graph.  Built as CSR
+    // adjacency straight in the step arena: Dijkstra's distances do not
+    // depend on arc order, so the map's iteration order is immaterial.
+    arena_.reset();
+    std::span<std::uint32_t> row_ptr =
+        arena_.alloc_fill<std::uint32_t>(n_ + 1, 0);
+    std::size_t live = 0;
     for (const auto& [key, w_new] : next) {
       const auto it = weights_.find(key);
       const double w_old = (it == weights_.end()) ? kInfDist : it->second;
-      const double w = std::max(w_new, w_old);  // defer decreases to phase B
-      if (w != kInfDist) add_rw(key_from(key), key_to(key), w);
+      if (std::max(w_new, w_old) != kInfDist) {  // defer decreases to phase B
+        ++row_ptr[key_from(key) + 1];
+        ++live;
+      }
     }
     // Removed edges are increases to +inf and simply stay absent here.
+    for (std::size_t v = 0; v < n_; ++v) row_ptr[v + 1] += row_ptr[v];
+    std::span<NodeId> head = arena_.alloc<NodeId>(live);
+    std::span<double> rw = arena_.alloc<double>(live);
+    {
+      std::span<std::uint32_t> cursor = arena_.alloc<std::uint32_t>(n_);
+      for (std::size_t v = 0; v < n_; ++v) cursor[v] = row_ptr[v];
+      for (const auto& [key, w_new] : next) {
+        const auto it = weights_.find(key);
+        const double w_old = (it == weights_.end()) ? kInfDist : it->second;
+        const double w = std::max(w_new, w_old);
+        if (w == kInfDist) continue;
+        const NodeId from = key_from(key);
+        double r = w + potential_[from] - potential_[key_to(key)];
+        if (r < 0.0 && r > -1e-9) r = 0.0;  // float residue, as in johnson()
+        const std::uint32_t at = cursor[from]++;
+        head[at] = key_to(key);
+        rw[at] = r;
+      }
+    }
+    const CsrView view{row_ptr, head, rw};
 
+    std::span<double> sp_dist = arena_.alloc<double>(n_);
+    std::vector<std::pair<double, NodeId>> heap;
+    heap.reserve(n_);
     for (std::size_t i = 0; i < n_; ++i) {
       if (!dirty[i]) continue;
-      const ShortestPaths sp = dijkstra(inc_rw, static_cast<NodeId>(i));
+      dijkstra_csr(view, static_cast<NodeId>(i), sp_dist, heap);
       for (std::size_t j = 0; j < n_; ++j) {
-        if (sp.dist[j] == kInfDist)
+        if (sp_dist[j] == kInfDist)
           dist_.at(i, j) = (i == j) ? 0.0 : kInfDist;
         else
-          dist_.at(i, j) = sp.dist[j] - potential_[i] + potential_[j];
+          dist_.at(i, j) = sp_dist[j] - potential_[i] + potential_[j];
       }
     }
   }
@@ -198,6 +232,7 @@ bool IncrementalApsp::update(const Digraph& g) {
 
   weights_ = next;
   refresh_potentials();
+  last_step_.path = StepStats::Path::kIncremental;
   last_step_.incremental = true;
   metrics_increment(metrics_, "apsp.incremental_updates");
   return true;

@@ -23,6 +23,25 @@
 //     — it falls back to a full Johnson rebuild, so the worst case never
 //     loses to from-scratch by more than the diff scan.
 //
+// Counter accounting contract (pinned by the path-audit cases in
+// tests/graph/incremental_apsp_test.cpp):
+//
+//   * "apsp.full_rebuilds"       — every rebuild(), whether called directly,
+//                                  as a cold/resize bootstrap, or as the
+//                                  dirty fallback;
+//   * "apsp.dirty_fallbacks"     — only the too-dirty bailout (always paired
+//                                  with a full_rebuilds tick);
+//   * "apsp.incremental_updates" — every update() that kept the matrix,
+//                                  including the no-change fast path;
+//   * "apsp.from_scratch_runs" is NOT ours: global_shift_estimates ticks it
+//     per full closure, so a bench arm that recomputes from scratch each
+//     epoch reports from_scratch_runs == epochs with incremental_hit_rate 0
+//     by design (see BENCH_pipeline.json's from_scratch arms).
+//
+// All per-step scratch (delta lists aside) lives in a private EpochArena
+// that is reset and reused each call, so steady-state updates perform no
+// per-call heap allocation beyond the condensed edge map.
+//
 // Equivalence with the from-scratch closure (to float tolerance) is enforced
 // by tests/graph/incremental_apsp_test.cpp and the epoch-sequence property
 // test in tests/core/incremental_pipeline_test.cpp.
@@ -33,6 +52,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "graph/arena.hpp"
 #include "graph/floyd_warshall.hpp"
 
 namespace cs {
@@ -67,6 +87,19 @@ class IncrementalApsp {
 
   /// What the last update() did — consumed by metrics and benches.
   struct StepStats {
+    /// Which code path the last call took; the audit handle for the counter
+    /// contract above (exactly one path per call).
+    enum class Path {
+      kNone,             ///< no call yet
+      kColdBuild,        ///< update() with no prior accepted state
+      kResizeBuild,      ///< update() after the node count changed
+      kExplicitRebuild,  ///< rebuild() called directly
+      kDirtyFallback,    ///< update() bailed out: too many dirty rows
+      kNoChange,         ///< update() with an empty delta
+      kIncremental,      ///< update() applied the delta in place
+    };
+
+    Path path{Path::kNone};
     bool incremental{false};
     std::size_t decreased_edges{0};
     std::size_t increased_edges{0};
@@ -93,6 +126,7 @@ class IncrementalApsp {
   DistanceMatrix dist_;
   std::vector<double> potential_;  // Johnson potentials for weights_
   StepStats last_step_;
+  EpochArena arena_;  // per-step scratch; reset each rebuild()/update()
 };
 
 }  // namespace cs

@@ -15,7 +15,38 @@ std::string fmt(double v) {
   return buf;
 }
 
-std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+/// JSON string literal: quotes, with the characters JSON cannot carry raw
+/// escaped.  Spec describe() strings are plain ASCII today, so this changes
+/// no existing bytes — it keeps the output well-formed if they ever grow
+/// quotes or backslashes.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch; break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// RFC 4180 CSV field: always quoted (these columns were always quoted),
+/// embedded double quotes doubled.  Commas and newlines are then safe
+/// inside the field.
+std::string csv_field(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    out += ch;
+    if (ch == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
 
 void series_json(std::ostream& os, const char* indent, const char* name,
                  const SeriesStats& s) {
@@ -52,7 +83,21 @@ void ReservoirQuantiles::add(double x) {
 
 double ReservoirQuantiles::quantile(double q) const {
   if (sample_.empty()) return 0.0;
-  return percentile(sample_, q);
+  std::vector<double> v(sample_.begin(), sample_.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size();
+  if (m == 1) return v.front();
+  // Hazen plotting position: pos = q*m - 0.5, clamped to the sample range.
+  // Unlike the pos = q*(m-1) convention, tail quantiles saturate at the
+  // extreme order statistics once the sample is too small to resolve them:
+  // p95 of fewer than 10 samples and p99 of fewer than 50 report the max
+  // observed instead of interpolating below a value that was actually seen.
+  const double pos = q * static_cast<double>(m) - 0.5;
+  if (pos <= 0.0) return v.front();
+  if (pos >= static_cast<double>(m - 1)) return v.back();
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  return v[i] * (1.0 - frac) + v[i + 1] * frac;
 }
 
 CampaignReport aggregate(const CampaignResult& result) {
@@ -197,8 +242,9 @@ void write_report_csv(std::ostream& os, const CampaignReport& report) {
         "claimed_p95,claimed_p99,ratio_mean,ratio_p95,gap_p50,gap_p95,"
         "gap_p99,realized_max,events,delivered,dropped\n";
   for (const CellStats& c : report.cells) {
-    os << c.cell << ',' << quoted(c.topology) << ',' << c.nodes << ','
-       << quoted(c.mix) << ',' << quoted(c.faults) << ',' << c.tasks << ','
+    os << c.cell << ',' << csv_field(c.topology) << ',' << c.nodes << ','
+       << csv_field(c.mix) << ',' << csv_field(c.faults) << ',' << c.tasks
+       << ','
        << c.failures << ',' << c.bounded << ',' << c.soundness_violations
        << ',' << fmt(c.thm46_max_gap) << ','
        << fmt(c.claimed.acc.count() == 0 ? 0.0 : c.claimed.acc.mean()) << ','

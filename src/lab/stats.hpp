@@ -34,8 +34,12 @@ class ReservoirQuantiles {
   std::size_t count() const { return seen_; }
   bool exact() const { return seen_ <= capacity_; }
 
-  /// Linear-interpolated quantile over the reservoir, q in [0, 1];
-  /// 0 when empty.
+  /// Quantile over the reservoir at the Hazen plotting position
+  /// (pos = q*m - 0.5, linear interpolation, clamped to the observed
+  /// range), q in [0, 1]; 0 when empty.  Tail quantiles the sample cannot
+  /// resolve clamp to the extreme order statistic: p95 of fewer than 10
+  /// samples and p99 of fewer than 50 report the observed max rather than
+  /// interpolating below it.
   double quantile(double q) const;
 
  private:
@@ -116,7 +120,10 @@ bool report_ok(const CampaignReport& report,
 void write_report_json(std::ostream& os, const CampaignReport& report,
                        bool include_timing = true);
 
-/// CSV report: one row per cell, deterministic columns only.
+/// CSV report: one row per cell, deterministic columns only.  String
+/// columns (topology, mix, faults) are RFC 4180 fields: always quoted,
+/// embedded double quotes doubled, so commas or quotes in a describe()
+/// string survive a round-trip through standard CSV parsers.
 void write_report_csv(std::ostream& os, const CampaignReport& report);
 
 /// Human-readable stdout summary table.

@@ -12,7 +12,11 @@
 //   * wall time — deliveries arrive asynchronously from transport threads
 //     into a mailbox; the run loop stamps each with its enqueue instant
 //     (the "runtime.ingest_latency_seconds" series measures mailbox dwell)
-//     and dispatches on one thread, interleaved with due timers.
+//     and dispatches on one thread, interleaved with due timers.  The loop
+//     drains the mailbox in batches — one lock round-trip per burst, not
+//     per message (the "runtime.mailbox_batch_size" series tracks burst
+//     sizes) — while preserving arrival order and the mailbox-before-
+//     timers dispatch priority.
 //
 // Either way there is exactly ONE dispatch thread, and automata callbacks,
 // the view builder and the results sink are only touched from it — the

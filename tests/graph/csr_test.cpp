@@ -1,0 +1,245 @@
+// CSR core vs pointer-based Digraph: the algorithm ports must agree
+// EXACTLY — not to tolerance — on Bellman–Ford distances, Karp cycle
+// means, SCC partitions, Dijkstra distances and Johnson closures, for
+// every golden model topology and a sweep of random ER/BA instances.
+// Exact equality is what lets the CSR hot path replace the Digraph path
+// underneath the golden-trace replay tests without re-pinning them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/arena.hpp"
+#include "graph/csr.hpp"
+#include "graph/cycle_mean.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/johnson.hpp"
+#include "io/views_io.hpp"
+
+#ifndef CS_TEST_DATA_DIR
+#error "CS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace cs {
+namespace {
+
+constexpr const char* kGoldenModels[] = {
+    "ring_5", "line_4",      "grid_3x3",    "torus_3x3", "toroid_3x3x3",
+    "hypercube_3", "er_8_03", "ba_8_2",      "dc_2_2_2",
+};
+
+SystemModel load_golden(const std::string& name) {
+  const std::string path =
+      std::string(CS_TEST_DATA_DIR) + "/lab/" + name + ".model";
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  return load_model(is);
+}
+
+/// Directed graph over a golden topology with deterministic weights.
+/// `mixed_sign` draws from [-0.3, 1.0] (exercises negative edges and the
+/// occasional negative cycle); otherwise [0.0, 1.0] (Dijkstra-safe).
+Digraph weighted_from_topology(const Topology& topo, Rng& rng,
+                               bool mixed_sign) {
+  Digraph g(topo.node_count);
+  const auto draw = [&] {
+    return mixed_sign ? rng.uniform(-0.3, 1.0) : rng.uniform(0.0, 1.0);
+  };
+  for (auto [a, b] : topo.links) {
+    g.add_edge(a, b, draw());
+    g.add_edge(b, a, draw());
+  }
+  return g;
+}
+
+Digraph random_er(Rng& rng, std::size_t n, double p, bool mixed_sign) {
+  Digraph g(n);
+  const auto draw = [&] {
+    return mixed_sign ? rng.uniform(-0.3, 1.0) : rng.uniform(0.0, 1.0);
+  };
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v && rng.uniform01() < p) g.add_edge(u, v, draw());
+  return g;
+}
+
+Digraph random_ba(Rng& rng, std::size_t n, bool mixed_sign) {
+  Digraph g(n);
+  const auto draw = [&] {
+    return mixed_sign ? rng.uniform(-0.3, 1.0) : rng.uniform(0.0, 1.0);
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    const std::size_t attach = v < 2 ? 1 : 2;
+    for (std::size_t k = 0; k < attach; ++k) {
+      const NodeId u = static_cast<NodeId>(rng.uniform_int(v));
+      g.add_edge(u, v, draw());
+      g.add_edge(v, u, draw());
+    }
+  }
+  return g;
+}
+
+/// All the exact-agreement checks for one graph with possibly-negative
+/// weights (Bellman–Ford, Karp, SCC, Johnson).
+void expect_csr_matches_digraph(const Digraph& g, const std::string& what) {
+  const CsrGraph csr(g);
+  const CsrView view = csr.view();
+  ASSERT_EQ(view.node_count(), g.node_count()) << what;
+  ASSERT_EQ(view.arc_count(), g.edge_count()) << what;
+
+  // SCC partition: identical component ids, not merely the same partition.
+  const SccResult a = strongly_connected_components(g);
+  const SccResult b = strongly_connected_components_csr(view);
+  EXPECT_EQ(a.component_count, b.component_count) << what;
+  EXPECT_EQ(a.component, b.component) << what;
+
+  // Karp min cycle mean, with and without a caller arena.
+  const std::optional<double> karp_ref = min_cycle_mean_karp(g);
+  EpochArena arena;
+  const std::optional<double> karp_csr =
+      min_cycle_mean_karp_csr(view, &arena);
+  ASSERT_EQ(karp_ref.has_value(), karp_csr.has_value()) << what;
+  if (karp_ref) EXPECT_EQ(*karp_ref, *karp_csr) << what;
+  EXPECT_EQ(min_cycle_mean_karp_csr(view), karp_csr) << what;
+
+  // Bellman–Ford distances from every source (negative-cycle verdicts must
+  // agree too).
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto ref = bellman_ford(g, s);
+    const auto got = bellman_ford_csr(view, s);
+    ASSERT_EQ(ref.has_value(), got.has_value()) << what << " source " << s;
+    if (ref) EXPECT_EQ(ref->dist, *got) << what << " source " << s;
+  }
+
+  // Johnson closure: the arena variant must reproduce johnson() exactly.
+  const auto ref_m = johnson(g);
+  DistanceMatrix got_m;
+  arena.reset();
+  const bool ok = johnson_into(g, got_m, arena);
+  ASSERT_EQ(ref_m.has_value(), ok) << what;
+  if (ref_m) {
+    const std::size_t n = g.node_count();
+    ASSERT_EQ(got_m.size(), n) << what;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_EQ(ref_m->at(i, j), got_m.at(i, j))
+            << what << " (" << i << "," << j << ")";
+  }
+}
+
+/// Dijkstra agreement for one non-negative graph.
+void expect_dijkstra_matches(const Digraph& g, const std::string& what) {
+  const CsrGraph csr(g);
+  const CsrView view = csr.view();
+  const std::size_t n = g.node_count();
+  std::vector<double> dist(n);
+  std::vector<std::pair<double, NodeId>> heap;
+  for (NodeId s = 0; s < n; ++s) {
+    const ShortestPaths ref = dijkstra(g, s);
+    dijkstra_csr(view, s, dist, heap);
+    EXPECT_EQ(ref.dist, dist) << what << " source " << s;
+  }
+}
+
+/// (from, to, weight) multiset equality between the forward and transpose
+/// views — the transpose must be a pure re-grouping of the same arcs.
+void expect_transpose_consistent(const Digraph& g, const std::string& what) {
+  const CsrGraph csr(g);
+  using Arc = std::tuple<NodeId, NodeId, double>;
+  std::vector<Arc> fwd, rev;
+  const CsrView f = csr.view();
+  const CsrView t = csr.transpose();
+  ASSERT_EQ(f.arc_count(), t.arc_count()) << what;
+  for (NodeId v = 0; v < f.node_count(); ++v)
+    for (std::uint32_t a = f.row_ptr[v]; a < f.row_ptr[v + 1]; ++a)
+      fwd.emplace_back(v, f.head[a], f.weight[a]);
+  for (NodeId v = 0; v < t.node_count(); ++v)
+    for (std::uint32_t a = t.row_ptr[v]; a < t.row_ptr[v + 1]; ++a)
+      rev.emplace_back(t.head[a], v, t.weight[a]);  // head is the SOURCE here
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev) << what;
+}
+
+TEST(CsrEquivalence, GoldenModelTopologies) {
+  Rng rng(20260808);
+  for (const char* name : kGoldenModels) {
+    const SystemModel model = load_golden(name);
+    expect_csr_matches_digraph(
+        weighted_from_topology(model.topology(), rng, true), name);
+    expect_dijkstra_matches(
+        weighted_from_topology(model.topology(), rng, false), name);
+    expect_transpose_consistent(
+        weighted_from_topology(model.topology(), rng, true), name);
+  }
+}
+
+TEST(CsrEquivalence, RandomErdosRenyiInstances) {
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const std::size_t n = 3 + rng.uniform_int(22);
+    const double p = 0.08 + 0.4 * rng.uniform01();
+    const std::string what = "er#" + std::to_string(t);
+    expect_csr_matches_digraph(random_er(rng, n, p, true), what);
+    expect_dijkstra_matches(random_er(rng, n, p, false), what);
+  }
+}
+
+TEST(CsrEquivalence, RandomPreferentialAttachmentInstances) {
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const std::size_t n = 3 + rng.uniform_int(30);
+    const std::string what = "ba#" + std::to_string(t);
+    expect_csr_matches_digraph(random_ba(rng, n, true), what);
+    expect_dijkstra_matches(random_ba(rng, n, false), what);
+    expect_transpose_consistent(random_ba(rng, n, true), what);
+  }
+}
+
+TEST(CsrEquivalence, EmptyAndSingletonGraphs) {
+  expect_csr_matches_digraph(Digraph(0), "empty");
+  expect_csr_matches_digraph(Digraph(1), "singleton");
+  Digraph self_loop(1);
+  self_loop.add_edge(0, 0, -0.5);
+  expect_csr_matches_digraph(self_loop, "self-loop");
+}
+
+TEST(EpochArenaTest, ResetRetainsCapacityAcrossEpochs) {
+  Rng rng(3);
+  const Digraph g = random_er(rng, 24, 0.3, true);
+  const CsrGraph csr(g);
+  EpochArena arena;
+
+  const auto first = min_cycle_mean_karp_csr(csr.view(), &arena);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    arena.reset();
+    EXPECT_EQ(min_cycle_mean_karp_csr(csr.view(), &arena), first);
+    // Same allocation pattern after reset() => no new chunks, ever.
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+}
+
+TEST(EpochArenaTest, AllocFillAndAlignment) {
+  EpochArena arena;
+  const std::span<double> a = arena.alloc_fill<double>(7, 1.5);
+  const std::span<std::uint32_t> b = arena.alloc_fill<std::uint32_t>(3, 9);
+  const std::span<double> c = arena.alloc<double>(1000000);  // forces growth
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % alignof(double), 0u);
+  for (double x : a) EXPECT_EQ(x, 1.5);
+  for (std::uint32_t x : b) EXPECT_EQ(x, 9u);
+  // Earlier allocations stay intact after growth into a new chunk.
+  EXPECT_EQ(a[0], 1.5);
+  EXPECT_EQ(b[2], 9u);
+}
+
+}  // namespace
+}  // namespace cs

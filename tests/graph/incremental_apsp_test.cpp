@@ -181,6 +181,86 @@ TEST(IncrementalApsp, MetricsCountersTrackUpdateKinds) {
   EXPECT_EQ(metrics.counter("apsp.incremental_updates"), 1u);
 }
 
+using Path = IncrementalApsp::StepStats::Path;
+
+/// Counter-accounting audit: exactly one Path per call, pinned per
+/// perturbation type, with the counters ticking in lockstep.  This is the
+/// regression net for the "from_scratch_runs: 50 / incremental_hit_rate: 0"
+/// question in BENCH_pipeline.json's from-scratch arms: those arms never
+/// call update() at all (they run global_shift_estimates, which ticks
+/// "apsp.from_scratch_runs"), so an IncrementalApsp driven through update()
+/// must never tick that counter — asserted below.
+TEST(IncrementalApspPath, EveryBranchReportsItsPath) {
+  Metrics metrics;
+  IncrementalApsp inc(IncrementalApspOptions{}, &metrics);
+  EXPECT_EQ(inc.last_step().path, Path::kNone);
+
+  // Cold start.
+  Digraph g = diamond();
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.last_step().path, Path::kColdBuild);
+  EXPECT_EQ(metrics.counter("apsp.full_rebuilds"), 1u);
+
+  // Identical graph: empty delta.
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.last_step().path, Path::kNoChange);
+  EXPECT_EQ(metrics.counter("apsp.incremental_updates"), 1u);
+
+  // Single decrease: in-place delta.
+  g.set_weight(2, 0.25);
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.last_step().path, Path::kIncremental);
+  EXPECT_EQ(metrics.counter("apsp.incremental_updates"), 2u);
+
+  // Node count change.
+  Digraph bigger(5);
+  bigger.add_edge(0, 4, 1.0);
+  ASSERT_TRUE(inc.update(bigger));
+  EXPECT_EQ(inc.last_step().path, Path::kResizeBuild);
+  EXPECT_EQ(metrics.counter("apsp.full_rebuilds"), 2u);
+
+  // Direct rebuild.
+  ASSERT_TRUE(inc.rebuild(bigger));
+  EXPECT_EQ(inc.last_step().path, Path::kExplicitRebuild);
+  EXPECT_EQ(metrics.counter("apsp.full_rebuilds"), 3u);
+
+  // Driving the delta path never ticks the from-scratch pipeline counter:
+  // that one belongs to global_shift_estimates (see BENCH_pipeline.json).
+  EXPECT_EQ(metrics.counter("apsp.from_scratch_runs"), 0u);
+}
+
+TEST(IncrementalApspPath, DirtyFallbackReportsItsPathAndBothCounters) {
+  Metrics metrics;
+  Rng rng(17);
+  const std::size_t n = 12;
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n), rng.uniform(0.1, 1.0));
+  IncrementalApsp inc(IncrementalApspOptions{/*max_dirty_fraction=*/0.25},
+                      &metrics);
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.last_step().path, Path::kColdBuild);
+
+  Digraph heavier(n);
+  for (const Edge& e : g.edges())
+    heavier.add_edge(e.from, e.to, e.weight + 1.0);
+  ASSERT_TRUE(inc.update(heavier));
+  EXPECT_EQ(inc.last_step().path, Path::kDirtyFallback);
+  EXPECT_EQ(metrics.counter("apsp.dirty_fallbacks"), 1u);
+  EXPECT_EQ(metrics.counter("apsp.full_rebuilds"), 2u);  // cold + fallback
+  EXPECT_EQ(metrics.counter("apsp.incremental_updates"), 0u);
+}
+
+TEST(IncrementalApspPath, IncreaseWithinThresholdStaysIncremental) {
+  IncrementalApsp inc(IncrementalApspOptions{/*max_dirty_fraction=*/1.0});
+  Digraph g = diamond();
+  ASSERT_TRUE(inc.update(g));
+  g.set_weight(0, 9.0);
+  ASSERT_TRUE(inc.update(g));
+  EXPECT_EQ(inc.last_step().path, Path::kIncremental);
+  EXPECT_GT(inc.last_step().dirty_rows, 0u);
+}
+
 /// Randomized equivalence sweep: random sparse digraphs under random
 /// single-edge perturbations (reweight both ways, remove, insert) must track
 /// the from-scratch closure exactly.

@@ -7,6 +7,8 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lab/stats.hpp"
 
@@ -64,6 +66,103 @@ TEST(Reservoir, DeterministicForEqualSeeds) {
   }
   for (const double q : {0.1, 0.5, 0.9})
     EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(Reservoir, SingleSampleIsEveryQuantile) {
+  ReservoirQuantiles q(8, 1);
+  q.add(7.25);
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(q.quantile(p), 7.25);
+}
+
+TEST(Reservoir, TailQuantilesClampToMaxWhenSampleIsSmall) {
+  // p95 with fewer than 10 samples (and p99 with fewer than 50) cannot be
+  // resolved by interpolation; they must report the max observed, never a
+  // value below something actually seen.
+  ReservoirQuantiles five(1024, 1);
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) five.add(x);
+  EXPECT_DOUBLE_EQ(five.quantile(0.95), 5.0);
+  EXPECT_DOUBLE_EQ(five.quantile(0.99), 5.0);
+
+  ReservoirQuantiles fifty(1024, 1);
+  for (int i = 1; i <= 50; ++i) fifty.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(fifty.quantile(0.99), 50.0);
+  // With 10+ samples p95 starts interpolating strictly inside the range.
+  EXPECT_LT(fifty.quantile(0.95), 50.0);
+  EXPECT_GT(fifty.quantile(0.95), 47.0);
+}
+
+TEST(Reservoir, FewerSamplesThanCapacityMatchesDirectQuantiles) {
+  // n < k (reservoir never sampled): quantiles are exact over the inputs.
+  ReservoirQuantiles q(1024, 9);
+  for (int i = 1; i <= 20; ++i) q.add(static_cast<double>(i));
+  EXPECT_TRUE(q.exact());
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 10.5);  // Hazen: (v[9]+v[10])/2
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 20.0);
+}
+
+/// Minimal RFC 4180 line parser: splits on unquoted commas, strips field
+/// quotes, un-doubles embedded quotes.
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+TEST(Reports, CsvRoundTripsCommasAndQuotesInSpecStrings) {
+  // Hand-built report whose describe() strings carry every character CSV
+  // treats specially; the row must parse back field-for-field.
+  CampaignReport report;
+  CellStats cell(1);
+  cell.cell = 0;
+  cell.topology = "ring, 5 \"wide\"";
+  cell.mix = "bounds 0.002,0.008";
+  cell.faults = "say \"hi\", twice";
+  cell.nodes = 5;
+  cell.tasks = 3;
+  report.cells.push_back(std::move(cell));
+
+  std::ostringstream os;
+  write_report_csv(os, report);
+  std::istringstream is(os.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row));
+
+  const std::vector<std::string> head = parse_csv_line(header);
+  const std::vector<std::string> fields = parse_csv_line(row);
+  ASSERT_EQ(fields.size(), head.size());
+  EXPECT_EQ(fields[0], "0");
+  EXPECT_EQ(fields[1], "ring, 5 \"wide\"");
+  EXPECT_EQ(fields[2], "5");
+  EXPECT_EQ(fields[3], "bounds 0.002,0.008");
+  EXPECT_EQ(fields[4], "say \"hi\", twice");
+  EXPECT_EQ(fields[5], "3");
 }
 
 TEST(Aggregate, FoldsTasksIntoDeclaredCells) {
