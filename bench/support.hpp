@@ -7,6 +7,7 @@
 // expected shapes and the measured outcomes.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -48,6 +49,12 @@ inline Instance probe(const SystemModel& model, std::uint64_t seed,
       random_start_offsets(model.processor_count(), skew, rng);
   opts.seed = seed;
   opts.delay_scale = delay_scale;
+  // Scale the runaway guard with the instance so 100k-node fabrics (E16)
+  // fit; a protocol misbehaving relative to the topology still trips it.
+  opts.max_events = std::max<std::size_t>(
+      opts.max_events,
+      64 * (rounds + 1) *
+          (model.topology().link_count() + model.processor_count()));
   PingPongParams params;
   params.warmup = Duration{skew + 0.1};
   params.rounds = rounds;

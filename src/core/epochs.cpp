@@ -89,6 +89,14 @@ std::vector<EpochOutcome> epochal_synchronize(
 std::vector<EpochOutcome> epochal_synchronize_incremental(
     const SystemModel& model, std::span<const View> views,
     std::span<const ClockTime> boundaries, const EpochOptions& options) {
+  // The incremental synchronizer maintains a dense APSP closure across
+  // epochs — the very matrix a zone plan exists to avoid.  Zoned epochs
+  // therefore run the per-epoch zoned solve instead (itself the fast path;
+  // there is no dense state to delta-update).
+  if (options.sync.zones != nullptr) {
+    metrics_increment(options.sync.metrics, "pipeline.zoned_epoch_fallbacks");
+    return epochal_synchronize(model, views, boundaries, options);
+  }
   IncrementalSynchronizer sync(model, options.sync);
   return drive_epochs(model, views, boundaries, options,
                       [&](Digraph mls) {

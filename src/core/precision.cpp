@@ -1,28 +1,54 @@
 #include "core/precision.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace cs {
 
+namespace {
+
+void check_sizes(std::size_t have, std::size_t want, const char* what) {
+  if (have != want)
+    throw InvalidExecution(std::string(what) + ": corrections size " +
+                           std::to_string(have) + " does not match " +
+                           std::to_string(want));
+}
+
+}  // namespace
+
 double realized_precision(std::span<const RealTime> starts,
                           std::span<const double> x) {
-  assert(starts.size() == x.size());
-  double worst = 0.0;
-  for (std::size_t p = 0; p < starts.size(); ++p)
-    for (std::size_t q = p + 1; q < starts.size(); ++q) {
-      const double d =
-          (starts[p].sec - x[p]) - (starts[q].sec - x[q]);
-      worst = std::max(worst, std::fabs(d));
-    }
-  return worst;
+  check_sizes(x.size(), starts.size(), "realized precision");
+  if (starts.size() < 2) return 0.0;
+  // max_{p,q} |d_p − d_q| over discrepancies d = start − correction is
+  // max d − min d: O(n), and bit-identical to the pairwise scan (the
+  // extremal pair's subtraction is the same IEEE operation).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < starts.size(); ++p) {
+    const double d = starts[p].sec - x[p];
+    if (std::isnan(d))
+      throw InvalidExecution(
+          "realized precision: non-finite discrepancy at processor " +
+          std::to_string(p));
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi - lo;
 }
 
 ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
                              std::span<const double> x) {
   const std::size_t n = ms_estimates.size();
-  assert(x.size() == n);
+  check_sizes(x.size(), n, "guaranteed precision");
+  for (std::size_t p = 0; p < n; ++p)
+    if (std::isnan(x[p]))
+      throw InvalidExecution("guaranteed precision: NaN correction at " +
+                             std::to_string(p));
   ExtReal worst{0.0};
   for (std::size_t p = 0; p < n; ++p)
     for (std::size_t q = 0; q < n; ++q) {
@@ -36,7 +62,11 @@ ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
 double guaranteed_precision_finite(const DistanceMatrix& ms_estimates,
                                    std::span<const double> x) {
   const std::size_t n = ms_estimates.size();
-  assert(x.size() == n);
+  check_sizes(x.size(), n, "guaranteed precision");
+  for (std::size_t p = 0; p < n; ++p)
+    if (std::isnan(x[p]))
+      throw InvalidExecution("guaranteed precision: NaN correction at " +
+                             std::to_string(p));
   double worst = 0.0;
   for (std::size_t p = 0; p < n; ++p)
     for (std::size_t q = 0; q < n; ++q) {

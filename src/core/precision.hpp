@@ -25,12 +25,17 @@
 namespace cs {
 
 /// Realized discrepancy of corrections x in an execution with the given
-/// start times.
+/// start times.  O(n): max − min of the per-processor discrepancies, which
+/// equals the pairwise maximum bit-for-bit.  0 for n <= 1 (a singleton has
+/// no pairs).  Throws InvalidExecution on a size mismatch or a NaN
+/// discrepancy — at 100k+ agents a silent debug-only assert is how NaNs
+/// leak into reports.
 double realized_precision(std::span<const RealTime> starts,
                           std::span<const double> x);
 
 /// Guaranteed precision ρ̄ of corrections x given the m̃s estimate matrix.
-/// +inf if any pair with infinite m̃s exists (n >= 2).
+/// +inf if any pair with infinite m̃s exists (n >= 2); 0 for n <= 1.
+/// Throws InvalidExecution on size mismatch or NaN corrections.
 ExtReal guaranteed_precision(const DistanceMatrix& ms_estimates,
                              std::span<const double> x);
 

@@ -20,6 +20,8 @@
 
 namespace cs {
 
+struct ZonePlan;  // core/zones.hpp
+
 struct SyncOptions {
   /// Root processor for the gauge choice (correction of root is 0).
   NodeId root{0};
@@ -38,6 +40,17 @@ struct SyncOptions {
   /// parallel stages only shard work whose writes are disjoint (see
   /// local_estimates.hpp and ShiftsOptions::threads).
   std::size_t threads{1};
+
+  /// Zone-hierarchical plan (core/zones.hpp); nullptr = dense pipeline.
+  /// When set, synchronize()/synchronize_mls() compose per-zone SHIFTS with
+  /// a leader-quotient solve (Thm 5.5/5.6) instead of running dense APSP +
+  /// SHIFTS — the only practical path past n ≈ 1k.  The outcome then
+  /// reports the *composed bound* as optimal_precision (an upper bound on
+  /// realized precision, not the dense instance optimum unless the plan has
+  /// a single zone), leaves ms_estimates empty (never materialized — that
+  /// is the point), and groups components by zone when unbounded.  Use
+  /// synchronize_zoned() directly for the full per-zone/quotient breakdown.
+  const ZonePlan* zones{nullptr};
 };
 
 struct SyncOutcome {

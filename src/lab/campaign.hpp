@@ -61,12 +61,31 @@ struct TaskResult {
   std::size_t delivered{0};
   std::size_t dropped{0};    ///< fault-dropped sends (drops + outages)
   double seconds{0.0};       ///< wall clock — nondeterministic, timing-only
+
+  // Zones-axis fields (meaningful only when zoned).  On a zoned arm,
+  // `claimed` is the Thm 5.5/5.6 composed bound (an upper bound, not the
+  // dense instance optimum), `guaranteed` repeats it (the dense m̃s matrix
+  // is never materialized), and `thm46_gap` is the max Theorem 4.6
+  // equality residual over every per-zone solve and the quotient solve —
+  // so the standard report gates enforce per-zone optimality.
+  bool zoned{false};
+  std::size_t zone_count{0};
+  std::size_t zone_max_size{0};   ///< nodes in the largest zone
+  double zone_a_max_max{0.0};     ///< max per-zone Ã^max_Z (bounded zones)
+  double realized_intra{0.0};     ///< max within-zone realized discrepancy
+  double realized_cross{0.0};     ///< max cross-zone realized discrepancy
 };
 
 struct RunOptions {
   std::size_t threads{0};        ///< 0 = all hardware threads
   Metrics* metrics{nullptr};     ///< shared sink: pool, sim and stage metrics
   double tolerance{kThm46Tolerance};
+
+  /// Worker threads *inside* each task (per-zone solves, estimator folds);
+  /// results are byte-identical for any value.  Default 1: campaigns with
+  /// many tasks parallelize across tasks.  Raise it for campaigns of few
+  /// huge zoned tasks (the 100k fabric runs one task of 516 zone solves).
+  std::size_t task_threads{1};
 };
 
 struct CampaignResult {
@@ -81,7 +100,8 @@ struct CampaignResult {
 /// pipeline failures — those come back as ok == false with the message —
 /// but spec-level errors (unknown family/mix) propagate.
 TaskResult run_task(const CampaignSpec& spec, const TaskSpec& task,
-                    double tolerance = kThm46Tolerance);
+                    double tolerance = kThm46Tolerance,
+                    std::size_t task_threads = 1);
 
 /// Expands the spec and runs every task across the pool.
 CampaignResult run_campaign(const CampaignSpec& spec,

@@ -1,6 +1,7 @@
 #include "lab/spec.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -76,6 +77,32 @@ FaultPlan FaultSpec::build(std::uint64_t fault_seed) const {
   return plan;
 }
 
+std::string ZoneAxisSpec::describe() const {
+  if (kind == "size") return "size " + std::to_string(size);
+  return kind;
+}
+
+namespace {
+
+std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a)
+    fail(std::string("campaign ") + what + " count overflows std::size_t (" +
+         std::to_string(a) + " x " + std::to_string(b) + ")");
+  return a * b;
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::cell_count() const {
+  std::size_t cells = checked_mul(topologies.size(), mixes.size(), "cell");
+  cells = checked_mul(cells, faults.size(), "cell");
+  return checked_mul(cells, zone_arm_count(), "cell");
+}
+
+std::size_t CampaignSpec::task_count() const {
+  return checked_mul(cell_count(), seeds_per_cell, "task");
+}
+
 std::string ProtocolSpec::describe() const {
   std::ostringstream os;
   if (kind == "pingpong") os << "pingpong " << rounds;
@@ -88,14 +115,19 @@ std::vector<TaskSpec> expand(const CampaignSpec& spec) {
   if (spec.mixes.empty()) fail("campaign has no delay mixes");
   if (spec.faults.empty()) fail("campaign has no fault plans");
   if (spec.seeds_per_cell == 0) fail("campaign has zero seeds per cell");
+  // task_count() is overflow-checked; a cross product too large for
+  // std::size_t fails here with the offending extents named rather than
+  // wrapping the reserve below (and every later cell_id) silently.
+  const std::size_t total = spec.task_count();
   std::vector<TaskSpec> tasks;
-  tasks.reserve(spec.task_count());
+  tasks.reserve(total);
   std::size_t index = 0;
   for (std::size_t t = 0; t < spec.topologies.size(); ++t)
     for (std::size_t m = 0; m < spec.mixes.size(); ++m)
       for (std::size_t f = 0; f < spec.faults.size(); ++f)
-        for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
-          tasks.push_back({index++, t, m, f, s});
+        for (std::size_t z = 0; z < spec.zone_arm_count(); ++z)
+          for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
+            tasks.push_back({index++, t, m, f, z, s});
   return tasks;
 }
 
@@ -244,6 +276,21 @@ CampaignSpec load_campaign(std::istream& is) {
         fail_line(line_no, "unknown fault kind '" + params[0] + "'");
       }
       spec.faults.push_back(fs);
+    } else if (word == "zones") {
+      if (params.empty()) fail_line(line_no, "zones needs a kind");
+      ZoneAxisSpec zs;
+      zs.kind = params[0];
+      if (zs.kind == "none" || zs.kind == "natural") {
+        want(1, zs.kind.c_str());
+      } else if (zs.kind == "size") {
+        want(2, "size <nodes-per-zone>");
+        zs.size = static_cast<std::size_t>(
+            parse_u64(params[1], line_no, "zone size"));
+        if (zs.size == 0) fail_line(line_no, "zone size must be >= 1");
+      } else {
+        fail_line(line_no, "unknown zones kind '" + zs.kind + "'");
+      }
+      spec.zones.push_back(zs);
     } else {
       fail_line(line_no, "unknown directive '" + word + "'");
     }
@@ -276,6 +323,10 @@ void save_campaign(std::ostream& os, const CampaignSpec& spec) {
   for (const MixSpec& m : spec.mixes) os << "mix " << m.describe() << "\n";
   for (const FaultSpec& f : spec.faults)
     os << "faults " << f.describe() << "\n";
+  // Only written when declared: a zones-free spec round-trips to a
+  // zones-free spec with the identical implicit expansion.
+  for (const ZoneAxisSpec& z : spec.zones)
+    os << "zones " << z.describe() << "\n";
 }
 
 CampaignSpec preset_campaign(const std::string& name) {
@@ -314,7 +365,40 @@ CampaignSpec preset_campaign(const std::string& name) {
     spec.faults.push_back(FaultSpec{});
     return spec;
   }
-  fail("unknown campaign preset: '" + name + "' (try 'smoke' or 'toroid')");
+  if (name == "zones") {
+    // The zone-composition CI campaign: small datacenter fabrics where the
+    // dense pipeline still runs, swept across the zones axis — so the
+    // per-zone Thm 4.6 equality checks and the composed-bound soundness
+    // check exercise every zone-plan kind next to the dense reference arm.
+    spec.seed = 55;  // Thm 5.5
+    spec.seeds_per_cell = 3;
+    spec.protocol.rounds = 3;
+    for (const char* t : {"dc 2 3 4", "dc 1 4 6", "ba 24 2"})
+      spec.topologies.push_back(parse_topo_spec(t));
+    spec.mixes.push_back({"bounds", 0.002, 0.01, 0.0});
+    spec.faults.push_back(FaultSpec{});
+    spec.zones.push_back({"none", 0});
+    spec.zones.push_back({"natural", 0});
+    spec.zones.push_back({"size", 6});
+    return spec;
+  }
+  if (name == "fabric100k") {
+    // The scale deliverable (ROADMAP open item 1): one epoch over a
+    // 102,404-agent datacenter fabric — 4 spines, 512 racks, 199 hosts per
+    // rack — synchronized by natural-zone composition.  The dense pipeline
+    // would need a ~10^10-entry m̃s matrix here; the zoned path solves 516
+    // zones of <= 200 nodes plus a 516-node quotient.
+    spec.seed = 100000;
+    spec.seeds_per_cell = 1;
+    spec.protocol.rounds = 2;
+    spec.topologies.push_back(parse_topo_spec("dc 4 512 199"));
+    spec.mixes.push_back({"bounds", 0.002, 0.01, 0.0});
+    spec.faults.push_back(FaultSpec{});
+    spec.zones.push_back({"natural", 0});
+    return spec;
+  }
+  fail("unknown campaign preset: '" + name +
+       "' (try 'smoke', 'toroid', 'zones', or 'fabric100k')");
 }
 
 }  // namespace cs::lab

@@ -2,12 +2,13 @@
 //
 // A campaign is a cross product
 //
-//   topology family/size  ×  delay mix  ×  fault plan  ×  seed range
+//   topology family/size  ×  delay mix  ×  fault plan  ×  zones  ×  seeds
 //
 // expanded into a flat, stably ordered task list.  The (topology, mix,
-// fault) triple is a *cell*; each cell runs once per seed index.  Task
-// ordering is the declaration-order odometer — topology-major, then mix,
-// then fault, then seed — and task seeds are derived per index by
+// fault, zones) tuple is a *cell*; each cell runs once per seed index.
+// Task ordering is the declaration-order odometer — topology-major, then
+// mix, then fault, then zones, then seed — and task seeds are derived per
+// index by
 // derive_task_seed (campaign.hpp), so the expansion is a pure function of
 // the spec text: re-running a campaign on any machine with any thread
 // count reproduces every instance bit for bit.
@@ -24,6 +25,7 @@
 //   topology <family> <params...>      # one line per family instance
 //   mix <kind> <params...>             # delay-assumption assignment
 //   faults <kind> <params...>          # fault plan
+//   zones <kind> <params...>           # optional zone-hierarchy axis
 //
 // Mix grammar (per-link delay-assumption assignment hooks):
 //   mix bounds <lb> <ub>            symmetric [lb, ub] on every link
@@ -37,6 +39,15 @@
 //   faults none
 //   faults drop <p>
 //   faults drop <p> crash <pid> <from> <until>
+//
+// Zones grammar (core/zones.hpp — Thm 5.5/5.6 hierarchical composition):
+//   zones none                      dense pipeline (the default axis)
+//   zones size <k>                  greedy BFS clustering, ~k nodes/zone
+//   zones natural                   topology-native zones (dc: one zone per
+//                                   rack + singleton spines; otherwise BFS
+//                                   with target ceil(sqrt(n)))
+// No `zones` line at all means a single implicit "none" arm, so pre-zones
+// campaign files expand to exactly the same task list as before.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +86,16 @@ struct FaultSpec {
   FaultPlan build(std::uint64_t fault_seed) const;
 };
 
+/// One arm of the zones axis: whether and how a task's graph is
+/// partitioned for zone-hierarchical synchronization (core/zones.hpp).
+struct ZoneAxisSpec {
+  std::string kind{"none"};  ///< none | size | natural
+  std::size_t size{0};       ///< size kind only: target nodes per zone
+
+  bool zoned() const { return kind != "none"; }
+  std::string describe() const;
+};
+
 struct ProtocolSpec {
   std::string kind{"pingpong"};  ///< pingpong | beacon
   std::size_t rounds{4};         ///< pingpong
@@ -94,11 +115,24 @@ struct CampaignSpec {
   std::vector<TopoSpec> topologies;
   std::vector<MixSpec> mixes;
   std::vector<FaultSpec> faults;
+  /// Zones axis; empty = a single implicit "none" arm (dense pipeline),
+  /// so campaigns predating the axis keep their exact task expansion.
+  std::vector<ZoneAxisSpec> zones;
 
-  std::size_t cell_count() const {
-    return topologies.size() * mixes.size() * faults.size();
+  /// Arms of the zones axis including the implicit "none" (never 0).
+  std::size_t zone_arm_count() const {
+    return zones.empty() ? 1 : zones.size();
   }
-  std::size_t task_count() const { return cell_count() * seeds_per_cell; }
+  const ZoneAxisSpec& zone_arm(std::size_t id) const {
+    static const ZoneAxisSpec kDense{};
+    return zones.empty() ? kDense : zones[id];
+  }
+
+  /// Cross-product extents.  Overflow-checked: a campaign whose cross
+  /// product exceeds std::size_t throws cs::Error instead of silently
+  /// wrapping into a tiny (or enormous) bogus task list.
+  std::size_t cell_count() const;
+  std::size_t task_count() const;
 };
 
 /// One expanded task: a cell plus a seed index.  `index` is the task's
@@ -109,12 +143,15 @@ struct TaskSpec {
   std::size_t topology_id{0};
   std::size_t mix_id{0};
   std::size_t fault_id{0};
+  std::size_t zone_id{0};  ///< arm of the zones axis (0 when none declared)
   std::uint32_t seed_index{0};
 
-  /// Dense cell index (topology-major, then mix, then fault).
+  /// Dense cell index (topology-major, then mix, fault, zones).
   std::size_t cell_id(const CampaignSpec& spec) const {
-    return (topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
-           fault_id;
+    return ((topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
+            fault_id) *
+               spec.zone_arm_count() +
+           zone_id;
   }
 };
 
@@ -134,9 +171,11 @@ CampaignSpec load_campaign_file(const std::string& path);
 /// Writes the on-disk format (round-trips through load_campaign).
 void save_campaign(std::ostream& os, const CampaignSpec& spec);
 
-/// Built-in campaigns: "smoke" (tiny multi-family CI campaign) and
-/// "toroid" (the Frank–Welch odd-ary m-toroid sweep, >= 200 tasks).
-/// Throws cs::Error on unknown names.
+/// Built-in campaigns: "smoke" (tiny multi-family CI campaign), "toroid"
+/// (the Frank–Welch odd-ary m-toroid sweep, >= 200 tasks), "zones" (small
+/// datacenter fabric swept across the zones axis, for CI), and "fabric100k"
+/// (a 102,404-agent datacenter fabric, natural zones — the dense pipeline
+/// cannot touch this size).  Throws cs::Error on unknown names.
 CampaignSpec preset_campaign(const std::string& name);
 
 }  // namespace cs::lab

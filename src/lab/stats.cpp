@@ -110,17 +110,20 @@ CampaignReport aggregate(const CampaignResult& result) {
   report.cells.reserve(spec.cell_count());
   for (std::size_t t = 0; t < spec.topologies.size(); ++t)
     for (std::size_t m = 0; m < spec.mixes.size(); ++m)
-      for (std::size_t f = 0; f < spec.faults.size(); ++f) {
-        const std::size_t id = report.cells.size();
-        CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
-        cell.cell = id;
-        cell.topology = spec.topologies[t].describe();
-        cell.nodes = spec.topologies[t].node_count();
-        cell.mix = spec.mixes[m].describe();
-        cell.faults = spec.faults[f].describe();
-        cell.faulty = spec.faults[f].faulty();
-        report.cells.push_back(std::move(cell));
-      }
+      for (std::size_t f = 0; f < spec.faults.size(); ++f)
+        for (std::size_t z = 0; z < spec.zone_arm_count(); ++z) {
+          const std::size_t id = report.cells.size();
+          CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
+          cell.cell = id;
+          cell.topology = spec.topologies[t].describe();
+          cell.nodes = spec.topologies[t].node_count();
+          cell.mix = spec.mixes[m].describe();
+          cell.faults = spec.faults[f].describe();
+          cell.faulty = spec.faults[f].faulty();
+          cell.zones = spec.zone_arm(z).describe();
+          cell.zoned = spec.zone_arm(z).zoned();
+          report.cells.push_back(std::move(cell));
+        }
 
   for (std::size_t i = 0; i < result.tasks.size(); ++i) {
     const TaskSpec& task = result.tasks[i];
@@ -140,6 +143,15 @@ CampaignReport aggregate(const CampaignResult& result) {
     cell.dropped += r.dropped;
     report.events += r.events;
     cell.realized_max = std::max(cell.realized_max, r.realized);
+    if (r.zoned) {
+      cell.zone_count = std::max(cell.zone_count, r.zone_count);
+      cell.zone_max_size = std::max(cell.zone_max_size, r.zone_max_size);
+      cell.zone_a_max_max = std::max(cell.zone_a_max_max, r.zone_a_max_max);
+      cell.realized_intra_max =
+          std::max(cell.realized_intra_max, r.realized_intra);
+      cell.realized_cross_max =
+          std::max(cell.realized_cross_max, r.realized_cross);
+    }
     if (r.bounded) {
       ++cell.bounded;
       ++report.bounded;
@@ -187,6 +199,8 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
        << "      \"nodes\": " << c.nodes << ",\n"
        << "      \"mix\": " << quoted(c.mix) << ",\n"
        << "      \"faults\": " << quoted(c.faults) << ",\n"
+       << "      \"zones\": " << quoted(c.zones) << ",\n"
+       << "      \"zoned\": " << (c.zoned ? "true" : "false") << ",\n"
        << "      \"tasks\": " << c.tasks << ",\n"
        << "      \"failures\": " << c.failures << ",\n"
        << "      \"bounded\": " << c.bounded << ",\n"
@@ -199,6 +213,13 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
     os << ",\n";
     series_json(os, "      ", "optimality_gap", c.optimality_gap);
     os << ",\n      \"realized_max\": " << fmt(c.realized_max) << ",\n"
+       << "      \"zone_count\": " << c.zone_count << ",\n"
+       << "      \"zone_max_size\": " << c.zone_max_size << ",\n"
+       << "      \"zone_a_max_max\": " << fmt(c.zone_a_max_max) << ",\n"
+       << "      \"realized_intra_max\": " << fmt(c.realized_intra_max)
+       << ",\n"
+       << "      \"realized_cross_max\": " << fmt(c.realized_cross_max)
+       << ",\n"
        << "      \"events\": " << c.events << ",\n"
        << "      \"delivered\": " << c.delivered << ",\n"
        << "      \"dropped\": " << c.dropped << "\n    }"
@@ -237,10 +258,14 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
 }
 
 void write_report_csv(std::ostream& os, const CampaignReport& report) {
+  // Zone columns append at the end: the first six columns are a pinned
+  // interface consumed by downstream tooling (and the format tests).
   os << "cell,topology,nodes,mix,faults,tasks,failures,bounded,"
         "soundness_violations,thm46_max_gap,claimed_mean,claimed_p50,"
         "claimed_p95,claimed_p99,ratio_mean,ratio_p95,gap_p50,gap_p95,"
-        "gap_p99,realized_max,events,delivered,dropped\n";
+        "gap_p99,realized_max,events,delivered,dropped,zones,zone_count,"
+        "zone_max_size,zone_a_max_max,realized_intra_max,"
+        "realized_cross_max\n";
   for (const CellStats& c : report.cells) {
     os << c.cell << ',' << csv_field(c.topology) << ',' << c.nodes << ','
        << csv_field(c.mix) << ',' << csv_field(c.faults) << ',' << c.tasks
@@ -257,18 +282,21 @@ void write_report_csv(std::ostream& os, const CampaignReport& report) {
        << fmt(c.optimality_gap.quantiles.quantile(0.95)) << ','
        << fmt(c.optimality_gap.quantiles.quantile(0.99)) << ','
        << fmt(c.realized_max) << ',' << c.events << ',' << c.delivered << ','
-       << c.dropped << '\n';
+       << c.dropped << ',' << csv_field(c.zones) << ',' << c.zone_count
+       << ',' << c.zone_max_size << ',' << fmt(c.zone_a_max_max) << ','
+       << fmt(c.realized_intra_max) << ',' << fmt(c.realized_cross_max)
+       << '\n';
   }
 }
 
 void print_report(std::ostream& os, const CampaignReport& report,
                   bool include_timing) {
-  Table table({"cell", "topology", "mix", "faults", "tasks", "fail",
+  Table table({"cell", "topology", "mix", "faults", "zones", "tasks", "fail",
                "bounded", "A^max p50", "ratio p95", "thm4.6 gap"});
   for (const CellStats& c : report.cells)
     table.add_row({std::to_string(c.cell), c.topology, c.mix, c.faults,
-                   std::to_string(c.tasks), std::to_string(c.failures),
-                   std::to_string(c.bounded),
+                   c.zones, std::to_string(c.tasks),
+                   std::to_string(c.failures), std::to_string(c.bounded),
                    Table::num(c.claimed.quantiles.quantile(0.50), 6),
                    Table::num(c.ratio.quantiles.quantile(0.95), 3),
                    Table::num(c.thm46_max_gap, 12)});

@@ -61,13 +61,16 @@ struct SeriesStats {
   }
 };
 
-/// Aggregated statistics of one campaign cell (topology x mix x faults).
+/// Aggregated statistics of one campaign cell
+/// (topology x mix x faults x zones).
 struct CellStats {
   std::size_t cell{0};
   std::string topology;
   std::string mix;
   std::string faults;
+  std::string zones;     ///< zones-axis arm ("none" on dense arms)
   bool faulty{false};
+  bool zoned{false};     ///< zone-hierarchical arm (Thm 5.5/5.6 composition)
   std::size_t nodes{0};
 
   std::size_t tasks{0};
@@ -80,6 +83,13 @@ struct CellStats {
   SeriesStats ratio;          ///< realized / claimed (bounded, claimed > 0)
   SeriesStats optimality_gap; ///< claimed - realized (bounded tasks)
   double realized_max{0.0};
+
+  // Zones-axis columns (zero on dense arms).
+  std::size_t zone_count{0};        ///< max zone count over the cell's tasks
+  std::size_t zone_max_size{0};     ///< largest zone seen
+  double zone_a_max_max{0.0};       ///< max per-zone Ã^max_Z
+  double realized_intra_max{0.0};   ///< max within-zone realized discrepancy
+  double realized_cross_max{0.0};   ///< max cross-zone realized discrepancy
 
   std::size_t events{0};
   std::size_t delivered{0};

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "core/epochs.hpp"
+#include "core/zones.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/host.hpp"
 #include "runtime/loopback.hpp"
@@ -137,6 +138,17 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
       for (std::size_t p = 0; p < n; ++p)
         corrected[p] = live.corrections[p] - offsets[p].sec;
       row.realized_precision = spread(corrected);
+      if (config.zones != nullptr) {
+        // d_p = S_p - x_p is the negation of `corrected`; max-min spreads
+        // are negation-invariant, so the zoned splitter applies as-is.
+        std::vector<RealTime> starts(n);
+        for (std::size_t p = 0; p < n; ++p)
+          starts[p] = RealTime{offsets[p].sec};
+        const ZoneRealized split = realized_precision_zoned(
+            starts, live.corrections, *config.zones);
+        row.realized_intra = split.intra;
+        row.realized_cross = split.cross;
+      }
     }
     report.epochs.push_back(std::move(row));
   }

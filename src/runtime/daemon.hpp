@@ -17,6 +17,8 @@
 
 namespace cs {
 
+struct ZonePlan;
+
 enum class LiveTransportKind {
   kLoopback,          ///< virtual time, deterministic (the tier-1 mode)
   kLoopbackThreaded,  ///< wall time, in-process dispatcher thread
@@ -50,6 +52,12 @@ struct LiveConfig {
   /// Wall-mode run budget (virtual mode runs to quiescence).
   Duration deadline{30.0};
   std::size_t max_events{1'000'000};
+
+  /// Optional zone plan (core/zones.hpp): splits each epoch's ground-truth
+  /// realized precision into per-zone and cross-zone components in the
+  /// report rows.  Not owned; must outlive the run and cover the model's
+  /// processors.
+  const ZonePlan* zones{nullptr};
 };
 
 struct LiveEpochReport {
@@ -66,6 +74,11 @@ struct LiveEpochReport {
   /// paper's drift-free clocks.  Thm 4.6: <= claimed_precision on every
   /// admissible run.  Unset until the epoch computed.
   std::optional<double> realized_precision;
+
+  /// Zone split of realized_precision (set iff LiveConfig::zones and the
+  /// epoch computed): max within-zone / max cross-zone discrepancy.
+  std::optional<double> realized_intra;
+  std::optional<double> realized_cross;
 
   /// Offline pipeline over the recorded views at the same boundary
   /// (set when LiveConfig::offline_check).

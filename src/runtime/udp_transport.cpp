@@ -6,6 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -29,6 +32,12 @@ constexpr std::size_t kMaxDatagram = 65507;
 constexpr std::size_t kMaxDoubles =
     (kMaxDatagram - sizeof(WireHeader)) / sizeof(double);
 
+// Receive-path errors beyond this many in a row mean the socket is gone for
+// good (EBADF, shutdown-under-us); the loop then surfaces the failure and
+// exits instead of spinning.  With the exponential backoff below the loop
+// gives up after ~250 ms of a persistent error.
+constexpr int kMaxConsecutiveRecvErrors = 8;
+
 sockaddr_in loopback_addr(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -46,7 +55,18 @@ UdpTransport::UdpTransport(std::size_t agents) : endpoints_(agents) {}
 UdpTransport::~UdpTransport() {
   stop();
   for (Endpoint& ep : endpoints_)
-    if (ep.fd >= 0) ::close(ep.fd);
+    if (ep.fd >= 0 && !ep.injected_close) ::close(ep.fd);
+}
+
+void UdpTransport::close_endpoint(ProcessorId pid) {
+  if (pid >= endpoints_.size())
+    throw Error("UdpTransport: endpoint id out of range");
+  Endpoint& ep = endpoints_[pid];
+  if (ep.fd < 0 || ep.injected_close) return;
+  ::close(ep.fd);
+  // Keep the stale fd number: the receive loop must see the descriptor
+  // vanish (POLLNVAL), not silently poll a negative fd forever.
+  ep.injected_close = true;
 }
 
 void UdpTransport::open(ProcessorId pid, DeliverFn sink) {
@@ -112,15 +132,56 @@ bool UdpTransport::send(const WireMessage& msg) {
   return sent == static_cast<ssize_t>(buf.size());
 }
 
+bool UdpTransport::note_recv_error(ProcessorId pid, const char* what, int err,
+                                   int& consecutive) {
+  metrics_increment(metrics_, "runtime.udp.poll_error");
+  if (++consecutive >= kMaxConsecutiveRecvErrors) {
+    metrics_increment(metrics_, "runtime.udp.endpoint_failed");
+    failed_.fetch_add(1, std::memory_order_release);
+    if (on_error_)
+      on_error_(pid, std::string("UdpTransport endpoint ") +
+                         std::to_string(pid) + ": " + what +
+                         " failed persistently (errno " +
+                         std::to_string(err) + ")");
+    return false;
+  }
+  // Bounded exponential backoff: a persistent error (EBADF after the fd
+  // vanished, say) must not busy-spin the thread between retries.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(1L << std::min(consecutive, 6)));
+  return true;
+}
+
 void UdpTransport::recv_loop(ProcessorId pid) {
   Endpoint& ep = endpoints_[pid];
   std::vector<char> buf(kMaxDatagram);
+  int consecutive_errors = 0;
   while (running_.load(std::memory_order_acquire)) {
     pollfd pfd{ep.fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 50 /*ms*/);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check running_
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // benign signal: re-check running_
+      if (!note_recv_error(pid, "poll", errno, consecutive_errors)) return;
+      continue;
+    }
+    if (ready == 0) continue;  // timeout: re-check running_
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      // POLLNVAL is how a closed-under-us fd manifests: poll() "succeeds"
+      // instantly with no data — the shape of the historical busy-spin.
+      const int err = (pfd.revents & POLLNVAL) ? EBADF : EIO;
+      if (!note_recv_error(pid, "poll-revents", err, consecutive_errors))
+        return;
+      continue;
+    }
     const ssize_t got = ::recvfrom(ep.fd, buf.data(), buf.size(), 0,
                                    nullptr, nullptr);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (!note_recv_error(pid, "recvfrom", errno, consecutive_errors))
+        return;
+      continue;
+    }
+    consecutive_errors = 0;
     if (got < static_cast<ssize_t>(sizeof(WireHeader))) continue;
 
     WireHeader header;

@@ -15,15 +15,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "runtime/transport.hpp"
 
 namespace cs {
 
 class UdpTransport final : public Transport {
  public:
+  /// Invoked (on the endpoint's receive thread) when that endpoint's
+  /// receive loop gives up after persistent socket errors.
+  using ErrorFn = std::function<void(ProcessorId, const std::string&)>;
+
   /// `agents` endpoints, ids 0..agents-1.
   explicit UdpTransport(std::size_t agents);
   ~UdpTransport() override;
@@ -34,6 +40,27 @@ class UdpTransport final : public Transport {
   bool send(const WireMessage& msg) override;
   const char* name() const override { return "udp"; }
 
+  /// Error-path instrumentation sink ("runtime.udp.poll_error",
+  /// "runtime.udp.endpoint_failed").  Must outlive the transport; set
+  /// before start().  nullptr = off.
+  void set_metrics(Metrics* metrics) { metrics_ = metrics; }
+
+  /// Failure notification for the host; set before start().
+  void set_error_handler(ErrorFn handler) { on_error_ = std::move(handler); }
+
+  /// Endpoints whose receive loop shut down on a persistent socket error
+  /// (poll/recvfrom failing repeatedly — EBADF, POLLNVAL, ...).  A healthy
+  /// transport reports 0 for its whole lifetime.
+  std::size_t failed_endpoints() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  /// Failure injection for tests and operators: closes the endpoint's
+  /// socket out from under its receive loop.  The stale fd number is left
+  /// in place so the loop observes exactly what a vanished descriptor
+  /// produces (POLLNVAL / EBADF); the destructor will not double-close it.
+  void close_endpoint(ProcessorId pid);
+
   /// Bound port of an endpoint (valid after its open()).
   std::uint16_t port_of(ProcessorId pid) const;
 
@@ -43,15 +70,26 @@ class UdpTransport final : public Transport {
  private:
   void recv_loop(ProcessorId pid);
 
+  /// Accounts one receive-path error: bumps the poll_error metric, applies
+  /// bounded exponential backoff, and — after kMaxConsecutiveRecvErrors in
+  /// a row — marks the endpoint failed, notifies the host, and returns
+  /// false to terminate the loop.
+  bool note_recv_error(ProcessorId pid, const char* what, int err,
+                       int& consecutive);
+
   struct Endpoint {
     int fd{-1};
     std::uint16_t port{0};
     DeliverFn sink;
     std::thread reader;
+    bool injected_close{false};
   };
 
   std::vector<Endpoint> endpoints_;
   std::atomic<bool> running_{false};
+  std::atomic<std::size_t> failed_{0};
+  Metrics* metrics_{nullptr};
+  ErrorFn on_error_;
 };
 
 }  // namespace cs

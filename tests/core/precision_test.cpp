@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/error.hpp"
+
 namespace cs {
 namespace {
 
@@ -76,6 +80,47 @@ TEST(Precision, SingleProcessor) {
   const std::vector<double> x{0.0};
   EXPECT_DOUBLE_EQ(realized_precision(starts, x), 0.0);
   EXPECT_DOUBLE_EQ(guaranteed_precision(DistanceMatrix(1), x).finite(), 0.0);
+}
+
+TEST(Precision, EmptyAndSingletonAreZeroNotNaN) {
+  // Regression: singleton / empty components (a crashed-away leader, a
+  // spine with no rack) must report a *defined* precision of 0, never the
+  // NaN or -inf an empty max-fold used to produce.
+  EXPECT_DOUBLE_EQ(realized_precision({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      guaranteed_precision(DistanceMatrix(0), std::vector<double>{})
+          .finite(),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      guaranteed_precision_finite(DistanceMatrix(1), std::vector<double>{0.0}),
+      0.0);
+}
+
+TEST(Precision, RealizedRejectsSizeMismatch) {
+  const std::vector<RealTime> starts{RealTime{0.0}, RealTime{1.0}};
+  const std::vector<double> x{0.0};
+  EXPECT_THROW(realized_precision(starts, x), InvalidExecution);
+}
+
+TEST(Precision, RealizedRejectsNaNCorrections) {
+  const std::vector<RealTime> starts{RealTime{0.0}, RealTime{1.0}};
+  const std::vector<double> x{0.0,
+                              std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(realized_precision(starts, x), InvalidExecution);
+}
+
+TEST(Precision, GuaranteedRejectsMismatchAndNaN) {
+  DistanceMatrix ms(2);
+  ms.at(0, 1) = 0.3;
+  ms.at(1, 0) = 0.5;
+  EXPECT_THROW(guaranteed_precision(ms, std::vector<double>{0.0}),
+               InvalidExecution);
+  EXPECT_THROW(guaranteed_precision_finite(ms, std::vector<double>{0.0}),
+               InvalidExecution);
+  const std::vector<double> nan_x{
+      0.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(guaranteed_precision(ms, nan_x), InvalidExecution);
+  EXPECT_THROW(guaranteed_precision_finite(ms, nan_x), InvalidExecution);
 }
 
 }  // namespace

@@ -132,5 +132,89 @@ TEST(Campaign, UnknownProtocolSurfacesAsTaskFailure) {
   EXPECT_NE(r.failure.find("protocol"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Zones axis
+
+CampaignSpec zoned_campaign() {
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name zoned\n"
+      "seed 77\n"
+      "seeds 2\n"
+      "protocol pingpong 3\n"
+      "skew 0.2\n"
+      "delay-scale 0.05\n"
+      "topology dc 2 3 4\n"
+      "mix bounds 0.002 0.008\n"
+      "faults none\n"
+      "zones none\n"
+      "zones natural\n"
+      "zones size 6\n");
+  return load_campaign(is);
+}
+
+TEST(CampaignZones, ZonedArmsStaySoundAndMeetPerZoneTheorem46) {
+  const CampaignSpec spec = zoned_campaign();
+  for (const TaskSpec& task : expand(spec)) {
+    const TaskResult r = run_task(spec, task);
+    ASSERT_TRUE(r.ok) << r.failure;
+    ASSERT_TRUE(r.bounded);
+    EXPECT_TRUE(r.sound) << "zone arm " << task.zone_id;
+    // thm46_gap is the per-zone + quotient equality residual on zoned
+    // arms and the dense residual otherwise; both must sit at rounding
+    // noise on this fault-free campaign.
+    EXPECT_LE(r.thm46_gap, kThm46Tolerance);
+    if (spec.zone_arm(task.zone_id).zoned()) {
+      EXPECT_TRUE(r.zoned);
+      EXPECT_GT(r.zone_count, 1u);
+      EXPECT_GT(r.zone_max_size, 0u);
+      EXPECT_LE(r.realized_intra, r.claimed + kThm46Tolerance);
+      EXPECT_LE(r.realized_cross, r.claimed + kThm46Tolerance);
+      // Zoned `claimed` is the composed (upper) bound: it must dominate
+      // the realized spread but can exceed the per-zone optima.
+      EXPECT_GE(r.claimed, r.zone_a_max_max - kThm46Tolerance);
+    } else {
+      EXPECT_FALSE(r.zoned);
+      EXPECT_EQ(r.zone_count, 0u);
+    }
+  }
+}
+
+TEST(CampaignZones, DenseArmMatchesAZonelessRunBitForBit) {
+  // Arm "zones none" must not perturb the task seed stream or the dense
+  // pipeline: compare against the same campaign without the zones axis.
+  CampaignSpec with = zoned_campaign();
+  with.zones = {ZoneAxisSpec{}};  // only the dense arm
+  CampaignSpec without = zoned_campaign();
+  without.zones.clear();
+  const std::vector<TaskSpec> wt = expand(with);
+  const std::vector<TaskSpec> wo = expand(without);
+  ASSERT_EQ(wt.size(), wo.size());
+  for (std::size_t i = 0; i < wt.size(); ++i) {
+    const TaskResult a = run_task(with, wt[i]);
+    const TaskResult b = run_task(without, wo[i]);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.claimed, b.claimed) << i;
+    EXPECT_EQ(a.realized, b.realized) << i;
+    EXPECT_EQ(a.guaranteed, b.guaranteed) << i;
+  }
+}
+
+TEST(CampaignZones, TaskThreadsDoNotChangeZonedResults) {
+  const CampaignSpec spec = zoned_campaign();
+  const std::vector<TaskSpec> tasks = expand(spec);
+  for (const TaskSpec& task : tasks) {
+    if (!spec.zone_arm(task.zone_id).zoned()) continue;
+    const TaskResult a = run_task(spec, task, kThm46Tolerance, 1);
+    const TaskResult b = run_task(spec, task, kThm46Tolerance, 4);
+    EXPECT_EQ(a.claimed, b.claimed);
+    EXPECT_EQ(a.realized, b.realized);
+    EXPECT_EQ(a.realized_intra, b.realized_intra);
+    EXPECT_EQ(a.realized_cross, b.realized_cross);
+    EXPECT_EQ(a.zone_a_max_max, b.zone_a_max_max);
+    break;  // one zoned cell suffices; the CLI test sweeps the campaign
+  }
+}
+
 }  // namespace
 }  // namespace cs::lab

@@ -180,5 +180,114 @@ TEST(CampaignSpec, UnknownPresetFails) {
   EXPECT_THROW(preset_campaign("nope"), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Zones axis
+
+TEST(CampaignSpecZones, ParsesAndRoundTripsEveryArmKind) {
+  const CampaignSpec spec = parse(
+      "chronosync-campaign v1\nseeds 1\ntopology dc 2 3 4\n"
+      "mix bounds 0.001 0.004\n"
+      "zones none\nzones size 6\nzones natural\n");
+  ASSERT_EQ(spec.zones.size(), 3u);
+  EXPECT_EQ(spec.zones[0].kind, "none");
+  EXPECT_FALSE(spec.zones[0].zoned());
+  EXPECT_EQ(spec.zones[1].kind, "size");
+  EXPECT_EQ(spec.zones[1].size, 6u);
+  EXPECT_TRUE(spec.zones[1].zoned());
+  EXPECT_EQ(spec.zones[2].kind, "natural");
+  EXPECT_EQ(spec.zone_arm_count(), 3u);
+  EXPECT_EQ(spec.cell_count(), 3u);
+
+  std::ostringstream first;
+  save_campaign(first, spec);
+  std::istringstream is(first.str());
+  std::ostringstream second;
+  save_campaign(second, load_campaign(is));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CampaignSpecZones, NoZonesLineKeepsThePreZonesExpansion) {
+  // Back-compat: a spec without any `zones` directive expands to exactly
+  // the same task list as before the axis existed — one implicit dense arm,
+  // zone_id 0 everywhere, identical indices and cell ids.
+  const CampaignSpec spec = parse(kMinimalSpec);
+  EXPECT_TRUE(spec.zones.empty());
+  EXPECT_EQ(spec.zone_arm_count(), 1u);
+  EXPECT_FALSE(spec.zone_arm(0).zoned());
+  const std::vector<TaskSpec> tasks = expand(spec);
+  ASSERT_EQ(tasks.size(), 16u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].zone_id, 0u);
+    EXPECT_EQ(tasks[i].cell_id(spec), i / 2);
+  }
+}
+
+TEST(CampaignSpecZones, ZonesCycleBetweenFaultsAndSeeds) {
+  const CampaignSpec spec = parse(
+      "chronosync-campaign v1\nseeds 2\ntopology ring 4\ntopology ring 6\n"
+      "mix bounds 0.001 0.004\nzones none\nzones size 3\nzones natural\n");
+  const std::vector<TaskSpec> tasks = expand(spec);
+  ASSERT_EQ(tasks.size(), 2u * 1u * 1u * 3u * 2u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+    EXPECT_EQ(tasks[i].seed_index, i % 2);
+    EXPECT_EQ(tasks[i].zone_id, (i / 2) % 3);
+    EXPECT_EQ(tasks[i].topology_id, i / 6);
+    EXPECT_EQ(tasks[i].cell_id(spec), i / 2);
+  }
+}
+
+TEST(CampaignSpecZones, MalformedZonesLinesAreDiagnosed) {
+  EXPECT_NE(expect_error("chronosync-campaign v1\nseeds 1\n"
+                         "topology ring 3\nmix bounds 0.001 0.002\n"
+                         "zones banana\n")
+                .find("banana"),
+            std::string::npos);
+  EXPECT_NE(expect_error("chronosync-campaign v1\nseeds 1\n"
+                         "topology ring 3\nmix bounds 0.001 0.002\n"
+                         "zones size 0\n")
+                .find("zone size"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecZones, CrossProductOverflowIsAnErrorNotAWrap) {
+  // Regression: the expansion index arithmetic used to wrap silently at
+  // std::size_t, yielding a tiny bogus task list.  The counts must throw.
+  CampaignSpec spec;
+  spec.seeds_per_cell = 4;
+  TopoSpec ring;
+  ring.family = "ring";
+  ring.dims = {4};
+  // 2^16 arms on each of the four axes: the cross product is 2^64, one past
+  // what std::size_t holds, while each axis is still cheaply allocatable.
+  const std::size_t many = std::size_t(1) << 16;
+  spec.topologies.assign(many, ring);
+  spec.mixes.assign(many, MixSpec{"bounds", 0.001, 0.004, 0.0});
+  spec.faults.assign(many, FaultSpec{});
+  spec.zones.assign(many, ZoneAxisSpec{});
+  EXPECT_THROW(spec.cell_count(), Error);
+  EXPECT_THROW(spec.task_count(), Error);
+  EXPECT_THROW(expand(spec), Error);
+}
+
+TEST(CampaignSpecZones, ZonesPresetSweepsTheAxis) {
+  const CampaignSpec spec = preset_campaign("zones");
+  EXPECT_GE(spec.zones.size(), 3u);  // none + natural + size arms
+  bool has_dense = false, has_zoned = false;
+  for (const ZoneAxisSpec& z : spec.zones)
+    (z.zoned() ? has_zoned : has_dense) = true;
+  EXPECT_TRUE(has_dense);
+  EXPECT_TRUE(has_zoned);
+  EXPECT_EQ(expand(spec).size(), spec.task_count());
+}
+
+TEST(CampaignSpecZones, Fabric100kPresetIsHundredKScale) {
+  const CampaignSpec spec = preset_campaign("fabric100k");
+  ASSERT_EQ(spec.topologies.size(), 1u);
+  EXPECT_GE(spec.topologies[0].node_count(), 100'000u);
+  ASSERT_EQ(spec.zones.size(), 1u);
+  EXPECT_TRUE(spec.zones[0].zoned());
+}
+
 }  // namespace
 }  // namespace cs::lab

@@ -258,5 +258,68 @@ TEST(Reports, PrintReportMentionsTheSummaryLine) {
   EXPECT_NE(os.str().find("Thm 4.6 gap"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Zones axis
+
+CampaignSpec zoned_cells_campaign() {
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name zstats\n"
+      "seed 41\n"
+      "seeds 2\n"
+      "protocol pingpong 3\n"
+      "skew 0.2\n"
+      "delay-scale 0.05\n"
+      "topology dc 1 2 3\n"
+      "mix bounds 0.002 0.008\n"
+      "faults none\n"
+      "zones none\n"
+      "zones natural\n");
+  return load_campaign(is);
+}
+
+TEST(AggregateZones, CellsSplitByZoneArmInOdometerOrder) {
+  const CampaignSpec spec = zoned_cells_campaign();
+  const CampaignReport report = aggregate(run_campaign(spec, {}));
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.cells[0].zones, "none");
+  EXPECT_FALSE(report.cells[0].zoned);
+  EXPECT_EQ(report.cells[0].zone_count, 0u);
+  EXPECT_EQ(report.cells[1].zones, "natural");
+  EXPECT_TRUE(report.cells[1].zoned);
+  EXPECT_GT(report.cells[1].zone_count, 1u);
+  EXPECT_GT(report.cells[1].zone_max_size, 0u);
+  EXPECT_EQ(report.cells[0].tasks, 2u);
+  EXPECT_EQ(report.cells[1].tasks, 2u);
+  // The zoned arm's per-zone Thm 4.6 equality feeds the standard gate.
+  EXPECT_TRUE(report_ok(report));
+}
+
+TEST(AggregateZones, ZoneColumnsAppendAfterThePinnedPrefix) {
+  const CampaignReport report =
+      aggregate(run_campaign(zoned_cells_campaign(), {}));
+  std::ostringstream os;
+  write_report_csv(os, report);
+  std::istringstream is(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(is, header));
+  // The pinned downstream interface stays put; zone columns go at the end.
+  EXPECT_EQ(header.rfind("cell,topology,nodes,mix,faults,tasks", 0), 0u);
+  EXPECT_NE(header.find(",zones,zone_count,zone_max_size,zone_a_max_max,"
+                        "realized_intra_max,realized_cross_max"),
+            std::string::npos);
+  const std::vector<std::string> head = parse_csv_line(header);
+  std::string row;
+  while (std::getline(is, row)) {
+    if (row.empty()) continue;
+    EXPECT_EQ(parse_csv_line(row).size(), head.size());
+  }
+
+  std::ostringstream js;
+  write_report_json(js, report, /*include_timing=*/false);
+  EXPECT_NE(js.str().find("\"zones\": \"natural\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"realized_cross_max\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cs::lab

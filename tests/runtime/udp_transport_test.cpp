@@ -1,0 +1,88 @@
+// Regression tests for the UdpTransport receive-path error handling.
+//
+// The historical bug: recv_loop treated every poll() outcome <= 0 as a
+// timeout and looped.  A descriptor that vanishes (EBADF / POLLNVAL —
+// poll() returns *immediately*) therefore busy-spun the receive thread
+// forever with no error surfaced anywhere.  The loop must instead classify
+// errors, back off boundedly, record runtime.udp.poll_error, and give the
+// endpoint up as failed.
+#include "runtime/udp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/metrics.hpp"
+
+namespace cs {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(UdpTransportErrors, ClosedFdSurfacesFailureInsteadOfBusySpin) {
+  UdpTransport transport(1);
+  Metrics metrics;
+  transport.set_metrics(&metrics);
+  std::atomic<int> notified{0};
+  std::string detail;
+  transport.set_error_handler([&](ProcessorId pid, const std::string& what) {
+    EXPECT_EQ(pid, 0u);
+    detail = what;
+    notified.fetch_add(1);
+  });
+  transport.open(0, [](WireMessage) {});
+  transport.start();
+
+  // Rip the socket out from under the receive loop.  Pre-fix, the loop
+  // spun on POLLNVAL forever and this test timed out waiting below.
+  transport.close_endpoint(0);
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (transport.failed_endpoints() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(5ms);
+
+  EXPECT_EQ(transport.failed_endpoints(), 1u);
+  EXPECT_GE(metrics.counter("runtime.udp.poll_error"), 1u);
+  EXPECT_EQ(metrics.counter("runtime.udp.endpoint_failed"), 1u);
+  EXPECT_EQ(notified.load(), 1);
+  EXPECT_NE(detail.find("endpoint 0"), std::string::npos) << detail;
+  transport.stop();
+}
+
+TEST(UdpTransportErrors, HealthyEndpointsReportNoFailures) {
+  UdpTransport transport(2);
+  Metrics metrics;
+  transport.set_metrics(&metrics);
+  std::atomic<int> delivered{0};
+  transport.open(0, [](WireMessage) {});
+  transport.open(1, [&](WireMessage msg) {
+    EXPECT_EQ(msg.payload.tag, 7u);
+    delivered.fetch_add(1);
+  });
+  transport.start();
+
+  WireMessage msg;
+  msg.id = 1;
+  msg.from = 0;
+  msg.to = 1;
+  msg.payload.tag = 7;
+  msg.payload.data = {1.5, -2.5};
+  ASSERT_TRUE(transport.send(msg));
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (delivered.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(transport.failed_endpoints(), 0u);
+  EXPECT_EQ(metrics.counter("runtime.udp.poll_error"), 0u);
+  transport.stop();
+}
+
+}  // namespace
+}  // namespace cs

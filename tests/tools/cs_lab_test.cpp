@@ -113,6 +113,40 @@ TEST(CsLabCli, ThreadCountDoesNotChangeTheReportBytes) {
   EXPECT_NE(slurp(j1).find("\"tool\": \"cs_lab\""), std::string::npos);
 }
 
+TEST(CsLabCli, ZoneCampaignReportBytesSurviveAnyThreadSplit) {
+  // Same determinism contract for the zones axis: campaign-level workers
+  // (--threads) and intra-task zone solvers (--task-threads) must both be
+  // invisible in the --no-timing reports.
+  const std::string spec_path = tmp("zones.spec");
+  std::ofstream os(spec_path);
+  os << "chronosync-campaign v1\n"
+        "name zonedet\nseed 31\nseeds 2\nprotocol pingpong 3\n"
+        "skew 0.2\ndelay-scale 0.05\n"
+        "topology dc 2 3 4\ntopology ba 18 2\n"
+        "mix bounds 0.002 0.008\nfaults none\n"
+        "zones none\nzones natural\nzones size 6\n";
+  os.close();
+
+  const std::string j1 = tmp("zones_t1.json"), c1 = tmp("zones_t1.csv");
+  const std::string j4 = tmp("zones_t4.json"), c4 = tmp("zones_t4.csv");
+  ASSERT_EQ(run("run " + spec_path + " --threads 1 --task-threads 1"
+                " --no-timing --quiet --check --json " + j1 +
+                " --csv " + c1).exit_code, 0);
+  ASSERT_EQ(run("run " + spec_path + " --threads 4 --task-threads 4"
+                " --no-timing --quiet --check --json " + j4 +
+                " --csv " + c4).exit_code, 0);
+  EXPECT_EQ(slurp(j1), slurp(j4));
+  EXPECT_EQ(slurp(c1), slurp(c4));
+  EXPECT_NE(slurp(j1).find("\"zones\": \"natural\""), std::string::npos);
+  EXPECT_NE(slurp(c1).find(",zones,"), std::string::npos);
+}
+
+TEST(CsLabCli, CheckPassesOnTheZonesPreset) {
+  const RunResult r =
+      run("run --preset zones --seeds 1 --threads 2 --check --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST(CsLabCli, CheckPassesOnTheSmokePreset) {
   const RunResult r =
       run("run --preset smoke --seeds 1 --threads 2 --check --quiet");

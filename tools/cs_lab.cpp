@@ -122,6 +122,9 @@ int cmd_run(const Args& args) {
   RunOptions options;
   options.threads = static_cast<std::size_t>(
       parse_u64_flag("--threads", args.get("--threads", "0")));
+  options.task_threads = static_cast<std::size_t>(
+      parse_u64_flag("--task-threads", args.get("--task-threads", "1")));
+  if (options.task_threads == 0) options.task_threads = 1;
   options.metrics = &metrics;
 
   const bool timing = !args.on("--no-timing");
@@ -258,8 +261,11 @@ int cmd_report(const Args& args) {
 
 void print_usage(std::ostream& os) {
   os << "cs_lab " << kVersion << " — experiment-campaign engine\n\n"
-     << "  cs_lab run <spec-file | --preset smoke|toroid> [flags]\n"
+     << "  cs_lab run <spec-file | --preset smoke|toroid|zones|fabric100k>"
+        " [flags]\n"
      << "      --threads N    worker threads (0 = all cores)\n"
+     << "      --task-threads N  threads *inside* each task (zoned solves;\n"
+     << "                     byte-identical results for any value)\n"
      << "      --seed S       override the campaign master seed\n"
      << "      --seeds K      override runs per cell\n"
      << "      --json FILE    write the JSON report\n"
@@ -282,8 +288,8 @@ void print_usage(std::ostream& os) {
 int main(int argc, char** argv) {
   try {
     const Args args(argc - 1, argv + 1,
-                    {"--threads", "--seed", "--seeds", "--json", "--csv",
-                     "--preset", "--out", "--mix"},
+                    {"--threads", "--task-threads", "--seed", "--seeds",
+                     "--json", "--csv", "--preset", "--out", "--mix"},
                     {"--check", "--no-timing", "--quiet", "--help",
                      "--version"});
     if (args.on("--version")) {

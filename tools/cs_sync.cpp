@@ -30,6 +30,7 @@
 #include "common/version.hpp"
 #include "core/epochs.hpp"
 #include "core/synchronizer.hpp"
+#include "core/zones.hpp"
 #include "runtime/daemon.hpp"
 #include "delaymodel/constraint.hpp"
 #include "graph/topology.hpp"
@@ -448,6 +449,62 @@ int cmd_sync(const Args& args) {
   const std::vector<View> views = load_views_file(args.positional()[0]);
   const SystemModel model = load_model_file(args.positional()[1]);
   const SyncOptions opts = sync_options_from(args);
+
+  if (args.has("--zones")) {
+    // Zone-hierarchical composition (Thm 5.5/5.6): per-zone SHIFTS, leader
+    // quotient, composed bound.  Reports the per-zone breakdown alongside
+    // the composed corrections.
+    const std::size_t target = static_cast<std::size_t>(
+        parse_u64_flag("--zones", args.get("--zones")));
+    if (target == 0) usage_fail("--zones wants a target zone size >= 1");
+    const ZonePlan plan = greedy_bfs_zones(model.topology(), target);
+    const ZonedOutcome z = synchronize_zoned(model, views, plan, opts);
+
+    if (args.on("--json")) {
+      std::string out =
+          "{\"precision\": " + jnum(z.composed_bound.value());
+      out += ", \"bounded\": ";
+      out += z.bounded() ? "true" : "false";
+      out += ", \"zone_count\": " + std::to_string(z.plan.count);
+      out += ", \"max_zone_a_max\": " + jnum(z.max_zone_a_max);
+      out += ", \"quotient_a_max\": " + jnum(z.quotient_a_max.value());
+      out += ", \"zones\": [";
+      for (std::size_t i = 0; i < z.zones.size(); ++i) {
+        const ZoneStats& zs = z.zones[i];
+        if (i > 0) out += ", ";
+        out += "{\"leader\": " + std::to_string(zs.leader);
+        out += ", \"size\": " + std::to_string(zs.size);
+        out += ", \"bounded\": ";
+        out += zs.bounded ? "true" : "false";
+        out += ", \"a_max\": " +
+               jnum(zs.bounded ? zs.a_max
+                               : std::numeric_limits<double>::infinity());
+        out += ", \"thm46_gap\": " + jnum(zs.thm46_gap) + "}";
+      }
+      out += "], \"corrections\": " + jarray(z.corrections) + "}";
+      std::printf("%s\n", out.c_str());
+      return kExitOk;
+    }
+
+    std::printf("composed precision %s  (%zu zones, max zone A^max %s, "
+                "quotient A^max %s)\n",
+                num(z.composed_bound.value()).c_str(), z.plan.count,
+                num(z.max_zone_a_max).c_str(),
+                num(z.quotient_a_max.value()).c_str());
+    for (std::size_t i = 0; i < z.zones.size(); ++i)
+      std::printf("zone %zu  leader %u  size %u  A^max %s  thm4.6 gap %s\n",
+                  i, static_cast<unsigned>(z.zones[i].leader),
+                  static_cast<unsigned>(z.zones[i].size),
+                  num(z.zones[i].bounded
+                          ? z.zones[i].a_max
+                          : std::numeric_limits<double>::infinity())
+                      .c_str(),
+                  num(z.zones[i].thm46_gap).c_str());
+    for (std::size_t p = 0; p < z.corrections.size(); ++p)
+      std::printf("correction %zu %s\n", p, num(z.corrections[p]).c_str());
+    return kExitOk;
+  }
+
   const SyncOutcome outcome = synchronize(model, views, opts);
 
   if (args.on("--json")) {
@@ -623,6 +680,15 @@ int cmd_live(const Args& args) {
       parse_u64_flag("--leader", args.get("--leader", "0")));
   config.agent.sync = sync_options_from(args);
 
+  std::optional<ZonePlan> zone_plan;
+  if (args.has("--zones")) {
+    const std::size_t target = static_cast<std::size_t>(
+        parse_u64_flag("--zones", args.get("--zones")));
+    if (target == 0) usage_fail("--zones wants a target zone size >= 1");
+    zone_plan = greedy_bfs_zones(model.topology(), target);
+    config.zones = &*zone_plan;
+  }
+
   const LiveReport report = run_live(model, config);
   const bool ok =
       report.converged && (!report.checked || report.all_match);
@@ -650,6 +716,10 @@ int cmd_live(const Args& args) {
         out += ", \"precision\": " + jnum(*ep.claimed_precision);
       if (ep.realized_precision.has_value())
         out += ", \"realized\": " + jnum(*ep.realized_precision);
+      if (ep.realized_intra.has_value())
+        out += ", \"realized_intra\": " + jnum(*ep.realized_intra);
+      if (ep.realized_cross.has_value())
+        out += ", \"realized_cross\": " + jnum(*ep.realized_cross);
       if (ep.offline_precision.has_value())
         out += ", \"offline_precision\": " + jnum(*ep.offline_precision);
       out += ", \"degraded\": ";
@@ -682,6 +752,9 @@ int cmd_live(const Args& args) {
                 ep.realized_precision ? num(*ep.realized_precision).c_str()
                                       : "?",
                 ep.degraded ? "  DEGRADED" : "");
+    if (ep.realized_intra.has_value() && ep.realized_cross.has_value())
+      std::printf("  intra %s  cross %s", num(*ep.realized_intra).c_str(),
+                  num(*ep.realized_cross).c_str());
     if (ep.offline_precision.has_value())
       std::printf("  offline %s  %s", num(*ep.offline_precision).c_str(),
                   ep.matches_offline ? "match" : "MISMATCH");
@@ -702,6 +775,9 @@ usage: cs_sync <subcommand> [args] [flags]
 subcommands:
   simulate <out.trace>     record a simulated run as a replayable trace
   sync <views> <model>     offline synchronization from interchange files
+                           (--zones K: Thm 5.5/5.6 zone composition over
+                           greedy BFS zones of ~K nodes, with the per-zone
+                           breakdown)
   replay <trace>           deterministic replay, verified vs. the recording
   diff <a.trace> <b.trace> structural trace comparison
   metrics <trace>          replay and dump tallies/counters
@@ -740,6 +816,7 @@ live flags:
   --report-at S --period S --epochs N          epoch schedule
   --grace S                degraded-mode watchdog (0 = wait forever)
   --leader N --deadline S --trace FILE
+  --zones K                split realized precision per-zone vs cross-zone
   --no-check               skip the offline cross-check
 
 exit codes: 0 ok, 1 divergence found, 2 usage error, 3 runtime error
@@ -779,7 +856,7 @@ int main(int argc, char** argv) {
         "--crash",    "--boundaries", "--window",    "--widen",
         "--max-age",  "--views",     "--rerecord",   "--max-reports",
         "--transport", "--report-at", "--epochs",    "--grace",
-        "--leader",   "--deadline",  "--trace"};
+        "--leader",   "--deadline",  "--trace",      "--zones"};
     const std::set<std::string> switches{"--json", "--carry", "--rebuild",
                                          "--no-check"};
     const Args args(argc - 2, argv + 2, valued, switches);

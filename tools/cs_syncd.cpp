@@ -16,12 +16,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/version.hpp"
+#include "core/zones.hpp"
 #include "delaymodel/constraint.hpp"
 #include "graph/topology.hpp"
 #include "io/views_io.hpp"
@@ -50,6 +52,9 @@ usage: cs_syncd [flags]
   --warmup S --spacing S --rounds N    probe phase, per epoch
   --report-at S --period S --epochs N  epoch schedule
   --grace S                degraded-mode watchdog (0 = wait forever)
+  --zones K                split realized precision into intra-/cross-zone
+                           components over greedy BFS ~K-node zones
+                           (docs/ZONES.md)
   --leader N --deadline S --trace FILE
   --no-check               skip the offline cross-check
   --json                   machine-readable report
@@ -159,6 +164,18 @@ int main(int argc, char** argv) {
     config.agent.leader =
         static_cast<ProcessorId>(num_flag("--leader", get("--leader", "0")));
 
+    std::optional<ZonePlan> zone_plan;
+    if (flags.count("--zones") != 0) {
+      const auto target = static_cast<std::size_t>(
+          num_flag("--zones", flags.at("--zones")));
+      if (target == 0) {
+        std::fprintf(stderr, "cs_syncd: --zones expects a size >= 1\n");
+        return kExitUsage;
+      }
+      zone_plan = greedy_bfs_zones(model.topology(), target);
+      config.zones = &*zone_plan;
+    }
+
     const LiveReport report = run_live(model, config);
     const bool ok =
         report.converged && (!report.checked || report.all_match);
@@ -181,6 +198,10 @@ int main(int argc, char** argv) {
           out += ", \"precision\": " + fmt(*ep.claimed_precision);
         if (ep.realized_precision)
           out += ", \"realized\": " + fmt(*ep.realized_precision);
+        if (ep.realized_intra)
+          out += ", \"realized_intra\": " + fmt(*ep.realized_intra);
+        if (ep.realized_cross)
+          out += ", \"realized_cross\": " + fmt(*ep.realized_cross);
         out += ", \"corrections\": [";
         for (std::size_t p = 0; p < ep.corrections.size(); ++p) {
           if (p > 0) out += ", ";
@@ -202,11 +223,15 @@ int main(int argc, char** argv) {
                     ep.reports_absorbed, report.agents);
         continue;
       }
-      std::printf("  epoch %zu: precision %s realized %s%s%s\n", ep.epoch,
+      std::string split;
+      if (ep.realized_intra && ep.realized_cross)
+        split = " intra " + fmt(*ep.realized_intra) + " cross " +
+                fmt(*ep.realized_cross);
+      std::printf("  epoch %zu: precision %s realized %s%s%s%s\n", ep.epoch,
                   fmt(*ep.claimed_precision).c_str(),
                   ep.realized_precision ? fmt(*ep.realized_precision).c_str()
                                         : "?",
-                  ep.degraded ? " (degraded)" : "",
+                  split.c_str(), ep.degraded ? " (degraded)" : "",
                   report.checked
                       ? (ep.matches_offline ? " [offline match]"
                                             : " [OFFLINE MISMATCH]")
