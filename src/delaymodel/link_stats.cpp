@@ -13,6 +13,14 @@ void LinkStats::add(ProcessorId p, ProcessorId q, double delay) {
   stats_[key(p, q)].add(delay);
 }
 
+void LinkStats::add_stats(ProcessorId p, ProcessorId q,
+                          const DirectedStats& s) {
+  DirectedStats& dst = stats_[key(p, q)];
+  dst.dmin = min(dst.dmin, s.dmin);
+  dst.dmax = max(dst.dmax, s.dmax);
+  dst.count += s.count;
+}
+
 LinkStats LinkStats::estimated_from_views(std::span<const View> views,
                                           MatchPolicy policy) {
   LinkStats s;

@@ -39,6 +39,11 @@ class LinkStats {
 
   void add(ProcessorId p, ProcessorId q, double delay);
 
+  /// Install pre-aggregated extremes for one direction (merging with any
+  /// existing entry).  Used by the drift estimator, whose detrended
+  /// extremes are not expressible as a stream of raw add() calls.
+  void add_stats(ProcessorId p, ProcessorId q, const DirectedStats& s);
+
   /// Estimated delays d̃(m) from views only (Lemma 6.1) — the pipeline path.
   static LinkStats estimated_from_views(
       std::span<const View> views,

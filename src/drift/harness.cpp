@@ -1,0 +1,190 @@
+#include "drift/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/local_estimates.hpp"
+#include "core/precision.hpp"
+#include "drift/scheduler.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/clock.hpp"
+
+namespace cs::drift {
+namespace {
+
+/// Ground-truth corrected spread at real time t: max pairwise difference
+/// of clock_p(t) + x_p, read off the oscillator clocks directly.
+double spread_at(double t, std::span<const Clock> clocks,
+                 std::span<const double> corrections) {
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t p = 0; p < clocks.size(); ++p) {
+    const double c = clocks[p].at(RealTime{t}).sec + corrections[p];
+    if (p == 0) {
+      lo = hi = c;
+    } else {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+DriftTrialResult run_drift_trial(const SystemModel& model,
+                                 const DriftTrialConfig& config) {
+  DriftTrialResult result;
+  try {
+    const std::size_t n = model.processor_count();
+    if (config.start_offsets.size() != n)
+      throw Error("drift trial: need one start offset per processor");
+    if (config.horizon <= 0.0)
+      throw Error("drift trial: horizon must be positive");
+    if (!(config.sample_lo > 0.0) || config.sample_hi < config.sample_lo)
+      throw Error("drift trial: need 0 < sample_lo <= sample_hi");
+
+    const double horizon = config.horizon;
+    const double interval = config.resync;
+    const double first_boundary = interval > 0.0 ? interval : horizon / 4.0;
+    const double warmup = config.skew + 0.1;
+    if (first_boundary <= warmup)
+      throw Error(
+          "drift trial: first epoch boundary must exceed the probe warmup");
+    const double spacing = first_boundary / 8.0;
+    const auto rounds = static_cast<std::size_t>(
+        std::ceil((horizon - warmup) / spacing)) + 1;
+
+    OscillatorSpec osc = config.oscillator;
+    if (osc.kind == OscillatorSpec::Kind::kRandomWalk) {
+      if (osc.interval <= 0.0) osc.interval = horizon / 64.0;
+      if (osc.horizon <= 0.0) osc.horizon = horizon;
+    }
+    const DriftAssignment assignment =
+        draw_oscillators(osc, n, config.drift_seed);
+    const double rho = assignment.rho;
+
+    SimOptions opts;
+    opts.start_offsets = config.start_offsets;
+    opts.seed = config.sim_seed;
+    opts.metrics = config.metrics;
+    opts.max_events =
+        config.max_events != 0
+            ? config.max_events
+            : std::max<std::size_t>(
+                  1'000'000, 64 * (rounds + 1) *
+                                 (model.topology().link_count() + n));
+    assignment.apply(opts);
+
+    std::vector<std::unique_ptr<DelaySampler>> samplers;
+    samplers.reserve(model.topology().link_count());
+    for (std::size_t i = 0; i < model.topology().link_count(); ++i)
+      samplers.push_back(make_uniform_sampler(config.sample_lo,
+                                              config.sample_hi,
+                                              config.sample_lo,
+                                              config.sample_hi));
+
+    PingPongParams probes;
+    probes.warmup = Duration{warmup};
+    probes.spacing = Duration{spacing};
+    probes.rounds = rounds;
+    const SimResult sim =
+        simulate(model, make_ping_pong(probes), std::move(samplers), opts);
+    result.delivered = sim.delivered_messages;
+    result.dropped = sim.fault_dropped_messages;
+    result.events = sim.delivered_messages + sim.fired_timers;
+
+    const std::vector<View> views = sim.execution.views();
+    const LinkTraffic traffic =
+        LinkTraffic::estimated_from_views(views, MatchPolicy::kDropOrphans);
+
+    std::vector<Clock> clocks;
+    clocks.reserve(n);
+    for (std::size_t p = 0; p < n; ++p)
+      clocks.push_back(assignment.clock(p, config.start_offsets[p]));
+
+    std::vector<double> boundaries;
+    if (interval > 0.0) {
+      for (double t = interval; t < horizon - 1e-9; t += interval)
+        boundaries.push_back(t);
+      if (boundaries.empty())
+        throw Error("drift trial: horizon must exceed the re-sync interval");
+    } else {
+      boundaries.push_back(first_boundary);
+    }
+
+    // The effective estimation window W: the sliding window under re-sync,
+    // the whole prefix before the single sync without.  The declared
+    // interval allowance is I itself — or 0 with re-sync disabled, which
+    // is exactly the promise the no-resync arm fails to keep.
+    const double window = interval > 0.0 ? interval : 0.0;
+    const double window_eff = interval > 0.0 ? interval : first_boundary;
+    const double allowance = interval > 0.0 ? interval : 0.0;
+    result.window = window_eff;
+
+    SyncOptions sync_opts;
+    sync_opts.threads = config.sync_threads;
+    sync_opts.metrics = config.metrics;
+
+    bool all_sound = true;
+    for (std::size_t k = 0; k < boundaries.size(); ++k) {
+      const double boundary = boundaries[k];
+      DriftWindowOptions win;
+      win.boundary = boundary;
+      win.window = window;
+      win.max_slope = 2.0 * rho;
+      win.guard = rho * window_eff;
+      DriftFitSummary fits;
+      const LinkStats stats =
+          drift_adjusted_link_stats(model, traffic, win, &fits);
+      result.directions_fitted += fits.directions_fitted;
+      result.directions_raw += fits.directions_raw;
+      result.max_abs_slope =
+          std::max(result.max_abs_slope, fits.max_abs_slope);
+
+      const SyncOutcome out =
+          synchronize_mls(mls_graph_from_stats(model, stats), sync_opts);
+      if (!out.bounded())
+        throw Error("drift trial: epoch at T=" + std::to_string(boundary) +
+                    " is unbounded (no usable traffic in the window)");
+
+      DriftEpochRow row;
+      row.boundary = boundary;
+      row.claimed = out.optimal_precision.finite();
+      row.guaranteed =
+          guaranteed_precision(out.ms_estimates, out.corrections).finite();
+      row.bound =
+          drift_adjusted_bound(row.claimed, rho, window_eff, allowance);
+
+      // Evaluate the ground truth where these corrections are live:
+      // [T_k, T_{k+1}) under re-sync, [T_1, H] without.
+      const double hold_end =
+          k + 1 < boundaries.size() ? boundaries[k + 1] : horizon;
+      const double eval[2] = {(boundary + hold_end) / 2.0, hold_end};
+      row.realized = 0.0;
+      for (double t : eval)
+        row.realized =
+            std::max(row.realized, spread_at(t, clocks, out.corrections));
+      row.sound = row.realized <= row.bound + config.tolerance;
+      all_sound = all_sound && row.sound;
+
+      result.claimed_max = std::max(result.claimed_max, row.claimed);
+      result.guaranteed_max = std::max(result.guaranteed_max, row.guaranteed);
+      result.thm46_gap = std::max(
+          result.thm46_gap, std::abs(row.guaranteed - row.claimed));
+      result.bound_max = std::max(result.bound_max, row.bound);
+      result.realized_max = std::max(result.realized_max, row.realized);
+      result.rows.push_back(row);
+    }
+    result.epochs = result.rows.size();
+    result.sound = all_sound;
+    result.ok = true;
+  } catch (const Error& e) {
+    result.ok = false;
+    result.failure = e.what();
+  }
+  return result;
+}
+
+}  // namespace cs::drift

@@ -1,0 +1,103 @@
+// The drift trial: one drifting instance, end to end.
+//
+// Shared by the cs_lab drift axis and bench_e17_drift so both measure the
+// same thing: simulate a ping-pong probe run under an oscillator draw,
+// re-synchronize at every scheduled epoch boundary using the detrending
+// rate estimator (rate_estimator.hpp), and evaluate the ground-truth
+// corrected spread inside each epoch's validity interval against the
+// drift-adjusted bound (scheduler.hpp).
+//
+// Timeline of a trial with horizon H and re-sync interval I > 0:
+//
+//   0 ───warmup───[probes every I/8]──────────────────────────── H
+//                 T₁=I        T₂=2I        T₃=3I  ...
+//                 └─ epoch 1 ─┘└─ epoch 2 ─┘
+//
+// Epoch k's corrections come from the traffic window [T_k - I, T_k),
+// detrended and re-anchored at T_k, and are held until T_{k+1}; the
+// realized spread is evaluated at the middle and the end of that hold
+// interval.  With I = 0 (re-sync disabled) there is a single sync at
+// T₁ = H/4 over the cumulative prefix, held all the way to H — the
+// configuration whose growing spread demonstrates why re-sync is not
+// optional under drift.
+//
+// Actual delays are drawn uniformly from the *middle quarter* of the
+// declared [lb, ub] band (config.sample_lo/hi; the E9b discipline): the
+// declared slack on each side absorbs the estimator's re-anchoring error,
+// so fit noise can never make the estimates physically inconsistent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/synchronizer.hpp"
+#include "drift/oscillator.hpp"
+#include "drift/rate_estimator.hpp"
+#include "sim/simulator.hpp"
+
+namespace cs::drift {
+
+struct DriftTrialConfig {
+  OscillatorSpec oscillator;
+  /// Re-sync interval I in clock seconds; 0 disables re-sync (single
+  /// epoch at horizon/4 over the cumulative prefix).
+  double resync{0.0};
+  /// Evaluation horizon H in seconds (> 0; must exceed the first
+  /// boundary).
+  double horizon{0.0};
+  /// Maximum start skew the offsets were drawn from (sets the probe
+  /// warmup, which must outlast it).
+  double skew{0.25};
+  /// Uniform actual-delay range, both directions of every link.  Keep it
+  /// strictly inside the declared constraint band.
+  double sample_lo{0.0};
+  double sample_hi{0.0};
+  std::uint64_t sim_seed{1};
+  std::uint64_t drift_seed{2};
+  /// One per processor (required).
+  std::vector<Duration> start_offsets;
+  std::size_t sync_threads{1};
+  double tolerance{1e-9};
+  /// 0 = sized automatically from the probe schedule.
+  std::size_t max_events{0};
+  Metrics* metrics{nullptr};
+};
+
+struct DriftEpochRow {
+  double boundary{0.0};    ///< T_k (clock seconds)
+  double claimed{0.0};     ///< Ã^max of the drift-adjusted estimates
+  double guaranteed{0.0};  ///< Thm 4.6 guarantee recomputed from m̃s
+  double bound{0.0};       ///< drift_adjusted_bound(claimed, ρ, W, I)
+  double realized{0.0};    ///< max ground-truth spread over the hold interval
+  bool sound{false};       ///< realized <= bound + tolerance
+};
+
+struct DriftTrialResult {
+  bool ok{false};
+  std::string failure;
+  bool sound{false};       ///< every epoch sound
+  std::size_t epochs{0};
+  double window{0.0};      ///< effective estimation window W
+  double claimed_max{0.0};
+  double guaranteed_max{0.0};
+  double thm46_gap{0.0};   ///< max per-epoch |guaranteed - claimed|
+  double bound_max{0.0};
+  double realized_max{0.0};
+  std::size_t directions_fitted{0};
+  std::size_t directions_raw{0};
+  double max_abs_slope{0.0};
+  std::size_t events{0};
+  std::size_t delivered{0};
+  std::size_t dropped{0};
+  std::vector<DriftEpochRow> rows;
+};
+
+/// Run one drift trial.  Throws nothing: failures land in result.failure
+/// with ok == false (an epoch whose window carries no usable traffic is a
+/// failure, not a silent skip).
+DriftTrialResult run_drift_trial(const SystemModel& model,
+                                 const DriftTrialConfig& config);
+
+}  // namespace cs::drift

@@ -1,0 +1,85 @@
+#include "drift/oscillator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cs::drift {
+
+std::string OscillatorSpec::describe() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kConstant:
+      return "const " + std::to_string(ppm) + "ppm";
+    case Kind::kRandomWalk:
+      return "walk " + std::to_string(ppm) + "ppm step " +
+             std::to_string(step_ppm) + "ppm";
+  }
+  return "?";
+}
+
+void DriftAssignment::apply(SimOptions& options) const {
+  options.clock_rates = rates;
+  options.clock_schedules = schedules;
+  if (drifting()) options.check_admissible = false;
+}
+
+Clock DriftAssignment::clock(std::size_t p, Duration start_offset) const {
+  const RealTime start = RealTime{} + start_offset;
+  if (!schedules.empty() && schedules[p] != nullptr)
+    return Clock(start, schedules[p]);
+  return Clock(start, rates.empty() ? 1.0 : rates[p]);
+}
+
+DriftAssignment draw_oscillators(const OscillatorSpec& spec, std::size_t n,
+                                 std::uint64_t seed) {
+  DriftAssignment out;
+  out.rates.assign(n, 1.0);
+  if (!spec.drifting()) return out;
+  out.rho = spec.rho();
+
+  const double lo = 1.0 - out.rho;
+  const double hi = 1.0 + out.rho;
+  const Rng master(seed);
+
+  if (spec.kind == OscillatorSpec::Kind::kConstant) {
+    for (std::size_t p = 0; p < n; ++p) {
+      Rng rng = master.split(p);
+      out.rates[p] = 1.0 + rng.uniform(-out.rho, out.rho);
+    }
+    return out;
+  }
+
+  if (spec.interval <= 0.0)
+    throw Error("random-walk oscillator needs a positive step interval");
+  if (spec.horizon <= 0.0)
+    throw Error("random-walk oscillator needs a positive horizon");
+  const double step = spec.step_ppm * 1e-6;
+  if (step <= 0.0)
+    throw Error("random-walk oscillator needs a positive step_ppm");
+
+  out.schedules.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    Rng rng = master.split(p);
+    double rate = 1.0 + rng.uniform(-out.rho, out.rho);
+    std::vector<RateSegment> segments;
+    for (double t = 0.0; t < spec.horizon; t += spec.interval) {
+      segments.push_back(RateSegment{t, rate});
+      rate += rng.uniform(-step, step);
+      // Reflect at the band edges, then clamp (a step larger than the
+      // band could still overshoot after one reflection).
+      if (rate > hi) rate = 2.0 * hi - rate;
+      if (rate < lo) rate = 2.0 * lo - rate;
+      rate = std::clamp(rate, lo, hi);
+    }
+    out.rates[p] = segments.front().rate;
+    out.schedules[p] =
+        std::make_shared<const RateSchedule>(std::move(segments));
+  }
+  return out;
+}
+
+}  // namespace cs::drift

@@ -1,0 +1,79 @@
+// Oscillator models: where clock drift comes from.
+//
+// The paper assumes drift-free clocks (rate exactly 1); footnote 1 waves
+// real drift away via "periodic re-synchronization".  This subsystem makes
+// that story concrete (docs/DRIFT.md).  Two oscillator models, following
+// the INET clock-drift taxonomy:
+//
+//   constant — each processor draws a rate uniformly in [1 - ρ, 1 + ρ]
+//              once and keeps it forever (a mis-trimmed crystal);
+//   walk     — the rate takes a bounded random walk inside [1 - ρ, 1 + ρ],
+//              stepping by uniform(-σ, σ) every `interval` real seconds
+//              and reflecting at the band edges (thermal wander).
+//
+// Draws are deterministic: processor p's trajectory comes from
+// Rng(seed).split(p), so it depends only on (seed, p) — adding processors
+// or reordering draws never perturbs an existing clock, mirroring the
+// per-link RNG-stream discipline of the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace cs::drift {
+
+struct OscillatorSpec {
+  enum class Kind { kNone, kConstant, kRandomWalk };
+
+  Kind kind{Kind::kNone};
+  /// Drift budget ρ in parts-per-million: every rate stays in
+  /// [1 - ρ, 1 + ρ].  This is the *declared* bound the scheduler and the
+  /// drift-adjusted precision bound are allowed to rely on.
+  double ppm{0.0};
+  /// Walk only: per-step rate change bound σ, in ppm.
+  double step_ppm{0.0};
+  /// Walk only: real seconds between rate steps (> 0).
+  double interval{0.0};
+  /// Walk only: schedule length in real seconds; the last rate extends
+  /// beyond it.
+  double horizon{0.0};
+
+  bool drifting() const { return kind != Kind::kNone && ppm > 0.0; }
+  /// The budget as a dimensionless rate offset (|rate - 1| <= rho()).
+  double rho() const { return ppm * 1e-6; }
+  std::string describe() const;
+};
+
+/// A concrete drift draw for n processors, ready to plug into the
+/// simulator.  For constant oscillators only `rates` is populated; for the
+/// random walk each processor also gets a RateSchedule (whose first
+/// segment's rate equals rates[p]).
+struct DriftAssignment {
+  std::vector<double> rates;
+  std::vector<std::shared_ptr<const RateSchedule>> schedules;
+  /// Declared budget ρ the draw respects; 0 = drift-free.
+  double rho{0.0};
+
+  bool drifting() const { return rho > 0.0; }
+
+  /// Install the draw into simulator options.  Drifting draws also clear
+  /// check_admissible: the model-side real-time reconstruction assumes
+  /// rate 1 (see SimOptions::clock_rates).
+  void apply(SimOptions& options) const;
+
+  /// Ground-truth clock for processor p starting at the given offset —
+  /// what an outside observer evaluating realized precision should read.
+  Clock clock(std::size_t p, Duration start_offset) const;
+};
+
+/// Draw oscillators for n processors.  Pure function of (spec, n, seed).
+DriftAssignment draw_oscillators(const OscillatorSpec& spec, std::size_t n,
+                                 std::uint64_t seed);
+
+}  // namespace cs::drift

@@ -1,0 +1,95 @@
+// Per-link rate estimation: absorbing drift into the d̃ extremes.
+//
+// Under drift-free clocks the estimated delay d̃(m) = T_recv - T_send is
+// the actual delay shifted by a constant (the S-terms telescope, Lemma
+// 6.1), so its per-direction extremes are a sufficient statistic.  Under
+// drift the shift is no longer constant: for rates r_p, r_q it gains a
+// term that grows ~ (r_q - r_p) · t with *absolute* time, so raw extremes
+// over any long window are smeared by the full elapsed time, not the
+// window width — naive windowed estimation gets worse, not better, as the
+// run proceeds.
+//
+// The fix (docs/DRIFT.md): per direction, regress d̃ against the sender's
+// send clock.  The fitted slope estimates the pairwise rate difference
+// r_q - r_p; detrending by it leaves residuals bounded by the actual delay
+// variation plus the rate wander over the window; re-anchoring the
+// residual extremes on the fitted line *at the epoch boundary T* yields
+// drift-adjusted d̃min/d̃max "as of T" that feed GLOBAL ESTIMATES through
+// the ordinary stats kernel (mls_graph_from_stats).
+//
+// The slope is clamped to the declared budget (|slope| <= 2ρ): a rate
+// difference larger than 2ρ is physically impossible under the oscillator
+// band, and the clamp stops sampling noise in short windows from
+// extrapolating wildly.  A configurable guard widens the re-anchored
+// extremes so residual fit error cannot make the estimates tighter than
+// the truth (which would poison GLOBAL ESTIMATES with a negative cycle).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "delaymodel/assignment.hpp"
+#include "delaymodel/link_stats.hpp"
+
+namespace cs::drift {
+
+/// Ordinary least squares of estimated delay d̃ against send clock time.
+struct RateFit {
+  std::size_t count{0};
+  /// d(d̃)/d(send clock) — estimates the pairwise rate difference.
+  double slope{0.0};
+  double intercept{0.0};
+  /// Extremes of d̃ - predict(send) over the fitted observations.
+  double residual_min{0.0};
+  double residual_max{0.0};
+
+  bool usable() const { return count >= 2; }
+  double predict(double send) const { return intercept + slope * send; }
+};
+
+/// Fit over the given observations (no filtering, no clamping).  With
+/// fewer than two points, or zero send-time spread, the slope is 0 and the
+/// intercept is the mean delay.
+RateFit fit_rate(std::span<const TimedObs> obs);
+
+struct DriftWindowOptions {
+  /// Epoch boundary T (clock time): only messages whose send *and*
+  /// receive stamps precede T are visible, and the extremes are
+  /// re-anchored at T.
+  double boundary{0.0};
+  /// Sliding window width W: only observations received in [T - W, T).
+  /// 0 = cumulative (every observation before T).
+  double window{0.0};
+  /// Clamp |slope| to this (use 2ρ, the maximal pairwise rate
+  /// difference under the declared budget).  0 = unclamped.
+  double max_slope{0.0};
+  /// Widen the re-anchored extremes by this much each way, so fit error
+  /// cannot make the estimates tighter than physical truth.
+  double guard{0.0};
+  /// Directions with fewer observations fall back to raw extremes.
+  std::size_t min_count{2};
+};
+
+/// Drift-adjusted extremes for one direction at the epoch boundary.
+/// Empty input (after windowing) yields an empty DirectedStats (+inf/-inf,
+/// count 0), i.e. edge absence downstream.
+DirectedStats drift_adjusted_stats(std::span<const TimedObs> obs,
+                                   const DriftWindowOptions& options);
+
+/// Diagnostics of one drift-adjusted estimation pass.
+struct DriftFitSummary {
+  std::size_t directions_fitted{0};  ///< detrended by a usable rate fit
+  std::size_t directions_raw{0};     ///< fell back to raw extremes
+  double max_abs_slope{0.0};         ///< largest clamped |slope| seen
+};
+
+/// The drift-aware replacement for LinkStats::estimated_from_views: both
+/// orientations of every topology link, windowed, detrended and
+/// re-anchored at options.boundary.  Feed the result to
+/// mls_graph_from_stats + synchronize_mls.
+LinkStats drift_adjusted_link_stats(const SystemModel& model,
+                                    const LinkTraffic& traffic,
+                                    const DriftWindowOptions& options,
+                                    DriftFitSummary* summary = nullptr);
+
+}  // namespace cs::drift

@@ -1,0 +1,40 @@
+#include "drift/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cs::drift {
+
+double drift_slack(double rho, double elapsed) {
+  return 2.0 * std::max(rho, 0.0) * std::max(elapsed, 0.0);
+}
+
+double max_resync_interval(double rho, double slack) {
+  if (rho <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(slack, 0.0) / (2.0 * rho);
+}
+
+double drift_adjusted_bound(double claimed, double rho, double window,
+                            double interval) {
+  return claimed + drift_slack(rho, window) + drift_slack(rho, interval);
+}
+
+ResyncPlan plan_resync(const DriftBudget& budget, Duration requested_period,
+                       std::size_t requested_epochs) {
+  ResyncPlan plan;
+  plan.period = requested_period;
+  plan.epochs = std::max<std::size_t>(requested_epochs, 1);
+  if (!budget.active()) return plan;
+  const double max_interval = max_resync_interval(budget.rho, budget.slack);
+  if (requested_period.sec <= max_interval) return plan;
+  plan.period = Duration{max_interval};
+  const double span =
+      requested_period.sec * static_cast<double>(plan.epochs);
+  plan.epochs =
+      static_cast<std::size_t>(std::ceil(span / max_interval));
+  plan.clamped = true;
+  return plan;
+}
+
+}  // namespace cs::drift

@@ -1,0 +1,64 @@
+// Re-synchronization budget arithmetic (docs/DRIFT.md).
+//
+// Between corrections, two clocks inside the declared oscillator band
+// [1 - ρ, 1 + ρ] can diverge at up to 2ρ seconds per second.  That single
+// inequality yields all the scheduling math:
+//
+//   drift_slack(ρ, Δt)        = 2ρ·Δt        worst-case extra spread after Δt
+//   max_resync_interval(ρ, s) = s / (2ρ)     longest gap a slack budget s allows
+//   drift_adjusted_bound      = Ã^max + 2ρ·(W + I)
+//
+// The last is the soundness bound a drifting deployment can actually
+// promise: the instance-optimal Ã^max computed from drift-adjusted
+// estimates (which already cost a re-anchoring error covered by the
+// estimation window W), plus the divergence accumulated over a declared
+// re-sync interval I.  With re-sync disabled there is no interval term —
+// and no bound that holds past the first few multiples of W, which is the
+// violation the drift campaigns demonstrate.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace cs::drift {
+
+/// Worst-case extra pairwise spread accumulated over `elapsed` seconds by
+/// clocks inside the declared band: 2ρ·elapsed (never negative).
+double drift_slack(double rho, double elapsed);
+
+/// Longest re-sync interval a slack budget allows: slack / (2ρ).
+/// +infinity when rho <= 0 (drift-free clocks never need re-sync).
+double max_resync_interval(double rho, double slack);
+
+/// The precision a drifting deployment promises for corrections computed
+/// from a window of width `window` and held for `interval` seconds.
+double drift_adjusted_bound(double claimed, double rho, double window,
+                            double interval);
+
+/// A drift budget: declared oscillator band ρ plus the precision slack the
+/// deployment is willing to spend on divergence between epochs.
+struct DriftBudget {
+  double rho{0.0};
+  double slack{0.0};
+
+  bool active() const { return rho > 0.0 && slack > 0.0; }
+};
+
+struct ResyncPlan {
+  Duration period{0.0};
+  std::size_t epochs{1};
+  /// True when the requested period exceeded the budget's maximum
+  /// interval and was clamped down (with epochs stretched to keep the
+  /// total coverage).
+  bool clamped{false};
+};
+
+/// Fit a requested epoch schedule to the budget: the period is clamped to
+/// max_resync_interval and the epoch count stretched so period·epochs
+/// still covers the requested span.  An inactive budget returns the
+/// request unchanged.
+ResyncPlan plan_resync(const DriftBudget& budget, Duration requested_period,
+                       std::size_t requested_epochs);
+
+}  // namespace cs::drift

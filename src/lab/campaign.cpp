@@ -8,6 +8,7 @@
 #include "core/precision.hpp"
 #include "core/synchronizer.hpp"
 #include "core/zones.hpp"
+#include "drift/harness.hpp"
 #include "proto/beacon.hpp"
 #include "proto/ping_pong.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +66,61 @@ ZonePlan build_zone_plan(const ZoneAxisSpec& arm, const TopoSpec& topo_spec,
   fail("unknown zones arm kind: '" + arm.kind + "'");
 }
 
+// Maps one drift arm onto the shared trial harness (drift/harness.hpp) and
+// folds its result into the TaskResult schema.  Drift arms are simulated
+// with ping-pong probes on the harness's own epoch-derived schedule (the
+// campaign protocol spec does not apply) and require a plain `bounds` mix:
+// the actual delays are drawn from the middle quarter of the declared band
+// so the declared slack absorbs the rate estimator's re-anchoring error
+// (the E9b discipline; docs/DRIFT.md).
+void run_drift_task(const CampaignSpec& spec, const TaskSpec& task,
+                    const SystemModel& model, const DriftAxisSpec& arm,
+                    std::uint64_t seed, Rng& offset_rng, double tolerance,
+                    std::size_t task_threads, TaskResult& r) {
+  const MixSpec& mix = spec.mixes[task.mix_id];
+  if (mix.kind != "bounds")
+    fail("drift arms require a 'bounds' mix (got '" + mix.kind + "')");
+
+  drift::DriftTrialConfig config;
+  config.oscillator.kind = arm.kind == "walk"
+                               ? drift::OscillatorSpec::Kind::kRandomWalk
+                               : drift::OscillatorSpec::Kind::kConstant;
+  config.oscillator.ppm = arm.ppm;
+  config.oscillator.step_ppm = arm.step_ppm;
+  config.resync = arm.resync;
+  config.horizon = arm.horizon_or_default();
+  config.skew = spec.skew;
+  const double width = mix.ub - mix.lb;
+  config.sample_lo = mix.lb + 0.375 * width;
+  config.sample_hi = mix.lb + 0.625 * width;
+  config.sim_seed = derive_task_seed(seed, 2);
+  config.drift_seed = derive_task_seed(seed, 3);
+  config.start_offsets =
+      random_start_offsets(model.processor_count(), spec.skew, offset_rng);
+  config.sync_threads = task_threads;
+  config.tolerance = tolerance;
+
+  const drift::DriftTrialResult trial = drift::run_drift_trial(model, config);
+  r.drifting = true;
+  r.drift_rho = config.oscillator.rho();
+  r.drift_resync = arm.resync;
+  r.drift_horizon = config.horizon;
+  r.drift_window = trial.window;
+  r.drift_epochs = trial.epochs;
+  r.drift_bound = trial.bound_max;
+  r.drift_slope = trial.max_abs_slope;
+  r.delivered = trial.delivered;
+  r.dropped = trial.dropped;
+  r.events = trial.events;
+  if (!trial.ok) fail(trial.failure);
+  r.bounded = true;  // unbounded epochs surface as trial failures
+  r.claimed = trial.claimed_max;
+  r.guaranteed = trial.guaranteed_max;
+  r.thm46_gap = trial.thm46_gap;
+  r.realized = trial.realized_max;
+  r.sound = trial.sound;
+}
+
 }  // namespace
 
 std::uint64_t derive_task_seed(std::uint64_t campaign_seed,
@@ -109,6 +165,23 @@ TaskResult run_task(const CampaignSpec& spec, const TaskSpec& task,
   if (fault_spec.faulty()) opts.faults = &plan;
 
   try {
+    const DriftAxisSpec& drift_arm = spec.drift_arm(task.drift_id);
+    if (drift_arm.drifting()) {
+      // Drifting clocks route through the drift harness: its own probe
+      // schedule, windowed detrended estimation per epoch boundary, and
+      // ground-truth evaluation against the drift-adjusted bound.  The
+      // fault and zones axes do not compose with drift (yet).
+      if (fault_spec.faulty())
+        fail("drift arms do not compose with fault plans yet");
+      if (spec.zone_arm(task.zone_id).zoned())
+        fail("drift arms do not compose with zones yet");
+      run_drift_task(spec, task, model, drift_arm, seed, offset_rng,
+                     tolerance, task_threads, r);
+      r.ok = true;
+      r.seconds = seconds_since(start);
+      return r;
+    }
+
     const SimResult sim = simulate(model, make_protocol(spec), opts);
     r.delivered = sim.delivered_messages;
     r.dropped = sim.fault_dropped_messages;

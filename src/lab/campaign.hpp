@@ -74,6 +74,23 @@ struct TaskResult {
   double zone_a_max_max{0.0};     ///< max per-zone Ã^max_Z (bounded zones)
   double realized_intra{0.0};     ///< max within-zone realized discrepancy
   double realized_cross{0.0};     ///< max cross-zone realized discrepancy
+
+  // Drift-axis fields (meaningful only when drifting; src/drift).  On a
+  // drifting arm `claimed` is the max per-epoch Ã^max of the drift-adjusted
+  // estimates, `realized` the max ground-truth corrected spread over every
+  // epoch's hold interval, and `sound` compares realized against
+  // drift_bound (= claimed + 2ρ·(window + interval), scheduler.hpp) rather
+  // than claimed alone.  `thm46_gap` is the max per-epoch equality residual,
+  // so the standard gates still enforce Thm 4.6 on the drift-adjusted
+  // instances.
+  bool drifting{false};
+  double drift_rho{0.0};          ///< declared oscillator band ρ
+  double drift_resync{0.0};       ///< re-sync interval I (0 = disabled)
+  double drift_horizon{0.0};      ///< evaluation horizon H
+  double drift_window{0.0};       ///< effective estimation window W
+  std::size_t drift_epochs{0};    ///< re-sync epochs evaluated
+  double drift_bound{0.0};        ///< max drift-adjusted bound over epochs
+  double drift_slope{0.0};        ///< max fitted |rate difference| seen
 };
 
 struct RunOptions {

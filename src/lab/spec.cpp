@@ -82,6 +82,16 @@ std::string ZoneAxisSpec::describe() const {
   return kind;
 }
 
+std::string DriftAxisSpec::describe() const {
+  if (!drifting()) return "none";
+  std::ostringstream os;
+  os << kind << ' ' << fmt(ppm);
+  if (kind == "walk") os << ' ' << fmt(step_ppm);
+  os << " resync " << fmt(resync);
+  if (horizon > 0.0) os << " horizon " << fmt(horizon);
+  return os.str();
+}
+
 namespace {
 
 std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
@@ -96,7 +106,8 @@ std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
 std::size_t CampaignSpec::cell_count() const {
   std::size_t cells = checked_mul(topologies.size(), mixes.size(), "cell");
   cells = checked_mul(cells, faults.size(), "cell");
-  return checked_mul(cells, zone_arm_count(), "cell");
+  cells = checked_mul(cells, zone_arm_count(), "cell");
+  return checked_mul(cells, drift_arm_count(), "cell");
 }
 
 std::size_t CampaignSpec::task_count() const {
@@ -126,8 +137,9 @@ std::vector<TaskSpec> expand(const CampaignSpec& spec) {
     for (std::size_t m = 0; m < spec.mixes.size(); ++m)
       for (std::size_t f = 0; f < spec.faults.size(); ++f)
         for (std::size_t z = 0; z < spec.zone_arm_count(); ++z)
-          for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
-            tasks.push_back({index++, t, m, f, z, s});
+          for (std::size_t d = 0; d < spec.drift_arm_count(); ++d)
+            for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
+              tasks.push_back({index++, t, m, f, z, d, s});
   return tasks;
 }
 
@@ -291,6 +303,50 @@ CampaignSpec load_campaign(std::istream& is) {
         fail_line(line_no, "unknown zones kind '" + zs.kind + "'");
       }
       spec.zones.push_back(zs);
+    } else if (word == "drift") {
+      if (params.empty()) fail_line(line_no, "drift needs a kind");
+      DriftAxisSpec ds;
+      ds.kind = params[0];
+      if (ds.kind == "none") {
+        want(1, "none");
+      } else if (ds.kind == "const" || ds.kind == "walk") {
+        // const <ppm> resync <I> [horizon <H>]
+        // walk <ppm> <step_ppm> resync <I> [horizon <H>]
+        const std::size_t base = ds.kind == "walk" ? 1 : 0;
+        const char* usage = ds.kind == "walk"
+                                ? "walk <ppm> <step_ppm> resync <I> "
+                                  "[horizon <H>]"
+                                : "const <ppm> resync <I> [horizon <H>]";
+        if (params.size() != 4 + base && params.size() != 6 + base)
+          fail_line(line_no, std::string("expected 'drift ") + usage + "'");
+        ds.ppm = parse_num(params[1], line_no, "drift ppm");
+        if (ds.ppm <= 0.0) fail_line(line_no, "drift ppm must be positive");
+        if (ds.kind == "walk") {
+          ds.step_ppm = parse_num(params[2], line_no, "drift step ppm");
+          if (ds.step_ppm <= 0.0)
+            fail_line(line_no, "drift step ppm must be positive");
+        }
+        if (params[2 + base] != "resync")
+          fail_line(line_no,
+                    "expected 'resync', got '" + params[2 + base] + "'");
+        ds.resync = parse_num(params[3 + base], line_no, "resync interval");
+        if (ds.resync < 0.0)
+          fail_line(line_no, "resync interval must be >= 0");
+        if (params.size() == 6 + base) {
+          if (params[4 + base] != "horizon")
+            fail_line(line_no,
+                      "expected 'horizon', got '" + params[4 + base] + "'");
+          ds.horizon = parse_num(params[5 + base], line_no, "drift horizon");
+          if (ds.horizon <= 0.0)
+            fail_line(line_no, "drift horizon must be positive");
+        }
+        if (ds.resync == 0.0 && ds.horizon == 0.0)
+          fail_line(line_no,
+                    "drift with resync 0 needs an explicit 'horizon <H>'");
+      } else {
+        fail_line(line_no, "unknown drift kind '" + ds.kind + "'");
+      }
+      spec.drifts.push_back(ds);
     } else {
       fail_line(line_no, "unknown directive '" + word + "'");
     }
@@ -324,9 +380,12 @@ void save_campaign(std::ostream& os, const CampaignSpec& spec) {
   for (const FaultSpec& f : spec.faults)
     os << "faults " << f.describe() << "\n";
   // Only written when declared: a zones-free spec round-trips to a
-  // zones-free spec with the identical implicit expansion.
+  // zones-free spec with the identical implicit expansion (and likewise
+  // for drift).
   for (const ZoneAxisSpec& z : spec.zones)
     os << "zones " << z.describe() << "\n";
+  for (const DriftAxisSpec& d : spec.drifts)
+    os << "drift " << d.describe() << "\n";
 }
 
 CampaignSpec preset_campaign(const std::string& name) {
@@ -397,8 +456,39 @@ CampaignSpec preset_campaign(const std::string& name) {
     spec.zones.push_back({"natural", 0});
     return spec;
   }
+  if (name == "drift" || name == "drift-noresync") {
+    // The drift-axis CI campaigns (docs/DRIFT.md): constant-skew and
+    // random-walk oscillators at a 200 ppm band over small graphs.  The
+    // declared [1, 25] ms band leaves generous slack around the sampled
+    // delays (the drift runner draws from the middle quarter of the band)
+    // so the rate estimator's re-anchoring error can never make the
+    // estimates physically inconsistent.  "drift" re-syncs every 10 s and
+    // must pass --check; "drift-noresync" runs the same oscillators with
+    // re-sync disabled over an 80 s horizon, where accumulated drift
+    // demonstrably breaks the drift-adjusted bound (--check exits 1).
+    spec.seed = 17;  // experiment E17
+    spec.seeds_per_cell = 2;
+    spec.protocol.rounds = 3;
+    for (const char* t : {"ring 6", "toroid 3x3"})
+      spec.topologies.push_back(parse_topo_spec(t));
+    spec.mixes.push_back({"bounds", 0.001, 0.025, 0.0});
+    spec.faults.push_back(FaultSpec{});
+    const bool resync = name == "drift";
+    DriftAxisSpec constant;
+    constant.kind = "const";
+    constant.ppm = 200;
+    constant.resync = resync ? 10.0 : 0.0;
+    constant.horizon = resync ? 0.0 : 80.0;
+    DriftAxisSpec walk = constant;
+    walk.kind = "walk";
+    walk.step_ppm = 50;
+    spec.drifts.push_back(constant);
+    spec.drifts.push_back(walk);
+    return spec;
+  }
   fail("unknown campaign preset: '" + name +
-       "' (try 'smoke', 'toroid', 'zones', or 'fabric100k')");
+       "' (try 'smoke', 'toroid', 'zones', 'fabric100k', 'drift', or "
+       "'drift-noresync')");
 }
 
 }  // namespace cs::lab

@@ -2,13 +2,13 @@
 //
 // A campaign is a cross product
 //
-//   topology family/size  ×  delay mix  ×  fault plan  ×  zones  ×  seeds
+//   topology family/size × delay mix × fault plan × zones × drift × seeds
 //
 // expanded into a flat, stably ordered task list.  The (topology, mix,
-// fault, zones) tuple is a *cell*; each cell runs once per seed index.
-// Task ordering is the declaration-order odometer — topology-major, then
-// mix, then fault, then zones, then seed — and task seeds are derived per
-// index by
+// fault, zones, drift) tuple is a *cell*; each cell runs once per seed
+// index.  Task ordering is the declaration-order odometer — topology-major,
+// then mix, then fault, then zones, then drift, then seed — and task seeds
+// are derived per index by
 // derive_task_seed (campaign.hpp), so the expansion is a pure function of
 // the spec text: re-running a campaign on any machine with any thread
 // count reproduces every instance bit for bit.
@@ -26,6 +26,7 @@
 //   mix <kind> <params...>             # delay-assumption assignment
 //   faults <kind> <params...>          # fault plan
 //   zones <kind> <params...>           # optional zone-hierarchy axis
+//   drift <kind> <params...>           # optional clock-drift axis
 //
 // Mix grammar (per-link delay-assumption assignment hooks):
 //   mix bounds <lb> <ub>            symmetric [lb, ub] on every link
@@ -48,6 +49,20 @@
 //                                   with target ceil(sqrt(n)))
 // No `zones` line at all means a single implicit "none" arm, so pre-zones
 // campaign files expand to exactly the same task list as before.
+//
+// Drift grammar (src/drift — oscillator models + scheduled re-sync,
+// docs/DRIFT.md):
+//   drift none                      drift-free clocks (the paper's model)
+//   drift const <ppm> resync <I> [horizon <H>]
+//       constant-skew oscillators in [1 - ρ, 1 + ρ] (ρ = ppm·1e-6),
+//       re-synchronized every I clock seconds over an evaluation horizon H
+//       (default 4·I).  I = 0 disables re-sync (a single sync at H/4, held
+//       to H) and then requires an explicit horizon — the arm that
+//       demonstrates why re-sync is not optional under drift.
+//   drift walk <ppm> <step_ppm> resync <I> [horizon <H>]
+//       bounded random-walk oscillators: same band, rate stepping by up to
+//       step_ppm and reflecting at the band edges.
+// Like zones, no `drift` line means a single implicit "none" arm.
 #pragma once
 
 #include <cstdint>
@@ -96,6 +111,23 @@ struct ZoneAxisSpec {
   std::string describe() const;
 };
 
+/// One arm of the drift axis: which oscillator model drives the task's
+/// clocks and how often corrections are recomputed (src/drift).
+struct DriftAxisSpec {
+  std::string kind{"none"};  ///< none | const | walk
+  double ppm{0.0};           ///< oscillator band ρ in parts-per-million
+  double step_ppm{0.0};      ///< walk only: per-step bound
+  double resync{0.0};        ///< re-sync interval I (clock s); 0 = disabled
+  double horizon{0.0};       ///< evaluation horizon H; 0 = 4·resync
+
+  bool drifting() const { return kind != "none"; }
+  double rho() const { return ppm * 1e-6; }
+  double horizon_or_default() const {
+    return horizon > 0.0 ? horizon : 4.0 * resync;
+  }
+  std::string describe() const;
+};
+
 struct ProtocolSpec {
   std::string kind{"pingpong"};  ///< pingpong | beacon
   std::size_t rounds{4};         ///< pingpong
@@ -118,6 +150,9 @@ struct CampaignSpec {
   /// Zones axis; empty = a single implicit "none" arm (dense pipeline),
   /// so campaigns predating the axis keep their exact task expansion.
   std::vector<ZoneAxisSpec> zones;
+  /// Drift axis; empty = a single implicit "none" arm (drift-free clocks),
+  /// with the same backward-compatibility guarantee as zones.
+  std::vector<DriftAxisSpec> drifts;
 
   /// Arms of the zones axis including the implicit "none" (never 0).
   std::size_t zone_arm_count() const {
@@ -126,6 +161,15 @@ struct CampaignSpec {
   const ZoneAxisSpec& zone_arm(std::size_t id) const {
     static const ZoneAxisSpec kDense{};
     return zones.empty() ? kDense : zones[id];
+  }
+
+  /// Arms of the drift axis including the implicit "none" (never 0).
+  std::size_t drift_arm_count() const {
+    return drifts.empty() ? 1 : drifts.size();
+  }
+  const DriftAxisSpec& drift_arm(std::size_t id) const {
+    static const DriftAxisSpec kDriftFree{};
+    return drifts.empty() ? kDriftFree : drifts[id];
   }
 
   /// Cross-product extents.  Overflow-checked: a campaign whose cross
@@ -143,15 +187,18 @@ struct TaskSpec {
   std::size_t topology_id{0};
   std::size_t mix_id{0};
   std::size_t fault_id{0};
-  std::size_t zone_id{0};  ///< arm of the zones axis (0 when none declared)
+  std::size_t zone_id{0};   ///< arm of the zones axis (0 when none declared)
+  std::size_t drift_id{0};  ///< arm of the drift axis (0 when none declared)
   std::uint32_t seed_index{0};
 
-  /// Dense cell index (topology-major, then mix, fault, zones).
+  /// Dense cell index (topology-major, then mix, fault, zones, drift).
   std::size_t cell_id(const CampaignSpec& spec) const {
-    return ((topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
-            fault_id) *
-               spec.zone_arm_count() +
-           zone_id;
+    return (((topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
+             fault_id) *
+                spec.zone_arm_count() +
+            zone_id) *
+               spec.drift_arm_count() +
+           drift_id;
   }
 };
 
@@ -173,9 +220,12 @@ void save_campaign(std::ostream& os, const CampaignSpec& spec);
 
 /// Built-in campaigns: "smoke" (tiny multi-family CI campaign), "toroid"
 /// (the Frank–Welch odd-ary m-toroid sweep, >= 200 tasks), "zones" (small
-/// datacenter fabric swept across the zones axis, for CI), and "fabric100k"
+/// datacenter fabric swept across the zones axis, for CI), "fabric100k"
 /// (a 102,404-agent datacenter fabric, natural zones — the dense pipeline
-/// cannot touch this size).  Throws cs::Error on unknown names.
+/// cannot touch this size), "drift" (constant + random-walk oscillators
+/// with scheduled re-sync; --check passes), and "drift-noresync" (the same
+/// oscillators with re-sync disabled; --check demonstrably fails).
+/// Throws cs::Error on unknown names.
 CampaignSpec preset_campaign(const std::string& name);
 
 }  // namespace cs::lab

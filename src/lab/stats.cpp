@@ -111,19 +111,22 @@ CampaignReport aggregate(const CampaignResult& result) {
   for (std::size_t t = 0; t < spec.topologies.size(); ++t)
     for (std::size_t m = 0; m < spec.mixes.size(); ++m)
       for (std::size_t f = 0; f < spec.faults.size(); ++f)
-        for (std::size_t z = 0; z < spec.zone_arm_count(); ++z) {
-          const std::size_t id = report.cells.size();
-          CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
-          cell.cell = id;
-          cell.topology = spec.topologies[t].describe();
-          cell.nodes = spec.topologies[t].node_count();
-          cell.mix = spec.mixes[m].describe();
-          cell.faults = spec.faults[f].describe();
-          cell.faulty = spec.faults[f].faulty();
-          cell.zones = spec.zone_arm(z).describe();
-          cell.zoned = spec.zone_arm(z).zoned();
-          report.cells.push_back(std::move(cell));
-        }
+        for (std::size_t z = 0; z < spec.zone_arm_count(); ++z)
+          for (std::size_t d = 0; d < spec.drift_arm_count(); ++d) {
+            const std::size_t id = report.cells.size();
+            CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
+            cell.cell = id;
+            cell.topology = spec.topologies[t].describe();
+            cell.nodes = spec.topologies[t].node_count();
+            cell.mix = spec.mixes[m].describe();
+            cell.faults = spec.faults[f].describe();
+            cell.faulty = spec.faults[f].faulty();
+            cell.zones = spec.zone_arm(z).describe();
+            cell.zoned = spec.zone_arm(z).zoned();
+            cell.drift = spec.drift_arm(d).describe();
+            cell.drifting = spec.drift_arm(d).drifting();
+            report.cells.push_back(std::move(cell));
+          }
 
   for (std::size_t i = 0; i < result.tasks.size(); ++i) {
     const TaskSpec& task = result.tasks[i];
@@ -143,6 +146,12 @@ CampaignReport aggregate(const CampaignResult& result) {
     cell.dropped += r.dropped;
     report.events += r.events;
     cell.realized_max = std::max(cell.realized_max, r.realized);
+    if (r.drifting) {
+      cell.drift_epochs = std::max(cell.drift_epochs, r.drift_epochs);
+      cell.drift_window_max = std::max(cell.drift_window_max, r.drift_window);
+      cell.drift_bound_max = std::max(cell.drift_bound_max, r.drift_bound);
+      cell.drift_slope_max = std::max(cell.drift_slope_max, r.drift_slope);
+    }
     if (r.zoned) {
       cell.zone_count = std::max(cell.zone_count, r.zone_count);
       cell.zone_max_size = std::max(cell.zone_max_size, r.zone_max_size);
@@ -201,6 +210,8 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
        << "      \"faults\": " << quoted(c.faults) << ",\n"
        << "      \"zones\": " << quoted(c.zones) << ",\n"
        << "      \"zoned\": " << (c.zoned ? "true" : "false") << ",\n"
+       << "      \"drift\": " << quoted(c.drift) << ",\n"
+       << "      \"drifting\": " << (c.drifting ? "true" : "false") << ",\n"
        << "      \"tasks\": " << c.tasks << ",\n"
        << "      \"failures\": " << c.failures << ",\n"
        << "      \"bounded\": " << c.bounded << ",\n"
@@ -220,6 +231,10 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
        << ",\n"
        << "      \"realized_cross_max\": " << fmt(c.realized_cross_max)
        << ",\n"
+       << "      \"drift_epochs\": " << c.drift_epochs << ",\n"
+       << "      \"drift_window_max\": " << fmt(c.drift_window_max) << ",\n"
+       << "      \"drift_bound_max\": " << fmt(c.drift_bound_max) << ",\n"
+       << "      \"drift_slope_max\": " << fmt(c.drift_slope_max) << ",\n"
        << "      \"events\": " << c.events << ",\n"
        << "      \"delivered\": " << c.delivered << ",\n"
        << "      \"dropped\": " << c.dropped << "\n    }"
@@ -258,14 +273,16 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
 }
 
 void write_report_csv(std::ostream& os, const CampaignReport& report) {
-  // Zone columns append at the end: the first six columns are a pinned
-  // interface consumed by downstream tooling (and the format tests).
+  // Axis columns append at the end (zones, then drift): the first six
+  // columns are a pinned interface consumed by downstream tooling (and the
+  // format tests).
   os << "cell,topology,nodes,mix,faults,tasks,failures,bounded,"
         "soundness_violations,thm46_max_gap,claimed_mean,claimed_p50,"
         "claimed_p95,claimed_p99,ratio_mean,ratio_p95,gap_p50,gap_p95,"
         "gap_p99,realized_max,events,delivered,dropped,zones,zone_count,"
         "zone_max_size,zone_a_max_max,realized_intra_max,"
-        "realized_cross_max\n";
+        "realized_cross_max,drift,drift_epochs,drift_window_max,"
+        "drift_bound_max,drift_slope_max\n";
   for (const CellStats& c : report.cells) {
     os << c.cell << ',' << csv_field(c.topology) << ',' << c.nodes << ','
        << csv_field(c.mix) << ',' << csv_field(c.faults) << ',' << c.tasks
@@ -285,17 +302,19 @@ void write_report_csv(std::ostream& os, const CampaignReport& report) {
        << c.dropped << ',' << csv_field(c.zones) << ',' << c.zone_count
        << ',' << c.zone_max_size << ',' << fmt(c.zone_a_max_max) << ','
        << fmt(c.realized_intra_max) << ',' << fmt(c.realized_cross_max)
-       << '\n';
+       << ',' << csv_field(c.drift) << ',' << c.drift_epochs << ','
+       << fmt(c.drift_window_max) << ',' << fmt(c.drift_bound_max) << ','
+       << fmt(c.drift_slope_max) << '\n';
   }
 }
 
 void print_report(std::ostream& os, const CampaignReport& report,
                   bool include_timing) {
-  Table table({"cell", "topology", "mix", "faults", "zones", "tasks", "fail",
-               "bounded", "A^max p50", "ratio p95", "thm4.6 gap"});
+  Table table({"cell", "topology", "mix", "faults", "zones", "drift", "tasks",
+               "fail", "bounded", "A^max p50", "ratio p95", "thm4.6 gap"});
   for (const CellStats& c : report.cells)
     table.add_row({std::to_string(c.cell), c.topology, c.mix, c.faults,
-                   c.zones, std::to_string(c.tasks),
+                   c.zones, c.drift, std::to_string(c.tasks),
                    std::to_string(c.failures), std::to_string(c.bounded),
                    Table::num(c.claimed.quantiles.quantile(0.50), 6),
                    Table::num(c.ratio.quantiles.quantile(0.95), 3),

@@ -62,15 +62,17 @@ struct SeriesStats {
 };
 
 /// Aggregated statistics of one campaign cell
-/// (topology x mix x faults x zones).
+/// (topology x mix x faults x zones x drift).
 struct CellStats {
   std::size_t cell{0};
   std::string topology;
   std::string mix;
   std::string faults;
   std::string zones;     ///< zones-axis arm ("none" on dense arms)
+  std::string drift;     ///< drift-axis arm ("none" on drift-free arms)
   bool faulty{false};
   bool zoned{false};     ///< zone-hierarchical arm (Thm 5.5/5.6 composition)
+  bool drifting{false};  ///< drifting-oscillator arm (src/drift)
   std::size_t nodes{0};
 
   std::size_t tasks{0};
@@ -90,6 +92,14 @@ struct CellStats {
   double zone_a_max_max{0.0};       ///< max per-zone Ã^max_Z
   double realized_intra_max{0.0};   ///< max within-zone realized discrepancy
   double realized_cross_max{0.0};   ///< max cross-zone realized discrepancy
+
+  // Drift-axis columns (zero on drift-free arms).  On a drifting arm the
+  // soundness gate compares realized against drift_bound_max rather than
+  // claimed alone; see campaign.hpp's TaskResult drift block.
+  std::size_t drift_epochs{0};      ///< max re-sync epochs over tasks
+  double drift_window_max{0.0};     ///< max effective estimation window W
+  double drift_bound_max{0.0};      ///< max drift-adjusted bound over tasks
+  double drift_slope_max{0.0};      ///< max fitted |rate difference| seen
 
   std::size_t events{0};
   std::size_t delivered{0};

@@ -58,14 +58,37 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
   if (offsets.size() != n)
     throw Error("run_live: start_offsets size must equal processor count");
 
-  LiveResults results(n, config.agent);
-  const AutomatonFactory factory =
-      make_sync_agents(&model, config.agent, &results);
+  // Fit the epoch schedule to the drift budget before anything is built:
+  // an active budget clamps the period so clocks inside the declared band
+  // cannot diverge by more than `slack` between re-synchronizations, and
+  // stretches the epoch count to keep the requested coverage span
+  // (drift/scheduler.hpp).  All downstream consumers — agents, boundary
+  // list, offline cross-check — see only the fitted schedule.
+  SyncAgentParams agent = config.agent;
+  const drift::ResyncPlan resync =
+      drift::plan_resync(config.drift, agent.period, agent.epochs);
+  agent.period = resync.period;
+  agent.epochs = resync.epochs;
+
+  LiveResults results(n, agent);
+  const AutomatonFactory factory = make_sync_agents(&model, agent, &results);
 
   LiveReport report;
   report.transport = to_string(config.transport);
   report.agents = n;
   report.start_offsets = offsets;
+  report.resync_period = agent.period;
+  report.resync_epochs = agent.epochs;
+  report.resync_clamped = resync.clamped;
+  if (config.drift.active()) {
+    report.metrics.observe("runtime.drift.rho", config.drift.rho);
+    report.metrics.observe("runtime.drift.slack", config.drift.slack);
+    report.metrics.observe(
+        "runtime.drift.max_interval",
+        drift::max_resync_interval(config.drift.rho, config.drift.slack));
+    report.metrics.observe("runtime.drift.period", agent.period.sec);
+    if (resync.clamped) report.metrics.increment("runtime.drift.clamped");
+  }
 
   // Time base, transport and host, wired per transport kind.
   const bool is_virtual = config.transport == LiveTransportKind::kLoopback;
@@ -133,6 +156,11 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
     row.degraded = live.degraded;
     row.reports_absorbed = live.reports_absorbed;
     row.acks = live.acks;
+    if (live.computed() && config.drift.active() &&
+        live.claimed_precision.has_value()) {
+      row.drift_bound = *live.claimed_precision + config.drift.slack;
+      report.metrics.observe("runtime.drift.epoch_bound", *row.drift_bound);
+    }
     if (live.computed() && live.corrections.size() == n) {
       std::vector<double> corrected(n);
       for (std::size_t p = 0; p < n; ++p)
@@ -157,12 +185,11 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
   // same boundaries.  In deterministic loopback mode (and in any run where
   // no report was missing) the live corrections must equal these
   // bit-for-bit.
-  const std::vector<ClockTime> boundaries =
-      sync_agent_boundaries(config.agent);
+  const std::vector<ClockTime> boundaries = sync_agent_boundaries(agent);
   Metrics pipeline_metrics;
   EpochOptions epoch_options;
-  epoch_options.sync = config.agent.sync;
-  epoch_options.sync.root = config.agent.leader;
+  epoch_options.sync = agent.sync;
+  epoch_options.sync.root = agent.leader;
   epoch_options.sync.match = MatchPolicy::kDropOrphans;
   epoch_options.sync.metrics = &pipeline_metrics;
 

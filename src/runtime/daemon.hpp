@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "drift/scheduler.hpp"
 #include "runtime/agent.hpp"
 
 namespace cs {
@@ -58,6 +59,15 @@ struct LiveConfig {
   /// report rows.  Not owned; must outlive the run and cover the model's
   /// processors.
   const ZonePlan* zones{nullptr};
+
+  /// Optional drift budget (drift/scheduler.hpp).  When active, the epoch
+  /// schedule is fitted to the budget before the run: `agent.period` is
+  /// clamped to max_resync_interval(rho, slack) and `agent.epochs`
+  /// stretched so the schedule still covers the requested span — drift can
+  /// then add at most `slack` to any epoch's precision between
+  /// re-synchronizations.  The fitted schedule, per-epoch drift-adjusted
+  /// bounds and "runtime.drift.*" metrics land in the report.
+  drift::DriftBudget drift;
 };
 
 struct LiveEpochReport {
@@ -79,6 +89,12 @@ struct LiveEpochReport {
   /// epoch computed): max within-zone / max cross-zone discrepancy.
   std::optional<double> realized_intra;
   std::optional<double> realized_cross;
+
+  /// Drift-adjusted promise for this epoch (set iff the run's drift budget
+  /// is active and the epoch computed): claimed_precision + the budget's
+  /// slack, the bound the deployment can hold until the next
+  /// re-synchronization (drift/scheduler.hpp).
+  std::optional<double> drift_bound;
 
   /// Offline pipeline over the recorded views at the same boundary
   /// (set when LiveConfig::offline_check).
@@ -102,6 +118,12 @@ struct LiveReport {
 
   std::size_t dispatched{0};
   bool timed_out{false};
+
+  /// The epoch schedule actually run (== the config's agent schedule
+  /// unless an active drift budget clamped it).
+  Duration resync_period{0.0};
+  std::size_t resync_epochs{0};
+  bool resync_clamped{false};
 
   /// "runtime.*" host counters merged with the offline pipeline's
   /// "stage.*"/"apsp.*" instrumentation.

@@ -6,41 +6,151 @@
 // it lives in the simulator layer, i.e. on the outside-observer side of
 // the fence.  Algorithm code never holds a Clock.
 //
-// Extension (experiment E9): a clock may run at a constant rate 1 + ρ
-// instead of exactly 1, reading (t - S)(1 + ρ).  This steps outside the
-// paper's model — the theory's shift arguments assume rate exactly 1 — and
-// exists to measure empirically how gracefully the optimal algorithm
-// degrades under the small drifts footnote 1 says practice handles by
-// periodic re-synchronization.
+// Drift extension (docs/DRIFT.md): a clock may run at a constant rate
+// 1 + ρ instead of exactly 1, or follow a piecewise-constant RateSchedule
+// (the bounded-random-walk oscillator).  The paper's shift arguments
+// assume rate exactly 1; src/drift supplies the oscillator models, the
+// per-link rate estimator that absorbs drift into the d̃ extremes, and the
+// re-sync budget arithmetic that keeps precision bounded between epochs —
+// the concrete version of the "periodic re-synchronization" footnote 1
+// waves at.
 #pragma once
 
-#include <cassert>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/time.hpp"
 
 namespace cs {
+
+/// Validates a clock rate: positive, finite, non-NaN.  Throws cs::Error —
+/// a real check, not a debug-only assert, because campaign specs and CLI
+/// flags feed rates in from user input in release builds too.
+inline double validated_clock_rate(double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate))
+    throw Error("clock rate must be positive and finite, got " +
+                std::to_string(rate));
+  return rate;
+}
+
+/// One segment of a piecewise-constant rate schedule: from `elapsed` real
+/// seconds after the clock's start, the clock runs at `rate`.
+struct RateSegment {
+  double elapsed{0.0};
+  double rate{1.0};
+
+  bool operator==(const RateSegment&) const = default;
+};
+
+/// A piecewise-constant clock-rate trajectory (the random-walk oscillator
+/// model, docs/DRIFT.md).  Segments are validated at construction: the
+/// first starts at elapsed 0, breakpoints strictly increase, and every
+/// rate is positive and finite — so the elapsed → clock map is strictly
+/// increasing and exactly invertible.
+class RateSchedule {
+ public:
+  explicit RateSchedule(std::vector<RateSegment> segments)
+      : segments_(std::move(segments)) {
+    if (segments_.empty())
+      throw Error("rate schedule needs at least one segment");
+    if (segments_.front().elapsed != 0.0)
+      throw Error("rate schedule must start at elapsed 0");
+    clock_.reserve(segments_.size());
+    clock_.push_back(0.0);
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      validated_clock_rate(segments_[i].rate);
+      if (i + 1 < segments_.size()) {
+        if (segments_[i + 1].elapsed <= segments_[i].elapsed)
+          throw Error("rate schedule breakpoints must strictly increase");
+        clock_.push_back(clock_[i] +
+                         (segments_[i + 1].elapsed - segments_[i].elapsed) *
+                             segments_[i].rate);
+      }
+    }
+  }
+
+  std::span<const RateSegment> segments() const { return segments_; }
+
+  /// Rate in effect `elapsed` real seconds after the clock start (the
+  /// first segment's rate extends to negative elapsed, the last forever).
+  double rate_at(double elapsed) const {
+    return segments_[index_for_elapsed(elapsed)].rate;
+  }
+
+  /// Clock reading after `elapsed` real seconds (piecewise linear,
+  /// strictly increasing; first/last rates extrapolate beyond the ends).
+  double clock_at(double elapsed) const {
+    const std::size_t i = index_for_elapsed(elapsed);
+    return clock_[i] + (elapsed - segments_[i].elapsed) * segments_[i].rate;
+  }
+
+  /// Exact inverse of clock_at (all rates positive).
+  double elapsed_at(double clock) const {
+    std::size_t lo = 0, hi = segments_.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (clock_[mid] <= clock) lo = mid;
+      else hi = mid;
+    }
+    return segments_[lo].elapsed + (clock - clock_[lo]) / segments_[lo].rate;
+  }
+
+  bool operator==(const RateSchedule& other) const {
+    return segments_ == other.segments_;
+  }
+
+ private:
+  std::size_t index_for_elapsed(double elapsed) const {
+    std::size_t lo = 0, hi = segments_.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (segments_[mid].elapsed <= elapsed) lo = mid;
+      else hi = mid;
+    }
+    return lo;
+  }
+
+  std::vector<RateSegment> segments_;
+  std::vector<double> clock_;  ///< cumulative clock reading at segment start
+};
 
 class Clock {
  public:
   Clock() = default;
   explicit Clock(RealTime start, double rate = 1.0)
-      : start_(start), rate_(rate) {
-    assert(rate > 0.0);
+      : start_(start), rate_(validated_clock_rate(rate)) {}
+  /// Schedule-driven clock (random-walk oscillator).  A null schedule
+  /// degenerates to rate exactly 1.
+  Clock(RealTime start, std::shared_ptr<const RateSchedule> schedule)
+      : start_(start), schedule_(std::move(schedule)) {
+    if (schedule_ != nullptr) rate_ = schedule_->segments().front().rate;
   }
 
   RealTime start() const { return start_; }
+  /// Constant rate, or the schedule's initial rate.
   double rate() const { return rate_; }
+  const RateSchedule* schedule() const { return schedule_.get(); }
 
   ClockTime at(RealTime t) const {
-    return ClockTime{(t - start_).sec * rate_};
+    const double elapsed = (t - start_).sec;
+    return ClockTime{schedule_ != nullptr ? schedule_->clock_at(elapsed)
+                                          : elapsed * rate_};
   }
   RealTime real(ClockTime c) const {
-    return start_ + Duration{c.sec / rate_};
+    return start_ + Duration{schedule_ != nullptr
+                                 ? schedule_->elapsed_at(c.sec)
+                                 : c.sec / rate_};
   }
 
  private:
   RealTime start_{};
   double rate_{1.0};
+  std::shared_ptr<const RateSchedule> schedule_;
 };
 
 }  // namespace cs

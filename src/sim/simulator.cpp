@@ -39,16 +39,21 @@ class SimulatorImpl {
     if (!options.clock_rates.empty()) {
       if (options.clock_rates.size() != n)
         throw Error("clock_rates must be empty or one per processor");
-      for (double r : options.clock_rates)
-        if (r <= 0.0) throw Error("clock rates must be positive");
-      const bool any_drift = std::any_of(
-          options.clock_rates.begin(), options.clock_rates.end(),
-          [](double r) { return r != 1.0; });
-      if (any_drift && options.check_admissible)
-        throw Error(
-            "drifting clocks are outside the paper's model: disable "
-            "check_admissible to simulate them (experiment E9)");
+      for (double r : options.clock_rates) validated_clock_rate(r);
     }
+    if (!options.clock_schedules.empty() &&
+        options.clock_schedules.size() != n)
+      throw Error("clock_schedules must be empty or one per processor");
+    const bool any_drift =
+        std::any_of(options.clock_rates.begin(), options.clock_rates.end(),
+                    [](double r) { return r != 1.0; }) ||
+        std::any_of(options.clock_schedules.begin(),
+                    options.clock_schedules.end(),
+                    [](const auto& s) { return s != nullptr; });
+    if (any_drift && options.check_admissible)
+      throw Error(
+          "drifting clocks are outside the paper's model: disable "
+          "check_admissible to simulate them (docs/DRIFT.md)");
 
     if (options.faults != nullptr) {
       injector_.emplace(*options.faults, model.topology().link_count(),
@@ -72,9 +77,14 @@ class SimulatorImpl {
         throw Error("start offsets must be non-negative");
       const double rate =
           options.clock_rates.empty() ? 1.0 : options.clock_rates[p];
+      const std::shared_ptr<const RateSchedule> schedule =
+          options.clock_schedules.empty() ? nullptr
+                                          : options.clock_schedules[p];
       Proc proc;
       proc.automaton = factory(p);
-      proc.clock = Clock(RealTime{} + offset, rate);
+      proc.clock = schedule != nullptr
+                       ? Clock(RealTime{} + offset, schedule)
+                       : Clock(RealTime{} + offset, rate);
       proc.history = History(p, proc.clock.start());
       proc.neighbors = adjacency[p];
       std::sort(proc.neighbors.begin(), proc.neighbors.end());

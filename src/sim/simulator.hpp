@@ -21,6 +21,7 @@
 namespace cs {
 
 class TraceSink;
+class RateSchedule;
 
 using AutomatonFactory =
     std::function<std::unique_ptr<Automaton>(ProcessorId)>;
@@ -35,10 +36,18 @@ struct SimOptions {
   std::uint64_t seed{1};
 
   /// Clock rates, one per processor; empty means all exactly 1.0 (the
-  /// paper's drift-free model).  Non-unit rates are the E9 extension; they
-  /// are incompatible with check_admissible (the model-side real-time
-  /// reconstruction assumes rate 1), which must then be disabled.
+  /// paper's drift-free model).  Non-unit rates are the drift extension
+  /// (docs/DRIFT.md); they are incompatible with check_admissible (the
+  /// model-side real-time reconstruction assumes rate 1), which must then
+  /// be disabled.
   std::vector<double> clock_rates;
+
+  /// Piecewise-constant rate schedules (the random-walk oscillator of
+  /// docs/DRIFT.md), one per processor; empty means constant rates from
+  /// clock_rates.  A null entry falls back to that processor's constant
+  /// rate.  Any non-null schedule counts as drift and requires
+  /// check_admissible to be disabled, same as non-unit clock_rates.
+  std::vector<std::shared_ptr<const RateSchedule>> clock_schedules;
 
   /// Typical delay magnitude for auto-built samplers.
   double delay_scale{0.1};

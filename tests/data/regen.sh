@@ -30,3 +30,9 @@ CS_SYNC=${CS_SYNC:-../../build/tools/cs_sync}
   --drop 0.2 --crash 5:1.5 --fault-seed 99 \
   --boundaries 0.8,1.4,2.0 --window 0.6 \
   --carry --widen 0.005 --max-age 2
+
+# Drifting clocks: constant-skew oscillators in a 150 ppm band (docs/
+# DRIFT.md).  Pins the non-unit `rate` header lines through the replay /
+# rerecord / diff round trip.
+"$CS_SYNC" simulate golden_drifting.trace \
+  --topology ring --n 5 --seed 9 --skew 0.1 --drift 150

@@ -1,0 +1,103 @@
+// The shared drift trial (drift/harness.hpp): the end-to-end unit the lab
+// drift axis and bench_e17_drift both sit on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "drift/harness.hpp"
+#include "sim/simulator.hpp"
+#include "support/builders.hpp"
+
+namespace cs::drift {
+namespace {
+
+// Ring of 4, declared band [1 ms, 25 ms]; actual delays from the middle
+// quarter (the E9b discipline the harness documents).
+DriftTrialConfig small_trial(double ppm, double resync, double horizon) {
+  DriftTrialConfig config;
+  config.oscillator.kind = OscillatorSpec::Kind::kConstant;
+  config.oscillator.ppm = ppm;
+  config.resync = resync;
+  config.horizon = horizon;
+  config.skew = 0.25;
+  config.sample_lo = 0.001 + 0.375 * 0.024;
+  config.sample_hi = 0.001 + 0.625 * 0.024;
+  config.sim_seed = 11;
+  config.drift_seed = 12;
+  Rng rng(11);
+  config.start_offsets = random_start_offsets(4, config.skew, rng);
+  return config;
+}
+
+TEST(DriftHarness, ResyncTrialIsSoundEpochByEpoch) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.001, 0.025);
+  const DriftTrialConfig config = small_trial(200.0, 10.0, 40.0);
+  const DriftTrialResult r = run_drift_trial(model, config);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.sound);
+  EXPECT_EQ(r.epochs, 3u);  // boundaries at 10, 20, 30; the last holds to 40
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.window, 10.0);
+  for (const DriftEpochRow& row : r.rows) {
+    EXPECT_TRUE(row.sound) << "epoch at " << row.boundary;
+    EXPECT_LE(row.realized, row.bound + config.tolerance);
+    // The drift-adjusted bound always sits above the claimed precision.
+    EXPECT_GE(row.bound, row.claimed);
+  }
+  // Thm 4.6 cross-check held on every epoch.
+  EXPECT_LE(r.thm46_gap, 1e-9);
+  // The estimator actually fit rates (it had >= min_count traffic).
+  EXPECT_GT(r.directions_fitted, 0u);
+  // Fitted pairwise slopes respect the 2ρ clamp.
+  EXPECT_LE(r.max_abs_slope, 2.0 * 200e-6 + 1e-12);
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(DriftHarness, TrialsAreDeterministic) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.001, 0.025);
+  const DriftTrialConfig config = small_trial(150.0, 10.0, 30.0);
+  const DriftTrialResult a = run_drift_trial(model, config);
+  const DriftTrialResult b = run_drift_trial(model, config);
+  ASSERT_TRUE(a.ok) << a.failure;
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_DOUBLE_EQ(a.claimed_max, b.claimed_max);
+  EXPECT_DOUBLE_EQ(a.realized_max, b.realized_max);
+  EXPECT_DOUBLE_EQ(a.bound_max, b.bound_max);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(DriftHarness, DisabledResyncHoldsASingleEpochToTheHorizon) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.001, 0.025);
+  DriftTrialConfig config = small_trial(200.0, 0.0, 80.0);
+  // A draw whose rate spread is wide enough that 60 s of unchecked drift
+  // visibly outgrows the 20 s window's slack (most draws do; this one by
+  // a ~1.5x margin, so the expectation is not knife-edge).
+  config.sim_seed = 9;
+  config.drift_seed = 10;
+  Rng rng(9);
+  config.start_offsets = random_start_offsets(4, config.skew, rng);
+  const DriftTrialResult r = run_drift_trial(model, config);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.epochs, 1u);
+  // One sync at H/4 held for 60 s of 200 ppm drift: the spread outgrows
+  // the bound — the violation the no-resync lab preset demonstrates.
+  EXPECT_FALSE(r.sound);
+}
+
+TEST(DriftHarness, BadConfigurationsFailWithoutThrowing) {
+  const SystemModel model = test::bounded_model(make_ring(4), 0.001, 0.025);
+  DriftTrialConfig config = small_trial(100.0, 10.0, 40.0);
+  config.start_offsets.clear();  // required input missing
+  const DriftTrialResult missing = run_drift_trial(model, config);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_FALSE(missing.failure.empty());
+
+  DriftTrialConfig zero = small_trial(100.0, 10.0, 0.0);  // no horizon
+  const DriftTrialResult r = run_drift_trial(model, zero);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+}  // namespace
+}  // namespace cs::drift

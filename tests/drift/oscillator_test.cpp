@@ -1,0 +1,130 @@
+// Oscillator draws (drift/oscillator.hpp): determinism, band discipline,
+// and the constant/walk split.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "drift/oscillator.hpp"
+#include "sim/simulator.hpp"
+
+namespace cs::drift {
+namespace {
+
+OscillatorSpec constant_spec(double ppm) {
+  OscillatorSpec spec;
+  spec.kind = OscillatorSpec::Kind::kConstant;
+  spec.ppm = ppm;
+  return spec;
+}
+
+OscillatorSpec walk_spec(double ppm, double step_ppm, double interval,
+                         double horizon) {
+  OscillatorSpec spec;
+  spec.kind = OscillatorSpec::Kind::kRandomWalk;
+  spec.ppm = ppm;
+  spec.step_ppm = step_ppm;
+  spec.interval = interval;
+  spec.horizon = horizon;
+  return spec;
+}
+
+TEST(DriftOscillator, DrawIsAPureFunctionOfSpecAndSeed) {
+  const OscillatorSpec spec = constant_spec(200.0);
+  const DriftAssignment a = draw_oscillators(spec, 6, 42);
+  const DriftAssignment b = draw_oscillators(spec, 6, 42);
+  EXPECT_EQ(a.rates, b.rates);
+  const DriftAssignment c = draw_oscillators(spec, 6, 43);
+  EXPECT_NE(a.rates, c.rates);
+}
+
+TEST(DriftOscillator, AddingProcessorsNeverPerturbsExistingClocks) {
+  // Per-processor streams: rates[p] depends only on (seed, p).
+  const OscillatorSpec spec = constant_spec(150.0);
+  const DriftAssignment small = draw_oscillators(spec, 3, 7);
+  const DriftAssignment large = draw_oscillators(spec, 8, 7);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_DOUBLE_EQ(small.rates[p], large.rates[p]) << p;
+}
+
+TEST(DriftOscillator, ConstantDrawRespectsTheDeclaredBand) {
+  const double ppm = 300.0;
+  const DriftAssignment a = draw_oscillators(constant_spec(ppm), 64, 5);
+  ASSERT_EQ(a.rates.size(), 64u);
+  EXPECT_TRUE(a.schedules.empty());
+  EXPECT_DOUBLE_EQ(a.rho, ppm * 1e-6);
+  bool any_non_unit = false;
+  for (const double r : a.rates) {
+    EXPECT_GE(r, 1.0 - ppm * 1e-6);
+    EXPECT_LE(r, 1.0 + ppm * 1e-6);
+    if (r != 1.0) any_non_unit = true;
+  }
+  EXPECT_TRUE(any_non_unit);
+}
+
+TEST(DriftOscillator, WalkSchedulesStartAtTheDrawnRateAndStayBanded) {
+  const double ppm = 200.0;
+  const OscillatorSpec spec = walk_spec(ppm, 50.0, 5.0, 60.0);
+  const DriftAssignment a = draw_oscillators(spec, 8, 11);
+  ASSERT_EQ(a.schedules.size(), 8u);
+  for (std::size_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(a.schedules[p]) << p;
+    EXPECT_DOUBLE_EQ(a.schedules[p]->rate_at(0.0), a.rates[p]) << p;
+    // Sample the whole horizon (and beyond: last rate extends) against
+    // the band and the per-step bound.
+    double prev = a.schedules[p]->rate_at(0.0);
+    for (double t = 0.0; t <= 70.0; t += 5.0) {
+      const double r = a.schedules[p]->rate_at(t);
+      EXPECT_GE(r, 1.0 - ppm * 1e-6) << p << " @ " << t;
+      EXPECT_LE(r, 1.0 + ppm * 1e-6) << p << " @ " << t;
+      EXPECT_LE(std::abs(r - prev), 50e-6 + 1e-15) << p << " @ " << t;
+      prev = r;
+    }
+  }
+}
+
+TEST(DriftOscillator, NoneSpecDrawsUnitRates) {
+  const DriftAssignment a = draw_oscillators(OscillatorSpec{}, 4, 1);
+  EXPECT_FALSE(a.drifting());
+  EXPECT_DOUBLE_EQ(a.rho, 0.0);
+  ASSERT_EQ(a.rates.size(), 4u);
+  for (const double r : a.rates) EXPECT_DOUBLE_EQ(r, 1.0);
+  SimOptions opts;
+  opts.check_admissible = true;
+  a.apply(opts);
+  EXPECT_EQ(opts.clock_rates, a.rates);
+  EXPECT_TRUE(opts.check_admissible);  // drift-free draws leave the check on
+}
+
+TEST(DriftOscillator, ApplyInstallsRatesAndDisablesAdmissibility) {
+  const DriftAssignment a = draw_oscillators(constant_spec(100.0), 5, 3);
+  SimOptions opts;
+  opts.check_admissible = true;
+  a.apply(opts);
+  EXPECT_EQ(opts.clock_rates, a.rates);
+  EXPECT_FALSE(opts.check_admissible);
+}
+
+TEST(DriftOscillator, GroundTruthClockMatchesTheDraw) {
+  // The offset is the processor's real start time: the clock reads 0
+  // there and advances at the drawn rate.
+  const DriftAssignment a = draw_oscillators(constant_spec(100.0), 4, 9);
+  const Clock c = a.clock(2, Duration{0.5});
+  EXPECT_DOUBLE_EQ(c.at(RealTime{0.5}).sec, 0.0);
+  EXPECT_NEAR(c.at(RealTime{10.5}).sec, 10.0 * a.rates[2], 1e-12);
+  EXPECT_DOUBLE_EQ(c.rate(), a.rates[2]);
+}
+
+TEST(DriftOscillator, DescribeNamesTheModel) {
+  EXPECT_NE(constant_spec(100.0).describe().find("const"), std::string::npos);
+  EXPECT_NE(walk_spec(100.0, 10.0, 1.0, 60.0).describe().find("walk"),
+            std::string::npos);
+  EXPECT_FALSE(OscillatorSpec{}.drifting());
+  EXPECT_TRUE(constant_spec(100.0).drifting());
+  EXPECT_FALSE(constant_spec(0.0).drifting());
+}
+
+}  // namespace
+}  // namespace cs::drift

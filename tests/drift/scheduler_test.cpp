@@ -1,0 +1,76 @@
+// Re-sync budget arithmetic (drift/scheduler.hpp).  The ResyncScheduler
+// suite is a ThreadSanitizer target alongside the Live suite (see ci.yml):
+// plan_resync runs inside run_live ahead of the multi-threaded host.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "drift/scheduler.hpp"
+
+namespace cs::drift {
+namespace {
+
+TEST(ResyncScheduler, SlackIsLinearInElapsedTime) {
+  EXPECT_DOUBLE_EQ(drift_slack(100e-6, 10.0), 2.0 * 100e-6 * 10.0);
+  EXPECT_DOUBLE_EQ(drift_slack(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(drift_slack(100e-6, 0.0), 0.0);
+  EXPECT_GE(drift_slack(100e-6, -1.0), 0.0);  // never negative
+}
+
+TEST(ResyncScheduler, MaxIntervalInvertsTheSlack) {
+  const double rho = 200e-6;
+  const double slack = 0.004;
+  const double interval = max_resync_interval(rho, slack);
+  EXPECT_DOUBLE_EQ(interval, slack / (2.0 * rho));
+  // Round trip: spending exactly the interval consumes exactly the slack.
+  EXPECT_DOUBLE_EQ(drift_slack(rho, interval), slack);
+  // Drift-free clocks never need re-sync.
+  EXPECT_EQ(max_resync_interval(0.0, slack),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ResyncScheduler, AdjustedBoundAddsWindowAndIntervalTerms) {
+  const double claimed = 0.01;
+  const double rho = 100e-6;
+  EXPECT_DOUBLE_EQ(drift_adjusted_bound(claimed, rho, 10.0, 5.0),
+                   claimed + 2.0 * rho * 15.0);
+  // No drift, no adjustment.
+  EXPECT_DOUBLE_EQ(drift_adjusted_bound(claimed, 0.0, 10.0, 5.0), claimed);
+  // Re-sync disabled drops only the interval term.
+  EXPECT_DOUBLE_EQ(drift_adjusted_bound(claimed, rho, 10.0, 0.0),
+                   claimed + 2.0 * rho * 10.0);
+}
+
+TEST(ResyncScheduler, InactiveBudgetLeavesTheRequestAlone) {
+  const ResyncPlan plan = plan_resync(DriftBudget{}, Duration{5.0}, 3);
+  EXPECT_DOUBLE_EQ(plan.period.sec, 5.0);
+  EXPECT_EQ(plan.epochs, 3u);
+  EXPECT_FALSE(plan.clamped);
+}
+
+TEST(ResyncScheduler, OverlongPeriodIsClampedAndCoverageKept) {
+  // rho 100 ppm, slack 0.4 ms -> max interval 2 s; a requested 5 s x 3
+  // epochs (15 s of coverage) becomes 2 s x >= 8 epochs.
+  DriftBudget budget;
+  budget.rho = 100e-6;
+  budget.slack = 0.0004;
+  const ResyncPlan plan = plan_resync(budget, Duration{5.0}, 3);
+  EXPECT_TRUE(plan.clamped);
+  EXPECT_DOUBLE_EQ(plan.period.sec, 2.0);
+  EXPECT_GE(plan.period.sec * static_cast<double>(plan.epochs),
+            15.0 - 1e-9);
+}
+
+TEST(ResyncScheduler, CompliantPeriodIsNotClamped) {
+  DriftBudget budget;
+  budget.rho = 100e-6;
+  budget.slack = 0.01;  // max interval 50 s
+  const ResyncPlan plan = plan_resync(budget, Duration{5.0}, 3);
+  EXPECT_FALSE(plan.clamped);
+  EXPECT_DOUBLE_EQ(plan.period.sec, 5.0);
+  EXPECT_EQ(plan.epochs, 3u);
+}
+
+}  // namespace
+}  // namespace cs::drift

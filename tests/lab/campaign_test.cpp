@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "lab/campaign.hpp"
+#include "lab/stats.hpp"
 
 namespace cs::lab {
 namespace {
@@ -214,6 +215,112 @@ TEST(CampaignZones, TaskThreadsDoNotChangeZonedResults) {
     EXPECT_EQ(a.zone_a_max_max, b.zone_a_max_max);
     break;  // one zoned cell suffices; the CLI test sweeps the campaign
   }
+}
+
+// ---------------------------------------------------------------------------
+// Drift axis
+
+CampaignSpec drifting_campaign() {
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name drifting\n"
+      "seed 17\n"
+      "seeds 1\n"
+      "protocol pingpong 3\n"
+      "skew 0.25\n"
+      "delay-scale 0.05\n"
+      "topology ring 5\n"
+      "mix bounds 0.001 0.025\n"
+      "faults none\n"
+      "drift const 200 resync 10\n"
+      "drift walk 200 50 resync 10\n");
+  return load_campaign(is);
+}
+
+TEST(CampaignDrift, DriftingArmsWithResyncStayWithinTheAdjustedBound) {
+  const CampaignSpec spec = drifting_campaign();
+  for (const TaskSpec& task : expand(spec)) {
+    const TaskResult r = run_task(spec, task);
+    ASSERT_TRUE(r.ok) << r.failure;
+    ASSERT_TRUE(r.bounded);
+    EXPECT_TRUE(r.drifting);
+    EXPECT_GT(r.drift_epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.drift_rho, 200e-6);
+    // Drift-adjusted soundness: realized vs claimed + 2rho(W + I), checked
+    // at every epoch inside the harness; `sound` folds every epoch.
+    EXPECT_TRUE(r.sound) << "drift arm " << task.drift_id;
+    EXPECT_GE(r.drift_bound, r.claimed);
+    // Thm 4.6 equality holds per epoch on the drift-adjusted instances.
+    EXPECT_LE(r.thm46_gap, kThm46Tolerance);
+    // The fitted rate differences stay within the physical maximum 2rho
+    // (the estimator clamps there).
+    EXPECT_LE(r.drift_slope, 2.0 * r.drift_rho + 1e-12);
+  }
+}
+
+TEST(CampaignDrift, DisablingResyncViolatesTheBound) {
+  // The demonstration at the heart of docs/DRIFT.md: the same oscillators
+  // held for a long horizon without re-synchronization drift past the
+  // bound the single sync promised.
+  CampaignSpec spec = drifting_campaign();
+  for (DriftAxisSpec& d : spec.drifts) {
+    d.resync = 0.0;
+    d.horizon = 80.0;
+  }
+  bool any_violation = false;
+  for (const TaskSpec& task : expand(spec)) {
+    const TaskResult r = run_task(spec, task);
+    ASSERT_TRUE(r.ok) << r.failure;
+    if (!r.sound) any_violation = true;
+  }
+  EXPECT_TRUE(any_violation)
+      << "no-resync arms stayed inside the bound; the violation "
+         "demonstration lost its teeth";
+}
+
+TEST(CampaignDrift, DriftArmsDoNotComposeWithFaultsOrZones) {
+  CampaignSpec spec = drifting_campaign();
+  FaultSpec drop;
+  drop.drop = 0.2;
+  spec.faults.push_back(drop);
+  spec.zones.push_back(ZoneAxisSpec{});
+  spec.zones.push_back(ZoneAxisSpec{"size", 3});
+  bool saw_fault_reject = false, saw_zone_reject = false;
+  for (const TaskSpec& task : expand(spec)) {
+    const TaskResult r = run_task(spec, task);
+    const bool faulty = spec.faults[task.fault_id].faulty();
+    const bool zoned = spec.zone_arm(task.zone_id).zoned();
+    if (faulty || zoned) {
+      EXPECT_FALSE(r.ok);
+      if (faulty && !r.ok) saw_fault_reject = true;
+      if (!faulty && zoned && !r.ok) saw_zone_reject = true;
+    } else {
+      EXPECT_TRUE(r.ok) << r.failure;
+    }
+  }
+  EXPECT_TRUE(saw_fault_reject);
+  EXPECT_TRUE(saw_zone_reject);
+}
+
+TEST(CampaignDrift, DriftReportsAreByteIdenticalForAnyThreadCount) {
+  // The full-report determinism contract for drift campaigns (the analogue
+  // of the cs_lab CLI --threads 1 vs 4 cmp in CI): deterministic JSON and
+  // CSV renderings byte-compare across thread counts.
+  const CampaignSpec spec = preset_campaign("drift");
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const CampaignReport a = aggregate(run_campaign(spec, serial));
+  const CampaignReport b = aggregate(run_campaign(spec, parallel));
+
+  std::ostringstream ja, jb, ca, cb;
+  write_report_json(ja, a, /*include_timing=*/false);
+  write_report_json(jb, b, /*include_timing=*/false);
+  write_report_csv(ca, a);
+  write_report_csv(cb, b);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_EQ(ca.str(), cb.str());
 }
 
 }  // namespace

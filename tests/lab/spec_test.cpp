@@ -289,5 +289,91 @@ TEST(CampaignSpecZones, Fabric100kPresetIsHundredKScale) {
   EXPECT_TRUE(spec.zones[0].zoned());
 }
 
+// ---------------------------------------------------------------------------
+// Drift axis
+
+TEST(CampaignSpecDrift, ParsesAndRoundTripsEveryArmKind) {
+  const CampaignSpec spec = parse(
+      std::string(kMinimalSpec) +
+      "drift none\n"
+      "drift const 200 resync 10\n"
+      "drift walk 150 40 resync 5 horizon 30\n"
+      "drift const 100 resync 0 horizon 60\n");
+  ASSERT_EQ(spec.drifts.size(), 4u);
+  EXPECT_EQ(spec.drifts[0].kind, "none");
+  EXPECT_FALSE(spec.drifts[0].drifting());
+  EXPECT_EQ(spec.drifts[1].kind, "const");
+  EXPECT_DOUBLE_EQ(spec.drifts[1].ppm, 200.0);
+  EXPECT_DOUBLE_EQ(spec.drifts[1].resync, 10.0);
+  EXPECT_DOUBLE_EQ(spec.drifts[1].horizon_or_default(), 40.0);
+  EXPECT_TRUE(spec.drifts[1].drifting());
+  EXPECT_DOUBLE_EQ(spec.drifts[1].rho(), 200e-6);
+  EXPECT_EQ(spec.drifts[2].kind, "walk");
+  EXPECT_DOUBLE_EQ(spec.drifts[2].step_ppm, 40.0);
+  EXPECT_DOUBLE_EQ(spec.drifts[2].horizon, 30.0);
+  EXPECT_DOUBLE_EQ(spec.drifts[3].resync, 0.0);
+  EXPECT_DOUBLE_EQ(spec.drifts[3].horizon_or_default(), 60.0);
+
+  std::ostringstream os;
+  save_campaign(os, spec);
+  const CampaignSpec back = parse(os.str());
+  ASSERT_EQ(back.drifts.size(), spec.drifts.size());
+  for (std::size_t i = 0; i < spec.drifts.size(); ++i)
+    EXPECT_EQ(back.drifts[i].describe(), spec.drifts[i].describe()) << i;
+}
+
+TEST(CampaignSpecDrift, NoDriftLineKeepsThePreDriftExpansion) {
+  const CampaignSpec spec = parse(kMinimalSpec);
+  EXPECT_TRUE(spec.drifts.empty());
+  EXPECT_EQ(spec.drift_arm_count(), 1u);
+  EXPECT_FALSE(spec.drift_arm(0).drifting());
+  // 2 topologies x 2 mixes x 2 faults x 1 zone x 1 drift x 2 seeds.
+  EXPECT_EQ(expand(spec).size(), 16u);
+}
+
+TEST(CampaignSpecDrift, DriftIsTheInnermostCellAxis) {
+  const CampaignSpec spec = parse(
+      std::string(kMinimalSpec) + "drift none\ndrift const 200 resync 10\n");
+  const std::vector<TaskSpec> tasks = expand(spec);
+  ASSERT_EQ(tasks.size(), 32u);
+  // Seeds cycle fastest, then drift, then zones (absent), then faults.
+  EXPECT_EQ(tasks[0].drift_id, 0u);
+  EXPECT_EQ(tasks[1].drift_id, 0u);
+  EXPECT_EQ(tasks[2].drift_id, 1u);
+  EXPECT_EQ(tasks[2].fault_id, tasks[0].fault_id);
+  EXPECT_EQ(tasks[4].fault_id, 1u);
+  for (const TaskSpec& t : tasks) EXPECT_EQ(t.cell_id(spec), t.index / 2);
+}
+
+TEST(CampaignSpecDrift, MalformedDriftLinesAreDiagnosed) {
+  const std::string base(kMinimalSpec);
+  EXPECT_NE(expect_error(base + "drift banana\n").find("line 14"),
+            std::string::npos);
+  expect_error(base + "drift const 0 resync 10\n");       // ppm must be > 0
+  expect_error(base + "drift const 200 resync -1\n");     // bad interval
+  expect_error(base + "drift const 200 resync 0\n");      // needs horizon
+  expect_error(base + "drift walk 200 0 resync 10\n");    // bad step
+  expect_error(base + "drift const 200 10\n");            // missing keyword
+  expect_error(base + "drift const 200 resync 10 span 4\n");
+}
+
+TEST(CampaignSpecDrift, DriftPresetsSweepBothOscillatorModels) {
+  const CampaignSpec with = preset_campaign("drift");
+  ASSERT_EQ(with.drifts.size(), 2u);
+  EXPECT_EQ(with.drifts[0].kind, "const");
+  EXPECT_EQ(with.drifts[1].kind, "walk");
+  for (const DriftAxisSpec& d : with.drifts) {
+    EXPECT_TRUE(d.drifting());
+    EXPECT_GT(d.resync, 0.0);
+  }
+
+  const CampaignSpec without = preset_campaign("drift-noresync");
+  ASSERT_EQ(without.drifts.size(), 2u);
+  for (const DriftAxisSpec& d : without.drifts) {
+    EXPECT_DOUBLE_EQ(d.resync, 0.0);
+    EXPECT_GT(d.horizon, 0.0);  // resync 0 requires an explicit horizon
+  }
+}
+
 }  // namespace
 }  // namespace cs::lab

@@ -163,6 +163,64 @@ TEST(LiveUdp, EightAgentsOverRealSocketsStayWithinTheBound) {
   expect_realized_within_bound(report);
 }
 
+TEST(LiveResync, DriftBudgetClampsThePeriodAndKeepsCoverage) {
+  // rho 100 ppm, slack 0.1 ms -> max re-sync interval 0.5 s.  The default
+  // 1 s x 1-epoch schedule violates it, so run_live must clamp the period
+  // and stretch the epoch count to preserve the covered span.
+  SystemModel model = test::bounded_model(make_complete(6), 0.001, 0.05);
+  LiveConfig config;
+  config.seed = 31;
+  config.drift.rho = 100e-6;
+  config.drift.slack = 0.0001;
+
+  const LiveReport report = run_live(model, config);
+  ASSERT_TRUE(report.converged);
+  EXPECT_TRUE(report.resync_clamped);
+  EXPECT_DOUBLE_EQ(report.resync_period.sec, 0.5);
+  EXPECT_GE(report.resync_epochs, 2u);
+  EXPECT_EQ(report.epochs.size(), report.resync_epochs);
+  // Every epoch publishes the drift-adjusted bound = claimed + slack.
+  for (const LiveEpochReport& ep : report.epochs) {
+    ASSERT_TRUE(ep.claimed_precision.has_value()) << "epoch " << ep.epoch;
+    ASSERT_TRUE(ep.drift_bound.has_value()) << "epoch " << ep.epoch;
+    EXPECT_DOUBLE_EQ(*ep.drift_bound,
+                     *ep.claimed_precision + config.drift.slack);
+  }
+  expect_realized_within_bound(report);
+  EXPECT_EQ(report.metrics.counter("runtime.drift.clamped"), 1u);
+  EXPECT_GT(report.metrics.series_snapshot("runtime.drift.epoch_bound").count,
+            0u);
+}
+
+TEST(LiveResync, CompliantScheduleRunsUnmodified) {
+  SystemModel model = test::bounded_model(make_complete(4), 0.001, 0.05);
+  LiveConfig config;
+  config.seed = 37;
+  config.agent.epochs = 2;
+  config.drift.rho = 100e-6;
+  config.drift.slack = 0.01;  // max interval 50 s >> the 5 s default period
+
+  const LiveReport report = run_live(model, config);
+  ASSERT_TRUE(report.converged);
+  EXPECT_FALSE(report.resync_clamped);
+  EXPECT_EQ(report.resync_epochs, 2u);
+  EXPECT_EQ(report.metrics.counter("runtime.drift.clamped"), 0u);
+  for (const LiveEpochReport& ep : report.epochs)
+    EXPECT_TRUE(ep.drift_bound.has_value());
+}
+
+TEST(LiveResync, InactiveBudgetLeavesReportsDriftFree) {
+  SystemModel model = test::bounded_model(make_complete(4), 0.001, 0.05);
+  LiveConfig config;
+  config.seed = 41;
+  config.agent.epochs = 2;
+  const LiveReport report = run_live(model, config);
+  ASSERT_TRUE(report.converged);
+  EXPECT_FALSE(report.resync_clamped);
+  for (const LiveEpochReport& ep : report.epochs)
+    EXPECT_FALSE(ep.drift_bound.has_value());
+}
+
 TEST(LiveConfigValidation, RejectsBadSchedules) {
   SystemModel model = test::bounded_model(make_complete(3), 0.001, 0.05);
   LiveConfig config;

@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/synchronizer.hpp"
@@ -28,6 +32,65 @@ TEST(Clock, RateScalesBothWays) {
     const RealTime rt{t};
     EXPECT_NEAR(c.real(c.at(rt)).sec, t, 1e-12);
   }
+}
+
+TEST(Clock, RejectsInvalidRatesWithAThrownError) {
+  // A real thrown Error, not a debug-only assert: these must fire in
+  // release builds too, because campaign specs and CLI flags feed rates in
+  // from user input (NDEBUG regression coverage lives right here — the
+  // default CI build is Release).
+  EXPECT_THROW(Clock(RealTime{0.0}, 0.0), Error);
+  EXPECT_THROW(Clock(RealTime{0.0}, -1.0), Error);
+  EXPECT_THROW(Clock(RealTime{0.0}, std::nan("")), Error);
+  EXPECT_THROW(Clock(RealTime{0.0}, std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW(validated_clock_rate(-0.0), Error);
+  EXPECT_NO_THROW(Clock(RealTime{0.0}, 1e-9));
+  // The message names the offending value.
+  try {
+    validated_clock_rate(-2.0);
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("clock rate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-2.0"), std::string::npos);
+  }
+}
+
+TEST(RateSchedule, ValidatesItsSegments) {
+  EXPECT_THROW(RateSchedule({}), Error);
+  EXPECT_THROW(RateSchedule({{1.0, 1.0}}), Error);  // must start at 0
+  EXPECT_THROW(RateSchedule({{0.0, 1.0}, {0.0, 1.1}}), Error);  // not increasing
+  EXPECT_THROW(RateSchedule({{0.0, 1.0}, {2.0, -1.0}}), Error);  // bad rate
+  EXPECT_NO_THROW(RateSchedule({{0.0, 0.5}, {1.0, 2.0}}));
+}
+
+TEST(RateSchedule, PiecewiseClockIsExactlyInvertible) {
+  // 1s at rate 2, then 1s at rate 0.5, then rate 1 forever.
+  const RateSchedule s({{0.0, 2.0}, {1.0, 0.5}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(s.rate_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.rate_at(10.0), 1.0);   // last rate extends forever
+  EXPECT_DOUBLE_EQ(s.rate_at(-1.0), 2.0);   // first rate extends backward
+  EXPECT_DOUBLE_EQ(s.clock_at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.clock_at(2.0), 2.5);
+  EXPECT_DOUBLE_EQ(s.clock_at(3.0), 3.5);
+  for (double t : {0.0, 0.7, 1.0, 1.9, 2.0, 5.3})
+    EXPECT_NEAR(s.elapsed_at(s.clock_at(t)), t, 1e-12) << t;
+}
+
+TEST(RateSchedule, DrivesAClockThroughBothConversions) {
+  const auto schedule =
+      std::make_shared<const RateSchedule>(std::vector<RateSegment>{
+          {0.0, 1.0 + 1e-4}, {10.0, 1.0 - 1e-4}});
+  const Clock c(RealTime{5.0}, schedule);
+  EXPECT_DOUBLE_EQ(c.rate(), 1.0 + 1e-4);
+  EXPECT_DOUBLE_EQ(c.at(RealTime{15.0}).sec, 10.0 * (1.0 + 1e-4));
+  for (double t : {5.0, 9.9, 15.0, 30.0})
+    EXPECT_NEAR(c.real(c.at(RealTime{t})).sec, t, 1e-12) << t;
+  // A null schedule degenerates to rate exactly 1.
+  const Clock unit(RealTime{1.0}, std::shared_ptr<const RateSchedule>{});
+  EXPECT_DOUBLE_EQ(unit.rate(), 1.0);
+  EXPECT_DOUBLE_EQ(unit.at(RealTime{2.5}).sec, 1.5);
 }
 
 TEST(DriftSim, EmptyRatesMeansNoDrift) {

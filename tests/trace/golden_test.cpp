@@ -64,11 +64,32 @@ TEST_P(GoldenTrace, RerecordingIsIdempotent) {
 INSTANTIATE_TEST_SUITE_P(Goldens, GoldenTrace,
                          ::testing::Values("golden_clean.trace",
                                            "golden_faulty.trace",
-                                           "golden_windowed.trace"),
+                                           "golden_windowed.trace",
+                                           "golden_drifting.trace"),
                          [](const auto& info) {
                            std::string name = info.param;
                            return name.substr(7, name.find('.') - 7);
                          });
+
+// The drifting golden pins the non-unit `rate` header lines (docs/DRIFT.md)
+// through the full round trip: they must be present, inside the declared
+// 150 ppm band, and preserved bit-for-bit by replay + rerecord.
+TEST(GoldenDriftingTrace, NonUnitRatesSurviveTheRoundTrip) {
+  const Trace trace = load_trace_file(data_path("golden_drifting.trace"));
+  ASSERT_EQ(trace.rates.size(), trace.processors);
+  bool any_non_unit = false;
+  for (const double r : trace.rates) {
+    EXPECT_GE(r, 1.0 - 150e-6);
+    EXPECT_LE(r, 1.0 + 150e-6);
+    if (r != 1.0) any_non_unit = true;
+  }
+  EXPECT_TRUE(any_non_unit) << "golden_drifting.trace has all-unit rates";
+
+  const ReplayResult result = replay(trace);
+  const Trace back = rerecorded(trace, result);
+  EXPECT_EQ(back.rates, trace.rates);
+  EXPECT_TRUE(diff_traces(trace, back).empty());
+}
 
 }  // namespace
 }  // namespace cs

@@ -261,8 +261,8 @@ int cmd_report(const Args& args) {
 
 void print_usage(std::ostream& os) {
   os << "cs_lab " << kVersion << " — experiment-campaign engine\n\n"
-     << "  cs_lab run <spec-file | --preset smoke|toroid|zones|fabric100k>"
-        " [flags]\n"
+     << "  cs_lab run <spec-file | --preset smoke|toroid|zones|fabric100k|\n"
+     << "              drift|drift-noresync> [flags]\n"
      << "      --threads N    worker threads (0 = all cores)\n"
      << "      --task-threads N  threads *inside* each task (zoned solves;\n"
      << "                     byte-identical results for any value)\n"

@@ -33,6 +33,7 @@
 #include "core/zones.hpp"
 #include "runtime/daemon.hpp"
 #include "delaymodel/constraint.hpp"
+#include "drift/oscillator.hpp"
 #include "graph/topology.hpp"
 #include "io/views_io.hpp"
 #include "proto/beacon.hpp"
@@ -347,6 +348,20 @@ int cmd_simulate(const Args& args) {
   if (args.has("--delay-scale"))
     sim_opts.delay_scale =
         parse_double_flag("--delay-scale", args.get("--delay-scale"));
+
+  // --drift R: constant-skew oscillators in [1 - R·1e-6, 1 + R·1e-6] on a
+  // dedicated seed stream (docs/DRIFT.md).  Drifting rates step outside
+  // the paper's model, so admissibility enforcement is turned off — the
+  // recorded trace still replays bit-identically (rates are recorded).
+  const double drift_ppm =
+      parse_double_flag("--drift", args.get("--drift", "0"));
+  if (drift_ppm < 0.0) usage_fail("--drift wants a ppm value >= 0");
+  if (drift_ppm > 0.0) {
+    drift::OscillatorSpec osc;
+    osc.kind = drift::OscillatorSpec::Kind::kConstant;
+    osc.ppm = drift_ppm;
+    drift::draw_oscillators(osc, n, seed ^ 0xD21F705C1ULL).apply(sim_opts);
+  }
 
   FaultPlan faults;
   bool any_faults = false;
@@ -679,6 +694,12 @@ int cmd_live(const Args& args) {
   config.agent.leader = static_cast<ProcessorId>(
       parse_u64_flag("--leader", args.get("--leader", "0")));
   config.agent.sync = sync_options_from(args);
+  config.drift.rho =
+      parse_double_flag("--drift-ppm", args.get("--drift-ppm", "0")) * 1e-6;
+  config.drift.slack =
+      parse_double_flag("--drift-slack", args.get("--drift-slack", "0"));
+  if ((config.drift.rho > 0.0) != (config.drift.slack > 0.0))
+    usage_fail("--drift-ppm and --drift-slack go together");
 
   std::optional<ZonePlan> zone_plan;
   if (args.has("--zones")) {
@@ -714,6 +735,8 @@ int cmd_live(const Args& args) {
       out += ep.claimed_precision.has_value() ? "true" : "false";
       if (ep.claimed_precision.has_value())
         out += ", \"precision\": " + jnum(*ep.claimed_precision);
+      if (ep.drift_bound.has_value())
+        out += ", \"drift_bound\": " + jnum(*ep.drift_bound);
       if (ep.realized_precision.has_value())
         out += ", \"realized\": " + jnum(*ep.realized_precision);
       if (ep.realized_intra.has_value())
@@ -739,6 +762,12 @@ int cmd_live(const Args& args) {
   std::printf("live run: %zu agents over %s, %zu events dispatched%s\n",
               report.agents, report.transport.c_str(), report.dispatched,
               report.timed_out ? " (deadline hit)" : "");
+  if (config.drift.active())
+    std::printf("drift budget: rho %s slack %s -> period %s, %zu epochs%s\n",
+                num(config.drift.rho).c_str(),
+                num(config.drift.slack).c_str(),
+                num(report.resync_period.sec).c_str(), report.resync_epochs,
+                report.resync_clamped ? " (clamped)" : "");
   for (const LiveEpochReport& ep : report.epochs) {
     if (!ep.claimed_precision.has_value()) {
       std::printf("epoch %zu  boundary %s  NOT COMPUTED (%zu/%zu reports)\n",
@@ -795,6 +824,8 @@ simulate flags:
   --proto ping-pong|beacon --rounds N --spacing S --warmup S
   --period S --count N     (beacon)
   --seed U --skew S --delay-scale S
+  --drift R                constant-skew oscillators, band R ppm
+                           (docs/DRIFT.md; disables the admissibility check)
   --drop P --dup P --spike P --spike-mag S --fault-seed U
   --down a:b:from:until    link outage window
   --crash pid:from[:until] processor crash window
@@ -817,6 +848,8 @@ live flags:
   --grace S                degraded-mode watchdog (0 = wait forever)
   --leader N --deadline S --trace FILE
   --zones K                split realized precision per-zone vs cross-zone
+  --drift-ppm R --drift-slack S   drift budget: clamp the epoch period so
+                           band-R clocks drift at most S between re-syncs
   --no-check               skip the offline cross-check
 
 exit codes: 0 ok, 1 divergence found, 2 usage error, 3 runtime error
@@ -856,7 +889,8 @@ int main(int argc, char** argv) {
         "--crash",    "--boundaries", "--window",    "--widen",
         "--max-age",  "--views",     "--rerecord",   "--max-reports",
         "--transport", "--report-at", "--epochs",    "--grace",
-        "--leader",   "--deadline",  "--trace",      "--zones"};
+        "--leader",   "--deadline",  "--trace",      "--zones",
+        "--drift",    "--drift-ppm", "--drift-slack"};
     const std::set<std::string> switches{"--json", "--carry", "--rebuild",
                                          "--no-check"};
     const Args args(argc - 2, argv + 2, valued, switches);

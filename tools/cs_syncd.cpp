@@ -55,6 +55,13 @@ usage: cs_syncd [flags]
   --zones K                split realized precision into intra-/cross-zone
                            components over greedy BFS ~K-node zones
                            (docs/ZONES.md)
+  --drift-ppm R --drift-slack S
+                           declare an oscillator band of R ppm and a
+                           precision slack of S seconds; the epoch period
+                           is clamped to S/(2*R*1e-6) so drift between
+                           re-syncs never spends more than S, and each
+                           epoch reports its drift-adjusted bound
+                           (docs/DRIFT.md)
   --leader N --deadline S --trace FILE
   --no-check               skip the offline cross-check
   --json                   machine-readable report
@@ -163,6 +170,15 @@ int main(int argc, char** argv) {
     config.agent.grace = Duration{num_flag("--grace", get("--grace", "0"))};
     config.agent.leader =
         static_cast<ProcessorId>(num_flag("--leader", get("--leader", "0")));
+    config.drift.rho =
+        num_flag("--drift-ppm", get("--drift-ppm", "0")) * 1e-6;
+    config.drift.slack =
+        num_flag("--drift-slack", get("--drift-slack", "0"));
+    if ((config.drift.rho > 0.0) != (config.drift.slack > 0.0)) {
+      std::fprintf(stderr,
+                   "cs_syncd: --drift-ppm and --drift-slack go together\n");
+      return kExitUsage;
+    }
 
     std::optional<ZonePlan> zone_plan;
     if (flags.count("--zones") != 0) {
@@ -187,6 +203,12 @@ int main(int argc, char** argv) {
       out += report.converged ? "true" : "false";
       out += ", \"all_match\": ";
       out += report.checked ? (report.all_match ? "true" : "false") : "null";
+      if (config.drift.active()) {
+        out += ", \"resync_period\": " + fmt(report.resync_period.sec);
+        out += ", \"resync_epochs\": " + std::to_string(report.resync_epochs);
+        out += ", \"resync_clamped\": ";
+        out += report.resync_clamped ? "true" : "false";
+      }
       out += ", \"epochs\": [";
       for (std::size_t k = 0; k < report.epochs.size(); ++k) {
         const LiveEpochReport& ep = report.epochs[k];
@@ -196,6 +218,8 @@ int main(int argc, char** argv) {
         out += ep.degraded ? "true" : "false";
         if (ep.claimed_precision)
           out += ", \"precision\": " + fmt(*ep.claimed_precision);
+        if (ep.drift_bound)
+          out += ", \"drift_bound\": " + fmt(*ep.drift_bound);
         if (ep.realized_precision)
           out += ", \"realized\": " + fmt(*ep.realized_precision);
         if (ep.realized_intra)
@@ -217,6 +241,13 @@ int main(int argc, char** argv) {
     std::printf("cs_syncd: %zu agents over %s (%zu events)%s\n",
                 report.agents, report.transport.c_str(), report.dispatched,
                 report.timed_out ? ", deadline hit" : "");
+    if (config.drift.active())
+      std::printf("  drift budget: rho %s, slack %s -> period %s, %zu "
+                  "epochs%s\n",
+                  fmt(config.drift.rho).c_str(),
+                  fmt(config.drift.slack).c_str(),
+                  fmt(report.resync_period.sec).c_str(), report.resync_epochs,
+                  report.resync_clamped ? " (clamped)" : "");
     for (const LiveEpochReport& ep : report.epochs) {
       if (!ep.claimed_precision.has_value()) {
         std::printf("  epoch %zu: not computed (%zu/%zu reports)\n", ep.epoch,
@@ -224,9 +255,10 @@ int main(int argc, char** argv) {
         continue;
       }
       std::string split;
+      if (ep.drift_bound) split += " drift-bound " + fmt(*ep.drift_bound);
       if (ep.realized_intra && ep.realized_cross)
-        split = " intra " + fmt(*ep.realized_intra) + " cross " +
-                fmt(*ep.realized_cross);
+        split += " intra " + fmt(*ep.realized_intra) + " cross " +
+                 fmt(*ep.realized_cross);
       std::printf("  epoch %zu: precision %s realized %s%s%s%s\n", ep.epoch,
                   fmt(*ep.claimed_precision).c_str(),
                   ep.realized_precision ? fmt(*ep.realized_precision).c_str()
