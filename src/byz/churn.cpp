@@ -1,0 +1,63 @@
+#include "byz/churn.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cs::byz {
+
+void apply_churn(const ChurnSpec& spec, const Topology& topo,
+                 FaultPlan& plan) {
+  if (spec.period < 0.0) throw Error("churn: period must be non-negative");
+  if (!spec.active()) {
+    if (spec.period > 0.0 && !(spec.duty > 0.0 && spec.duty <= 1.0))
+      throw Error("churn: duty must be in (0, 1]");
+    return;
+  }
+  if (!(spec.duty > 0.0 && spec.duty < 1.0))
+    throw Error("churn: duty must be in (0, 1) when churn is active");
+  if (!(spec.horizon > 0.0))
+    throw Error("churn: active churn needs a positive horizon");
+
+  const Rng master(spec.seed);
+  Rng pick = master.split(~std::uint64_t{0});
+  std::vector<std::size_t> order(topo.link_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t churning = std::min(spec.links, topo.link_count());
+  for (std::size_t i = 0; i < churning; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(pick.uniform_int(
+                                  static_cast<std::uint64_t>(
+                                      order.size() - i)));
+    std::swap(order[i], order[j]);
+  }
+
+  for (std::size_t i = 0; i < churning; ++i) {
+    const std::size_t link = order[i];
+    const auto [a, b] = topo.links[link];
+    Rng phase_rng = master.split(link);
+    const double phase = phase_rng.uniform01() * spec.period;
+    const double up = spec.duty * spec.period;
+    // Start one cycle early so a phase landing the link mid-dark at t=0 is
+    // represented.
+    for (double cycle = phase - spec.period; cycle < spec.horizon;
+         cycle += spec.period) {
+      TimeWindow w;
+      w.from = RealTime{cycle + up};
+      w.until = RealTime{cycle + spec.period};
+      if (w.until.sec <= 0.0) continue;
+      plan.link(a, b).down.push_back(w);
+    }
+  }
+}
+
+std::vector<bool> links_down_at(const FaultPlan& plan, const Topology& topo,
+                                RealTime t) {
+  std::vector<bool> down;
+  down.reserve(topo.link_count());
+  for (const auto& [a, b] : topo.links)
+    down.push_back(plan.link_faults(a, b).down_at(t));
+  return down;
+}
+
+}  // namespace cs::byz

@@ -1,0 +1,60 @@
+// Link churn: topologies whose links appear and disappear mid-run.
+//
+// Churn is compiled into FaultPlan link-down windows rather than executed
+// by its own injector: the FaultInjector's down_at() check consumes no RNG
+// draws (fault_plan.hpp), so churn layers over any existing fault plan —
+// and composes with the Byzantine stamp tamper — without perturbing a
+// single random stream.  The schedule is a seeded duty cycle per chosen
+// link: each churning link is up for `duty` of every `period`, with a
+// per-link random phase, so at any instant a deterministic but staggered
+// subset of links is dark.
+//
+// The mls graph then genuinely changes mid-run: epochs whose window falls
+// in a link's dark stretch lose that link's observations (sliding windows)
+// or see only stale ones (cumulative prefixes).  links_down_at() provides
+// the per-epoch census the degraded-mode coverage report consumes — a
+// disappeared link is *absent*, not merely stale (core/degraded.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace cs::byz {
+
+struct ChurnSpec {
+  /// Full up+down cycle length in seconds; 0 = no churn.
+  double period{0.0};
+
+  /// Fraction of each cycle the link is up, in (0, 1]; 1 = never down.
+  double duty{0.75};
+
+  /// Compile down windows for cycles overlapping [0, horizon).
+  double horizon{0.0};
+
+  /// How many links churn (a seeded without-replacement choice); anything
+  /// >= the topology's link count means all of them.
+  std::size_t links{std::numeric_limits<std::size_t>::max()};
+
+  /// Seed of the phase / link-choice randomness (independent of the fault
+  /// plan's own seed).
+  std::uint64_t seed{0xC402u};
+
+  bool active() const { return period > 0.0 && duty < 1.0; }
+};
+
+/// Layer the churn schedule's down windows onto `plan`.  Throws cs::Error
+/// on invalid parameters (duty outside (0, 1], active churn without a
+/// horizon).
+void apply_churn(const ChurnSpec& spec, const Topology& topo,
+                 FaultPlan& plan);
+
+/// Per-link down flags at real time `t` under `plan` (in topology link
+/// order) — the instantaneous view census any epoch boundary can take.
+std::vector<bool> links_down_at(const FaultPlan& plan, const Topology& topo,
+                                RealTime t);
+
+}  // namespace cs::byz

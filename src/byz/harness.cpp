@@ -1,0 +1,253 @@
+#include "byz/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "byz/injector.hpp"
+#include "common/error.hpp"
+#include "core/local_estimates.hpp"
+#include "core/precision.hpp"
+#include "core/synchronizer.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/simulator.hpp"
+
+namespace cs::byz {
+namespace {
+
+/// Ground-truth corrected spread over `members` (drift-free clocks: the
+/// corrected clock of p reads t - S_p + x_p, so the spread is the spread
+/// of x_p - S_p).  0 for fewer than two members.
+double honest_spread(std::span<const ProcessorId> members,
+                     std::span<const Duration> offsets,
+                     std::span<const double> corrections) {
+  if (members.size() < 2) return 0.0;
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (ProcessorId p : members) {
+    const double c = corrections[p] - offsets[p].sec;
+    if (first) {
+      lo = hi = c;
+      first = false;
+    } else {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+ByzTrialResult run_byz_trial(const SystemModel& model,
+                             const ByzTrialConfig& config) {
+  ByzTrialResult result;
+  try {
+    const std::size_t n = model.processor_count();
+    if (config.start_offsets.size() != n)
+      throw Error("byz trial: need one start offset per processor");
+    if (config.horizon <= 0.0 || config.interval <= 0.0)
+      throw Error("byz trial: horizon and interval must be positive");
+    if (!(config.sample_lo > 0.0) || config.sample_hi < config.sample_lo)
+      throw Error("byz trial: need 0 < sample_lo <= sample_hi");
+
+    const ByzPlan plan = resolve_byz_plan(config.plan, n);
+
+    // Honest membership is a property of the *plan*, not of the window: an
+    // agent that ever lies is scored as Byzantine for the whole trial.
+    std::vector<ProcessorId> honest;
+    honest.reserve(n);
+    for (ProcessorId p = 0; p < n; ++p) {
+      const AgentPlan* a = plan.agent(p);
+      if (a == nullptr || !a->lies()) honest.push_back(p);
+    }
+
+    // When does the attack end (clock time)?  +inf = never.
+    double attack_end = 0.0;
+    for (const AgentPlan& a : plan.agents())
+      if (a.lies()) attack_end = std::max(attack_end, a.until);
+
+    // Fault plan: the caller's (copied), with churn layered on top.  Down
+    // windows consume no fault-stream draws, so this composes cleanly.
+    FaultPlan faults = config.faults != nullptr ? *config.faults : FaultPlan{};
+    ChurnSpec churn = config.churn;
+    if (churn.period > 0.0 && churn.horizon == 0.0)
+      churn.horizon = config.horizon + config.skew;
+    apply_churn(churn, model.topology(), faults);
+    const bool any_faults = config.faults != nullptr || churn.active();
+
+    const double warmup = config.skew + 0.1;
+    if (config.interval <= warmup)
+      throw Error("byz trial: first epoch boundary must exceed the warmup");
+    const double spacing = config.interval / 8.0;
+    const auto rounds = static_cast<std::size_t>(
+        std::ceil((config.horizon - warmup) / spacing)) + 1;
+
+    ByzInjector tamper(plan, n, config.metrics);
+
+    SimOptions opts;
+    opts.start_offsets = config.start_offsets;
+    opts.seed = config.sim_seed;
+    opts.metrics = config.metrics;
+    opts.tamper = &tamper;
+    if (any_faults) opts.faults = &faults;
+    opts.max_events =
+        config.max_events != 0
+            ? config.max_events
+            : std::max<std::size_t>(
+                  1'000'000, 64 * (rounds + 1) *
+                                 (model.topology().link_count() + n));
+
+    std::vector<std::unique_ptr<DelaySampler>> samplers;
+    samplers.reserve(model.topology().link_count());
+    for (std::size_t i = 0; i < model.topology().link_count(); ++i)
+      samplers.push_back(make_uniform_sampler(config.sample_lo,
+                                              config.sample_hi,
+                                              config.sample_lo,
+                                              config.sample_hi));
+
+    PingPongParams probes;
+    probes.warmup = Duration{warmup};
+    probes.spacing = Duration{spacing};
+    probes.rounds = rounds;
+    const SimResult sim =
+        simulate(model, make_ping_pong(probes), std::move(samplers), opts);
+    result.lied_stamps = tamper.lied_stamps();
+    result.delivered = sim.delivered_messages;
+    result.dropped = sim.fault_dropped_messages;
+    result.events = sim.delivered_messages + sim.fired_timers;
+
+    const std::vector<View> views = sim.execution.views();
+    const double window =
+        config.window > 0.0 ? config.window : config.interval;
+
+    SyncOptions sync_opts;
+    sync_opts.threads = config.sync_threads;
+    sync_opts.metrics = config.metrics;
+    sync_opts.match = MatchPolicy::kDropOrphans;
+
+    MlsCarry carry(config.staleness, config.metrics);
+
+    bool counting_recovery = false;
+    bool recovered = false;
+    std::size_t recovery_epochs = 0;
+
+    for (double boundary = config.interval; boundary < config.horizon - 1e-9;
+         boundary += config.interval) {
+      ByzEpochRow row;
+      row.boundary = boundary;
+
+      std::vector<View> cut;
+      cut.reserve(n);
+      for (const View& v : views)
+        cut.push_back(v.window(ClockTime{boundary - window},
+                               ClockTime{boundary}));
+
+      LinkTraffic traffic =
+          LinkTraffic::estimated_from_views(cut, sync_opts.match);
+      if (config.robust.trim)
+        traffic = trimmed_traffic(traffic, model, config.robust.trim_gate,
+                                  config.metrics);
+
+      // Churn census: which links are dark right now.  Boundaries are
+      // clock times; with start skew << churn period the real-time census
+      // at the same instant is the honest approximation.
+      if (churn.active()) {
+        const std::vector<bool> down =
+            links_down_at(faults, model.topology(), RealTime{boundary});
+        const LinkCoverage cov = link_coverage(model, traffic, down);
+        row.absent_directions = cov.absent_directions;
+      }
+
+      Digraph mls = mls_graph_from_traffic(model, traffic,
+                                           config.sync_threads);
+      mls = carry.apply(mls);
+      row.carried_edges = carry.last_carried();
+      if (config.robust.quorum > 0) {
+        const std::size_t before = mls.edge_count();
+        mls = quorum_validated_mls(mls, config.robust, config.metrics);
+        row.quorum_dropped = before - mls.edge_count();
+        result.quorum_dropped_max =
+            std::max(result.quorum_dropped_max, row.quorum_dropped);
+      }
+
+      bool clean_equality = false;
+      try {
+        const SyncOutcome out = synchronize_mls(std::move(mls), sync_opts);
+        row.bounded = out.bounded();
+        row.claimed = row.bounded ? out.optimal_precision.finite() : 0.0;
+
+        // Score every finiteness component with >= 2 honest members.
+        std::vector<ProcessorId> members;
+        for (std::size_t c = 0; c < out.components.component_count; ++c) {
+          members.clear();
+          for (ProcessorId p : honest)
+            if (out.components.component[p] == c) members.push_back(p);
+          if (members.size() < 2) continue;
+          ++row.honest_components;
+          const double claim =
+              row.bounded ? row.claimed : out.component_precision[c];
+          const double realized =
+              honest_spread(members, config.start_offsets, out.corrections);
+          row.claimed_honest = std::max(row.claimed_honest, claim);
+          row.realized_honest = std::max(row.realized_honest, realized);
+          if (realized > claim + config.tolerance) row.sound = false;
+        }
+
+        if (row.bounded) {
+          const double guaranteed =
+              guaranteed_precision(out.ms_estimates, out.corrections)
+                  .finite();
+          row.thm46_gap = std::abs(guaranteed - row.claimed);
+          clean_equality = row.thm46_gap <= 1e-9;
+        }
+      } catch (const InvalidAssumption&) {
+        // The lies contradicted the declared delay assumptions outright:
+        // a negative m̃ls cycle.  Loud, safe, counted separately.
+        row.detected = true;
+        row.sound = true;
+      }
+
+      if (row.detected) {
+        ++result.detected_epochs;
+      } else if (!row.sound) {
+        ++result.violations;
+      }
+      result.claimed_honest_max =
+          std::max(result.claimed_honest_max, row.claimed_honest);
+      result.realized_honest_max =
+          std::max(result.realized_honest_max, row.realized_honest);
+      if (!row.detected && row.sound && row.thm46_gap > 0.0)
+        result.thm46_gap = std::max(result.thm46_gap, row.thm46_gap);
+
+      // Recovery count: epochs strictly after the attack's end until the
+      // first fully-clean one (undetected, sound, Thm 4.6 equality).
+      if (std::isfinite(attack_end) && boundary > attack_end &&
+          plan.liar_count() > 0) {
+        counting_recovery = true;
+        if (!recovered) {
+          ++recovery_epochs;
+          if (!row.detected && row.sound && row.bounded && clean_equality)
+            recovered = true;
+        }
+      }
+
+      result.rows.push_back(row);
+    }
+
+    if (result.rows.empty())
+      throw Error("byz trial: horizon admits no epoch boundary");
+    result.epochs = result.rows.size();
+    result.sound = result.violations == 0;
+    result.recovery_measured = counting_recovery;
+    result.recovered = recovered;
+    result.recovery_epochs = recovery_epochs;
+    result.ok = true;
+  } catch (const Error& e) {
+    result.ok = false;
+    result.failure = e.what();
+  }
+  return result;
+}
+
+}  // namespace cs::byz

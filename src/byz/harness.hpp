@@ -1,0 +1,136 @@
+// The Byzantine trial harness: one adversarial run, measured end to end.
+//
+// A trial simulates ping-pong probing over a model while a ByzPlan
+// corrupts the chosen agents' recorded stamps (and, optionally, churn
+// darkens links and a fault plan drops messages), then re-runs the
+// pipeline at every epoch boundary over sliding view windows with the
+// selected estimator variant (naive / trimmed / quorum) and scores each
+// epoch three ways:
+//
+//   * detected  — GLOBAL ESTIMATES threw InvalidAssumption: the lies
+//                 created a negative m̃ls cycle and the pipeline refused.
+//                 Loud failure; nobody is misled.
+//   * sound     — on every finiteness component with >= 2 honest members,
+//                 the honest agents' ground-truth corrected spread stays
+//                 within the component's claimed bound.  The honest-
+//                 subgraph reading of Thm 4.6: liars' own corrections are
+//                 garbage by definition, so only honest pairs are scored.
+//   * violated  — neither: the pipeline published a bound the honest
+//                 agents measurably exceed.  The silent failure the
+//                 robust estimators exist to prevent.
+//
+// Recovery: when every liar's active window ends before the horizon, the
+// trial counts epochs from the attack's end until the first epoch that is
+// undetected, sound, and back on the Thm 4.6 equality (ρ̄ == Ã^max within
+// tolerance).  With sliding windows this is finite by construction —
+// corrupted observations age out — and the count measures exactly how
+// long the corrupted estimator state (window remnants plus any staleness
+// carry) keeps poisoning corrections.  docs/BYZ.md defines the metric.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "byz/churn.hpp"
+#include "byz/plan.hpp"
+#include "core/degraded.hpp"
+#include "core/robust.hpp"
+#include "delaymodel/assignment.hpp"
+
+namespace cs::byz {
+
+struct ByzTrialConfig {
+  /// The adversary (resolved against the model's processor count).
+  ByzPlanSpec plan;
+
+  /// Estimator variant under test; inactive = the naive pipeline.
+  RobustOptions robust;
+
+  /// Optional link churn, compiled into the trial's fault plan (horizon
+  /// defaults to the trial horizon).
+  ChurnSpec churn;
+
+  /// Optional extra fault plan (drops, crashes); churn layers on top of a
+  /// copy, the original is never mutated.
+  const FaultPlan* faults{nullptr};
+
+  double horizon{32.0};
+  /// Epoch boundaries at interval, 2·interval, ... < horizon (clock time).
+  double interval{8.0};
+  /// Sliding estimation window; 0 = one interval.  Recovery time scales
+  /// with window / interval — the window is the corrupted state.
+  double window{0.0};
+
+  /// Maximum random start offset (must match start_offsets' generation).
+  double skew{0.25};
+  /// Uniform delay sampling band; keep it strictly inside the model's
+  /// declared [lb, ub] (e.g. the middle quarter) so honest epochs carry
+  /// slack and sub-detection-threshold lies are *possible* — the regime
+  /// worth measuring.
+  double sample_lo{0.0};
+  double sample_hi{0.0};
+
+  std::uint64_t sim_seed{1};
+  std::vector<Duration> start_offsets;
+
+  /// Optional staleness carry (recovery experiments: carried poisoned
+  /// edges outlive the window).
+  StalenessOptions staleness;
+
+  double tolerance{1e-9};
+  std::size_t sync_threads{1};
+  std::size_t max_events{0};  ///< 0 = auto
+  Metrics* metrics{nullptr};
+};
+
+struct ByzEpochRow {
+  double boundary{0.0};
+  bool detected{false};
+  bool bounded{false};
+  /// Full-graph Ã^max when bounded (what the pipeline *publishes*).
+  double claimed{0.0};
+  /// Honest-subgraph claim/realized: max over finiteness components with
+  /// >= 2 honest members of (component bound, honest corrected spread).
+  double claimed_honest{0.0};
+  double realized_honest{0.0};
+  bool sound{true};
+  /// |ρ̄ − Ã^max| on bounded epochs (the Thm 4.6 equality residue).
+  double thm46_gap{0.0};
+  std::size_t honest_components{0};
+  std::size_t quorum_dropped{0};
+  std::size_t carried_edges{0};
+  /// Churn census at the boundary (core/degraded.hpp absent semantics).
+  std::size_t absent_directions{0};
+};
+
+struct ByzTrialResult {
+  bool ok{false};
+  std::string failure;
+
+  std::vector<ByzEpochRow> rows;
+  std::size_t epochs{0};
+  std::size_t detected_epochs{0};
+  std::size_t violations{0};  ///< undetected epochs that broke the bound
+  bool sound{true};           ///< violations == 0
+
+  double claimed_honest_max{0.0};
+  double realized_honest_max{0.0};
+  double thm46_gap{0.0};  ///< max over fully-clean epochs
+
+  /// Recovery metric (see header comment); measured only when the attack
+  /// ends before the horizon.
+  bool recovery_measured{false};
+  bool recovered{false};
+  std::size_t recovery_epochs{0};
+
+  std::size_t lied_stamps{0};
+  std::size_t quorum_dropped_max{0};
+  std::size_t delivered{0};
+  std::size_t dropped{0};
+  std::size_t events{0};
+};
+
+ByzTrialResult run_byz_trial(const SystemModel& model,
+                             const ByzTrialConfig& config);
+
+}  // namespace cs::byz

@@ -1,0 +1,39 @@
+#include "byz/injector.hpp"
+
+#include "common/error.hpp"
+
+namespace cs::byz {
+
+ByzInjector::ByzInjector(const ByzPlan& plan, std::size_t processor_count,
+                         Metrics* metrics)
+    : plan_(&plan), metrics_(metrics) {
+  agent_of_.assign(processor_count, nullptr);
+  for (const AgentPlan& a : plan.agents()) {
+    if (a.pid >= processor_count)
+      throw Error("ByzPlan names a non-existent processor " +
+                  std::to_string(a.pid));
+    agent_of_[a.pid] = &a;
+  }
+  const Rng master(plan.seed);
+  rngs_.reserve(processor_count);
+  for (std::size_t p = 0; p < processor_count; ++p)
+    rngs_.push_back(master.split(p));
+  last_truth_.assign(processor_count, ClockTime{});
+  floor_.assign(processor_count, ClockTime{});
+}
+
+ClockTime ByzInjector::stamp(ProcessorId pid, EventKind kind,
+                             ClockTime truth, ProcessorId peer) {
+  const AgentPlan* agent = agent_of_[pid];
+  if (agent == nullptr) return truth;  // honest: no draw, no clamp state
+  const ClockTime out =
+      lie_stamp(*agent, plan_->seed, kind, truth, peer, rngs_[pid],
+                last_truth_[pid], floor_[pid]);
+  if (out != truth) {
+    ++lied_;
+    metrics_increment(metrics_, "byz.lied_stamps");
+  }
+  return out;
+}
+
+}  // namespace cs::byz

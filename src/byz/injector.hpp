@@ -1,0 +1,48 @@
+// ByzInjector: the stateful executor of a ByzPlan inside one simulation
+// run — the StampTamper the simulator routes every history stamp through.
+//
+// Determinism contract (mirrors FaultInjector's):
+//   * one private RNG stream per processor, split from the plan's own
+//     seed — independent of the sim's delay streams and the fault plan's
+//     link streams, so Byzantine lies never perturb delays or fault
+//     decisions and the three axes compose in any order;
+//   * exactly one uniform is drawn per stamped event of a lying agent,
+//     regardless of behavior or active window, so runs differing only in
+//     behavior parameters stay stream-aligned;
+//   * equivocation offsets are a stateless hash of (seed, agent, peer) —
+//     no draws at all.
+//
+// Counters (via cs::Metrics): "byz.lied_stamps" — stamps actually altered.
+#pragma once
+
+#include "byz/plan.hpp"
+#include "common/metrics.hpp"
+#include "sim/tamper.hpp"
+
+namespace cs::byz {
+
+class ByzInjector final : public StampTamper {
+ public:
+  /// `plan` must outlive the injector.  `metrics` may be null.
+  ByzInjector(const ByzPlan& plan, std::size_t processor_count,
+              Metrics* metrics = nullptr);
+
+  ClockTime stamp(ProcessorId pid, EventKind kind, ClockTime truth,
+                  ProcessorId peer) override;
+
+  bool honest() const override { return plan_->honest(); }
+
+  /// Stamps altered so far (diagnostic; mirrors "byz.lied_stamps").
+  std::size_t lied_stamps() const { return lied_; }
+
+ private:
+  const ByzPlan* plan_;
+  Metrics* metrics_;
+  std::vector<const AgentPlan*> agent_of_;  ///< per pid; nullptr = honest
+  std::vector<Rng> rngs_;                   ///< per pid, split from plan seed
+  std::vector<ClockTime> last_truth_;       ///< replay state, per pid
+  std::vector<ClockTime> floor_;            ///< monotone clamp, per pid
+  std::size_t lied_{0};
+};
+
+}  // namespace cs::byz

@@ -3,19 +3,38 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/error.hpp"
+
 namespace cs {
 
 LinkCoverage link_coverage(const SystemModel& model,
                            const LinkTraffic& traffic) {
+  return link_coverage(model, traffic, std::vector<bool>{});
+}
+
+LinkCoverage link_coverage(const SystemModel& model,
+                           const LinkTraffic& traffic,
+                           const std::vector<bool>& link_down) {
+  if (!link_down.empty() &&
+      link_down.size() != model.topology().link_count())
+    throw InvalidExecution(
+        "link_coverage: need one down flag per topology link");
   LinkCoverage cov;
   cov.directions.reserve(2 * model.topology().link_count());
-  for (auto [a, b] : model.topology().links) {
+  for (std::size_t i = 0; i < model.topology().link_count(); ++i) {
+    const auto [a, b] = model.topology().links[i];
+    const bool down = !link_down.empty() && link_down[i];
     for (const auto& [p, q] : {std::pair{a, b}, std::pair{b, a}}) {
       DirectedCoverage d;
       d.from = p;
       d.to = q;
       d.observations = traffic.direction(p, q).size();
-      if (d.observations > 0) ++cov.observed_directions;
+      d.absent = down;
+      if (down) {
+        ++cov.absent_directions;
+      } else if (d.observations > 0) {
+        ++cov.observed_directions;
+      }
       cov.directions.push_back(d);
     }
   }

@@ -46,6 +46,13 @@ struct DirectedCoverage {
   ProcessorId from{0};
   ProcessorId to{0};
   std::size_t observations{0};
+
+  /// True when the link is known to have *disappeared* (churn: a link-down
+  /// window covers the census instant).  An absent direction's
+  /// observations may be non-zero — they are stale traffic from before the
+  /// link vanished — but it does not count as observed: a gone link must
+  /// not masquerade as a quiet-but-healthy one.
+  bool absent{false};
 };
 
 /// Per-link observation coverage of an epoch: two entries per topology link
@@ -54,6 +61,7 @@ struct LinkCoverage {
   std::vector<DirectedCoverage> directions;
   std::size_t observed_directions{0};
   std::size_t total_directions{0};
+  std::size_t absent_directions{0};
 
   /// Fraction of link directions with at least one observation; 1 on an
   /// edgeless topology.
@@ -68,6 +76,15 @@ struct LinkCoverage {
 /// Census the traffic of one epoch against the model's topology.
 LinkCoverage link_coverage(const SystemModel& model,
                            const LinkTraffic& traffic);
+
+/// Churn-aware census: `link_down` flags (topology link order, e.g. from
+/// cs::byz::links_down_at) mark links dark at the census instant; both
+/// directions of a dark link are counted absent rather than observed,
+/// whatever stale traffic the window still holds.  (vector<bool> because
+/// that is what the census producers return; span cannot view it.)
+LinkCoverage link_coverage(const SystemModel& model,
+                           const LinkTraffic& traffic,
+                           const std::vector<bool>& link_down);
 
 /// Staleness policy for carrying m̃ls edges across epochs.
 struct StalenessOptions {

@@ -48,7 +48,20 @@ SyncOutcome synchronize(const SystemModel& model, std::span<const View> views,
   {
     auto timer =
         Metrics::scoped(options.metrics, "stage.local_estimates_seconds");
-    mls = local_shift_estimates(model, views, options.match, options.threads);
+    if (options.robust.trim) {
+      // The robust path materializes the traffic so the MAD gate can see
+      // individual observations before the extreme folds.
+      LinkTraffic traffic =
+          LinkTraffic::estimated_from_views(views, options.match);
+      traffic = trimmed_traffic(traffic, model, options.robust.trim_gate,
+                                options.metrics);
+      mls = mls_graph_from_traffic(model, traffic, options.threads);
+    } else {
+      mls =
+          local_shift_estimates(model, views, options.match, options.threads);
+    }
+    if (options.robust.quorum > 0)
+      mls = quorum_validated_mls(mls, options.robust, options.metrics);
   }
   return synchronize_mls(std::move(mls), options);
 }

@@ -15,6 +15,7 @@
 #include <span>
 
 #include "core/global_estimates.hpp"
+#include "core/robust.hpp"
 #include "core/shifts.hpp"
 #include "delaymodel/assignment.hpp"
 
@@ -40,6 +41,14 @@ struct SyncOptions {
   /// parallel stages only shard work whose writes are disjoint (see
   /// local_estimates.hpp and ShiftsOptions::threads).
   std::size_t threads{1};
+
+  /// Robust estimation against lying agents (core/robust.hpp): MAD-trimmed
+  /// observation folds and/or quorum-validated m̃ls edges, applied between
+  /// the traffic build and GLOBAL ESTIMATES.  Inactive (the default) is
+  /// bit-identical to the naive path; with f = 0 liars the active variants
+  /// are too (property-tested).  synchronize() applies both; direct
+  /// synchronize_mls() callers apply quorum_validated_mls() themselves.
+  RobustOptions robust;
 
   /// Zone-hierarchical plan (core/zones.hpp); nullptr = dense pipeline.
   /// When set, synchronize()/synchronize_mls() compose per-zone SHIFTS with

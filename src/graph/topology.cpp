@@ -52,6 +52,23 @@ Topology make_ring(std::size_t n) {
   return t;
 }
 
+Topology make_circulant(std::size_t n, std::span<const std::size_t> strides) {
+  assert(n >= 3);
+  Topology t{n, {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s : strides) {
+      assert(s >= 1 && 2 * s <= n);
+      const auto a = static_cast<NodeId>(i);
+      const auto b = static_cast<NodeId>((i + s) % n);
+      const std::pair<NodeId, NodeId> e{std::min(a, b), std::max(a, b)};
+      if (std::find(t.links.begin(), t.links.end(), e) == t.links.end())
+        t.links.push_back(e);
+    }
+  }
+  std::sort(t.links.begin(), t.links.end());
+  return t;
+}
+
 Topology make_star(std::size_t n) {
   assert(n >= 2);
   Topology t{n, {}};
@@ -141,6 +158,10 @@ Topology make_named(const std::string& name, std::size_t n, Rng& rng) {
     std::size_t w = 1;
     while ((w + 1) * (w + 1) <= n) ++w;
     return make_grid(w, (n + w - 1) / w);
+  }
+  if (name == "circulant") {
+    const std::size_t strides[] = {1, 2, 3};
+    return make_circulant(n, strides);
   }
   if (name == "tree") return make_random_tree(n, rng);
   if (name == "gnp") return make_connected_gnp(n, 0.2, rng);

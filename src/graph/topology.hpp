@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +39,13 @@ Topology make_ring(std::size_t n);
 Topology make_star(std::size_t n);  ///< node 0 is the hub
 Topology make_complete(std::size_t n);
 Topology make_grid(std::size_t width, std::size_t height);
+
+/// Circulant ring: node i links to i ± s (mod n) for each stride s.  With
+/// strides {1, 2, 3} the graph is 6-connected — the chorded ring the
+/// Byzantine quorum validation needs (connectivity > 2f; a bare cycle's
+/// connectivity 2 cannot localize even one liar).  Strides must satisfy
+/// 1 <= s <= n/2.
+Topology make_circulant(std::size_t n, std::span<const std::size_t> strides);
 
 /// Uniform random spanning tree over n nodes (random attachment).
 Topology make_random_tree(std::size_t n, Rng& rng);

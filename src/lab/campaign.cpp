@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "byz/harness.hpp"
 #include "common/error.hpp"
 #include "core/precision.hpp"
 #include "core/synchronizer.hpp"
@@ -121,6 +122,78 @@ void run_drift_task(const CampaignSpec& spec, const TaskSpec& task,
   r.sound = trial.sound;
 }
 
+// Maps one Byzantine arm onto the adversarial trial harness
+// (byz/harness.hpp) and folds its result into the TaskResult schema.  Like
+// drift, byz arms run ping-pong probes on the harness's own epoch schedule
+// and require a plain `bounds` mix: delays are drawn from the middle
+// quarter of the declared band so honest epochs carry slack and
+// sub-detection-threshold lies are possible — the regime worth measuring
+// (docs/BYZ.md).  The fault axis *does* compose (the injectors draw from
+// disjoint derived streams); zones and drift do not (yet).
+void run_byz_task(const CampaignSpec& spec, const TaskSpec& task,
+                  const SystemModel& model, const ByzAxisSpec& arm,
+                  std::uint64_t seed, Rng& offset_rng, double tolerance,
+                  std::size_t task_threads, TaskResult& r) {
+  const MixSpec& mix = spec.mixes[task.mix_id];
+  if (mix.kind != "bounds")
+    fail("byz arms require a 'bounds' mix (got '" + mix.kind + "')");
+
+  const FaultSpec& fault_spec = spec.faults[task.fault_id];
+  const FaultPlan fault_plan = fault_spec.build(derive_task_seed(seed, 1));
+
+  byz::ByzTrialConfig config;
+  config.plan.behavior = byz::behavior_from_name(arm.kind);
+  config.plan.f = arm.f;
+  config.plan.magnitude = arm.magnitude;
+  config.plan.seed = derive_task_seed(seed, 4);
+  // "robust" = trimmed folds *and* quorum validation: the MAD gate deletes
+  // the floor-clamp outliers that would otherwise force detection outages,
+  // and the quorum pass catches the silent corruption trimming alone would
+  // let through (the trim-backfire finding; docs/BYZ.md).
+  if (arm.estimator == "trimmed" || arm.estimator == "robust")
+    config.robust.trim = true;
+  if (arm.estimator == "quorum" || arm.estimator == "robust") {
+    config.robust.quorum = 3;
+    config.robust.quorum_tolerance = arm.quorum_tolerance;
+  }
+  if (arm.estimator != "naive" && arm.estimator != "trimmed" &&
+      arm.estimator != "quorum" && arm.estimator != "robust")
+    fail("unknown byz estimator: '" + arm.estimator + "'");
+  if (fault_spec.faulty()) config.faults = &fault_plan;
+  config.skew = spec.skew;
+  const double width = mix.ub - mix.lb;
+  config.sample_lo = mix.lb + 0.375 * width;
+  config.sample_hi = mix.lb + 0.625 * width;
+  config.sim_seed = derive_task_seed(seed, 2);
+  config.start_offsets =
+      random_start_offsets(model.processor_count(), spec.skew, offset_rng);
+  config.sync_threads = task_threads;
+  config.tolerance = tolerance;
+
+  const byz::ByzTrialResult trial = byz::run_byz_trial(model, config);
+  r.byzantine = true;
+  r.byz_liars = arm.f;
+  r.byz_epochs = trial.epochs;
+  r.byz_detected = trial.detected_epochs;
+  r.byz_violations = trial.violations;
+  r.byz_lied_stamps = trial.lied_stamps;
+  r.byz_quorum_dropped = trial.quorum_dropped_max;
+  r.delivered = trial.delivered;
+  r.dropped = trial.dropped;
+  r.events = trial.events;
+  if (!trial.ok) fail(trial.failure);
+  // Honest-subgraph scoring: `claimed` is the max per-component bound the
+  // pipeline published for components with >= 2 honest members, `realized`
+  // the honest agents' measured spread, `sound` the trial verdict (zero
+  // violated epochs).  Detected epochs are outages, counted separately.
+  r.bounded = true;
+  r.claimed = trial.claimed_honest_max;
+  r.guaranteed = trial.claimed_honest_max;
+  r.thm46_gap = trial.thm46_gap;
+  r.realized = trial.realized_honest_max;
+  r.sound = trial.sound;
+}
+
 }  // namespace
 
 std::uint64_t derive_task_seed(std::uint64_t campaign_seed,
@@ -165,6 +238,23 @@ TaskResult run_task(const CampaignSpec& spec, const TaskSpec& task,
   if (fault_spec.faulty()) opts.faults = &plan;
 
   try {
+    const ByzAxisSpec& byz_arm = spec.byz_arm(task.byz_id);
+    if (byz_arm.byzantine()) {
+      // Byzantine arms route through the adversarial harness: epoch-
+      // scheduled probing, corrupted stamps, honest-subgraph scoring.  The
+      // fault axis composes (independent derived RNG streams); zones and
+      // drift do not.
+      if (spec.zone_arm(task.zone_id).zoned())
+        fail("byz arms do not compose with zones yet");
+      if (spec.drift_arm(task.drift_id).drifting())
+        fail("byz arms do not compose with drift yet");
+      run_byz_task(spec, task, model, byz_arm, seed, offset_rng, tolerance,
+                   task_threads, r);
+      r.ok = true;
+      r.seconds = seconds_since(start);
+      return r;
+    }
+
     const DriftAxisSpec& drift_arm = spec.drift_arm(task.drift_id);
     if (drift_arm.drifting()) {
       // Drifting clocks route through the drift harness: its own probe

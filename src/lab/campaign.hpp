@@ -91,6 +91,21 @@ struct TaskResult {
   std::size_t drift_epochs{0};    ///< re-sync epochs evaluated
   double drift_bound{0.0};        ///< max drift-adjusted bound over epochs
   double drift_slope{0.0};        ///< max fitted |rate difference| seen
+
+  // Byz-axis fields (meaningful only when byzantine; src/byz).  On a
+  // Byzantine arm `claimed`/`realized`/`sound` are evaluated over the
+  // *honest* agents only — liars forfeit the guarantee, Thm 4.6 still owes
+  // one to everyone else — and a `byz_detected` epoch is a synchronization
+  // outage (the pipeline rejected the epoch as InvalidAssumption, honest
+  // agents got no corrections), which the --check gate counts as a failure
+  // alongside soundness violations.
+  bool byzantine{false};
+  std::size_t byz_liars{0};          ///< lying agents in the resolved plan
+  std::size_t byz_epochs{0};         ///< re-sync epochs evaluated
+  std::size_t byz_detected{0};       ///< epochs rejected (InvalidAssumption)
+  std::size_t byz_violations{0};     ///< epochs with an unsound honest claim
+  std::size_t byz_lied_stamps{0};    ///< timestamps the adversary corrupted
+  std::size_t byz_quorum_dropped{0}; ///< max m̃ls edges quorum removed/epoch
 };
 
 struct RunOptions {

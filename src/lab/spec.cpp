@@ -92,6 +92,15 @@ std::string DriftAxisSpec::describe() const {
   return os.str();
 }
 
+std::string ByzAxisSpec::describe() const {
+  if (!byzantine()) return "none";
+  std::ostringstream os;
+  os << kind << " f=" << f << " mag=" << fmt(magnitude)
+     << " est=" << estimator;
+  if (estimator == "quorum") os << " tol=" << fmt(quorum_tolerance);
+  return os.str();
+}
+
 namespace {
 
 std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
@@ -107,7 +116,8 @@ std::size_t CampaignSpec::cell_count() const {
   std::size_t cells = checked_mul(topologies.size(), mixes.size(), "cell");
   cells = checked_mul(cells, faults.size(), "cell");
   cells = checked_mul(cells, zone_arm_count(), "cell");
-  return checked_mul(cells, drift_arm_count(), "cell");
+  cells = checked_mul(cells, drift_arm_count(), "cell");
+  return checked_mul(cells, byz_arm_count(), "cell");
 }
 
 std::size_t CampaignSpec::task_count() const {
@@ -138,8 +148,9 @@ std::vector<TaskSpec> expand(const CampaignSpec& spec) {
       for (std::size_t f = 0; f < spec.faults.size(); ++f)
         for (std::size_t z = 0; z < spec.zone_arm_count(); ++z)
           for (std::size_t d = 0; d < spec.drift_arm_count(); ++d)
-            for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
-              tasks.push_back({index++, t, m, f, z, d, s});
+            for (std::size_t b = 0; b < spec.byz_arm_count(); ++b)
+              for (std::uint32_t s = 0; s < spec.seeds_per_cell; ++s)
+                tasks.push_back({index++, t, m, f, z, d, b, s});
   return tasks;
 }
 
@@ -347,6 +358,53 @@ CampaignSpec load_campaign(std::istream& is) {
         fail_line(line_no, "unknown drift kind '" + ds.kind + "'");
       }
       spec.drifts.push_back(ds);
+    } else if (word == "byz") {
+      if (params.empty()) fail_line(line_no, "byz needs a behavior");
+      ByzAxisSpec bs;
+      bs.kind = params[0];
+      if (bs.kind == "none") {
+        want(1, "none");
+      } else {
+        if (bs.kind != "lie-const" && bs.kind != "lie-ramp" &&
+            bs.kind != "lie-random" && bs.kind != "replay" &&
+            bs.kind != "equivocate")
+          fail_line(line_no, "unknown byz behavior '" + bs.kind + "'");
+        bool have_f = false, have_mag = false;
+        for (std::size_t i = 1; i < params.size(); ++i) {
+          const std::size_t eq = params[i].find('=');
+          if (eq == std::string::npos)
+            fail_line(line_no,
+                      "byz expects key=value, got '" + params[i] + "'");
+          const std::string key = params[i].substr(0, eq);
+          const std::string value = params[i].substr(eq + 1);
+          if (key == "f") {
+            bs.f = static_cast<std::size_t>(
+                parse_u64(value, line_no, "byz agent count"));
+            have_f = true;
+          } else if (key == "mag") {
+            bs.magnitude = parse_num(value, line_no, "byz magnitude");
+            have_mag = true;
+          } else if (key == "est") {
+            if (value != "naive" && value != "trimmed" && value != "quorum" &&
+                value != "robust")
+              fail_line(line_no,
+                        "byz est= wants naive|trimmed|quorum|robust, got '" +
+                            value + "'");
+            bs.estimator = value;
+          } else if (key == "tol") {
+            bs.quorum_tolerance = parse_num(value, line_no, "byz tolerance");
+            if (bs.quorum_tolerance <= 0.0)
+              fail_line(line_no, "byz tol= must be positive");
+          } else {
+            fail_line(line_no, "unknown byz key '" + key + "'");
+          }
+        }
+        if (!have_f || bs.f == 0)
+          fail_line(line_no, "byz needs f=<count> with count >= 1");
+        if (!have_mag || bs.magnitude <= 0.0)
+          fail_line(line_no, "byz needs mag=<seconds> with a positive value");
+      }
+      spec.byz.push_back(bs);
     } else {
       fail_line(line_no, "unknown directive '" + word + "'");
     }
@@ -386,6 +444,7 @@ void save_campaign(std::ostream& os, const CampaignSpec& spec) {
     os << "zones " << z.describe() << "\n";
   for (const DriftAxisSpec& d : spec.drifts)
     os << "drift " << d.describe() << "\n";
+  for (const ByzAxisSpec& b : spec.byz) os << "byz " << b.describe() << "\n";
 }
 
 CampaignSpec preset_campaign(const std::string& name) {
@@ -486,9 +545,44 @@ CampaignSpec preset_campaign(const std::string& name) {
     spec.drifts.push_back(walk);
     return spec;
   }
+  if (name == "byz" || name == "byz-quorum") {
+    // The Byzantine-axis CI campaigns (docs/BYZ.md): a coordinated
+    // equivocator on a complete 6-clique and a pair of them on a chorded
+    // 9-ring, lying just inside the per-observation admissibility window
+    // (mag ≈ 1.4σ for the declared [1, 101] ms band sampled mid-quarter —
+    // the silent-violation regime; see docs/BYZ.md).  "byz" leaves the
+    // naive estimator undefended and must demonstrably fail --check
+    // (violated or detection-outage cells); "byz-quorum" runs the same
+    // adversary against quorum-validated estimates and must pass: every
+    // honest-subgraph claim sound, zero detection outages.
+    spec.seed = 46;  // Thm 4.6 — the guarantee under attack
+    spec.seeds_per_cell = 3;
+    spec.protocol.rounds = 3;
+    spec.topologies.push_back(parse_topo_spec("complete 6"));
+    // The chorded ring only joins the must-fail preset: against *adjacent*
+    // equivocators its stride-{1,2,3} path diversity is too thin for the
+    // quorum majority to localize the liar, so the defended arm still
+    // suffers detection outages (loud, never silent — docs/BYZ.md).  The
+    // quorum preset keeps the clique, where connectivity 5 > 2f holds with
+    // honest-majority paths for both arms.
+    if (name == "byz") spec.topologies.push_back(parse_topo_spec("circulant 9"));
+    spec.mixes.push_back({"bounds", 0.001, 0.101, 0.0});
+    spec.faults.push_back(FaultSpec{});
+    ByzAxisSpec arm;
+    arm.kind = "equivocate";
+    arm.f = 1;
+    arm.magnitude = 0.09;
+    arm.estimator = name == "byz" ? "naive" : "quorum";
+    spec.byz.push_back(arm);
+    ByzAxisSpec pair = arm;
+    pair.f = 2;
+    pair.magnitude = 0.10;
+    spec.byz.push_back(pair);
+    return spec;
+  }
   fail("unknown campaign preset: '" + name +
-       "' (try 'smoke', 'toroid', 'zones', 'fabric100k', 'drift', or "
-       "'drift-noresync')");
+       "' (try 'smoke', 'toroid', 'zones', 'fabric100k', 'drift', "
+       "'drift-noresync', 'byz', or 'byz-quorum')");
 }
 
 }  // namespace cs::lab

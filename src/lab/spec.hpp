@@ -2,12 +2,14 @@
 //
 // A campaign is a cross product
 //
-//   topology family/size × delay mix × fault plan × zones × drift × seeds
+//   topology family/size × delay mix × fault plan × zones × drift × byz
+//   × seeds
 //
 // expanded into a flat, stably ordered task list.  The (topology, mix,
-// fault, zones, drift) tuple is a *cell*; each cell runs once per seed
+// fault, zones, drift, byz) tuple is a *cell*; each cell runs once per seed
 // index.  Task ordering is the declaration-order odometer — topology-major,
-// then mix, then fault, then zones, then drift, then seed — and task seeds
+// then mix, then fault, then zones, then drift, then byz, then seed — and
+// task seeds
 // are derived per index by
 // derive_task_seed (campaign.hpp), so the expansion is a pure function of
 // the spec text: re-running a campaign on any machine with any thread
@@ -27,6 +29,7 @@
 //   faults <kind> <params...>          # fault plan
 //   zones <kind> <params...>           # optional zone-hierarchy axis
 //   drift <kind> <params...>           # optional clock-drift axis
+//   byz <behavior> <params...>         # optional Byzantine-adversary axis
 //
 // Mix grammar (per-link delay-assumption assignment hooks):
 //   mix bounds <lb> <ub>            symmetric [lb, ub] on every link
@@ -63,6 +66,17 @@
 //       bounded random-walk oscillators: same band, rate stepping by up to
 //       step_ppm and reflecting at the band edges.
 // Like zones, no `drift` line means a single implicit "none" arm.
+//
+// Byz grammar (src/byz — lying agents + robust estimation, docs/BYZ.md):
+//   byz none                        every agent reports honestly
+//   byz <behavior> f=<count> mag=<s> [est=naive|trimmed|quorum]
+//       <behavior> in lie-const|lie-ramp|lie-random|replay|equivocate;
+//       f seeded-random agents lie with magnitude mag (seconds).  est picks
+//       the estimator defending the honest agents: naive (the clean
+//       pipeline), trimmed (MAD-gated observation folds), or quorum
+//       (disjoint-path cross-validation of the m̃ls edges; tol=<s> sets the
+//       per-hop corroboration tolerance, default 0.002).
+// Like zones and drift, no `byz` line means a single implicit "none" arm.
 #pragma once
 
 #include <cstdint>
@@ -128,6 +142,21 @@ struct DriftAxisSpec {
   std::string describe() const;
 };
 
+/// One arm of the Byzantine axis: which adversary corrupts the task's
+/// timestamp reports and which robust estimator defends against it
+/// (src/byz, core/robust.hpp).
+struct ByzAxisSpec {
+  std::string kind{"none"};     ///< none | lie-const | lie-ramp |
+                                ///<   lie-random | replay | equivocate
+  std::size_t f{0};             ///< seeded-random lying agents
+  double magnitude{0.0};        ///< lie magnitude (seconds)
+  std::string estimator{"naive"};  ///< naive | trimmed | quorum
+  double quorum_tolerance{0.002};  ///< quorum: per-hop corroboration tol
+
+  bool byzantine() const { return kind != "none"; }
+  std::string describe() const;
+};
+
 struct ProtocolSpec {
   std::string kind{"pingpong"};  ///< pingpong | beacon
   std::size_t rounds{4};         ///< pingpong
@@ -153,6 +182,9 @@ struct CampaignSpec {
   /// Drift axis; empty = a single implicit "none" arm (drift-free clocks),
   /// with the same backward-compatibility guarantee as zones.
   std::vector<DriftAxisSpec> drifts;
+  /// Byzantine axis; empty = a single implicit "none" arm (honest agents),
+  /// with the same backward-compatibility guarantee as zones and drift.
+  std::vector<ByzAxisSpec> byz;
 
   /// Arms of the zones axis including the implicit "none" (never 0).
   std::size_t zone_arm_count() const {
@@ -172,6 +204,13 @@ struct CampaignSpec {
     return drifts.empty() ? kDriftFree : drifts[id];
   }
 
+  /// Arms of the Byzantine axis including the implicit "none" (never 0).
+  std::size_t byz_arm_count() const { return byz.empty() ? 1 : byz.size(); }
+  const ByzAxisSpec& byz_arm(std::size_t id) const {
+    static const ByzAxisSpec kHonest{};
+    return byz.empty() ? kHonest : byz[id];
+  }
+
   /// Cross-product extents.  Overflow-checked: a campaign whose cross
   /// product exceeds std::size_t throws cs::Error instead of silently
   /// wrapping into a tiny (or enormous) bogus task list.
@@ -189,16 +228,19 @@ struct TaskSpec {
   std::size_t fault_id{0};
   std::size_t zone_id{0};   ///< arm of the zones axis (0 when none declared)
   std::size_t drift_id{0};  ///< arm of the drift axis (0 when none declared)
+  std::size_t byz_id{0};    ///< arm of the byz axis (0 when none declared)
   std::uint32_t seed_index{0};
 
-  /// Dense cell index (topology-major, then mix, fault, zones, drift).
+  /// Dense cell index (topology-major, then mix, fault, zones, drift, byz).
   std::size_t cell_id(const CampaignSpec& spec) const {
-    return (((topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
-             fault_id) *
-                spec.zone_arm_count() +
-            zone_id) *
-               spec.drift_arm_count() +
-           drift_id;
+    return ((((topology_id * spec.mixes.size() + mix_id) * spec.faults.size() +
+              fault_id) *
+                 spec.zone_arm_count() +
+             zone_id) *
+                spec.drift_arm_count() +
+            drift_id) *
+               spec.byz_arm_count() +
+           byz_id;
   }
 };
 
@@ -223,9 +265,11 @@ void save_campaign(std::ostream& os, const CampaignSpec& spec);
 /// datacenter fabric swept across the zones axis, for CI), "fabric100k"
 /// (a 102,404-agent datacenter fabric, natural zones — the dense pipeline
 /// cannot touch this size), "drift" (constant + random-walk oscillators
-/// with scheduled re-sync; --check passes), and "drift-noresync" (the same
-/// oscillators with re-sync disabled; --check demonstrably fails).
-/// Throws cs::Error on unknown names.
+/// with scheduled re-sync; --check passes), "drift-noresync" (the same
+/// oscillators with re-sync disabled; --check demonstrably fails), "byz"
+/// (an equivocating agent against the naive estimator; --check demonstrably
+/// fails), and "byz-quorum" (the same adversary held off by quorum
+/// validation; --check passes).  Throws cs::Error on unknown names.
 CampaignSpec preset_campaign(const std::string& name);
 
 }  // namespace cs::lab

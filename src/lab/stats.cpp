@@ -112,21 +112,24 @@ CampaignReport aggregate(const CampaignResult& result) {
     for (std::size_t m = 0; m < spec.mixes.size(); ++m)
       for (std::size_t f = 0; f < spec.faults.size(); ++f)
         for (std::size_t z = 0; z < spec.zone_arm_count(); ++z)
-          for (std::size_t d = 0; d < spec.drift_arm_count(); ++d) {
-            const std::size_t id = report.cells.size();
-            CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
-            cell.cell = id;
-            cell.topology = spec.topologies[t].describe();
-            cell.nodes = spec.topologies[t].node_count();
-            cell.mix = spec.mixes[m].describe();
-            cell.faults = spec.faults[f].describe();
-            cell.faulty = spec.faults[f].faulty();
-            cell.zones = spec.zone_arm(z).describe();
-            cell.zoned = spec.zone_arm(z).zoned();
-            cell.drift = spec.drift_arm(d).describe();
-            cell.drifting = spec.drift_arm(d).drifting();
-            report.cells.push_back(std::move(cell));
-          }
+          for (std::size_t d = 0; d < spec.drift_arm_count(); ++d)
+            for (std::size_t b = 0; b < spec.byz_arm_count(); ++b) {
+              const std::size_t id = report.cells.size();
+              CellStats cell(derive_task_seed(spec.seed, 0x9e1lu + id));
+              cell.cell = id;
+              cell.topology = spec.topologies[t].describe();
+              cell.nodes = spec.topologies[t].node_count();
+              cell.mix = spec.mixes[m].describe();
+              cell.faults = spec.faults[f].describe();
+              cell.faulty = spec.faults[f].faulty();
+              cell.zones = spec.zone_arm(z).describe();
+              cell.zoned = spec.zone_arm(z).zoned();
+              cell.drift = spec.drift_arm(d).describe();
+              cell.drifting = spec.drift_arm(d).drifting();
+              cell.byz = spec.byz_arm(b).describe();
+              cell.byzantine = spec.byz_arm(b).byzantine();
+              report.cells.push_back(std::move(cell));
+            }
 
   for (std::size_t i = 0; i < result.tasks.size(); ++i) {
     const TaskSpec& task = result.tasks[i];
@@ -151,6 +154,14 @@ CampaignReport aggregate(const CampaignResult& result) {
       cell.drift_window_max = std::max(cell.drift_window_max, r.drift_window);
       cell.drift_bound_max = std::max(cell.drift_bound_max, r.drift_bound);
       cell.drift_slope_max = std::max(cell.drift_slope_max, r.drift_slope);
+    }
+    if (r.byzantine) {
+      cell.byz_epochs += r.byz_epochs;
+      cell.byz_detected += r.byz_detected;
+      cell.byz_violations += r.byz_violations;
+      cell.byz_lied_stamps += r.byz_lied_stamps;
+      cell.byz_quorum_dropped =
+          std::max(cell.byz_quorum_dropped, r.byz_quorum_dropped);
     }
     if (r.zoned) {
       cell.zone_count = std::max(cell.zone_count, r.zone_count);
@@ -182,8 +193,13 @@ CampaignReport aggregate(const CampaignResult& result) {
 
 bool report_ok(const CampaignReport& report, double tolerance) {
   if (report.failures != 0 || report.soundness_violations != 0) return false;
-  for (const CellStats& cell : report.cells)
+  for (const CellStats& cell : report.cells) {
     if (!cell.faulty && cell.thm46_max_gap > tolerance) return false;
+    // A detected Byzantine epoch is an outage: the pipeline (correctly)
+    // refused to certify, but the honest agents got no corrections.  An
+    // arm only validates when its estimator rode out every epoch.
+    if (cell.byz_detected != 0) return false;
+  }
   return true;
 }
 
@@ -235,6 +251,14 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
        << "      \"drift_window_max\": " << fmt(c.drift_window_max) << ",\n"
        << "      \"drift_bound_max\": " << fmt(c.drift_bound_max) << ",\n"
        << "      \"drift_slope_max\": " << fmt(c.drift_slope_max) << ",\n"
+       << "      \"byz\": " << quoted(c.byz) << ",\n"
+       << "      \"byzantine\": " << (c.byzantine ? "true" : "false")
+       << ",\n"
+       << "      \"byz_epochs\": " << c.byz_epochs << ",\n"
+       << "      \"byz_detected\": " << c.byz_detected << ",\n"
+       << "      \"byz_violations\": " << c.byz_violations << ",\n"
+       << "      \"byz_lied_stamps\": " << c.byz_lied_stamps << ",\n"
+       << "      \"byz_quorum_dropped\": " << c.byz_quorum_dropped << ",\n"
        << "      \"events\": " << c.events << ",\n"
        << "      \"delivered\": " << c.delivered << ",\n"
        << "      \"dropped\": " << c.dropped << "\n    }"
@@ -282,7 +306,8 @@ void write_report_csv(std::ostream& os, const CampaignReport& report) {
         "gap_p99,realized_max,events,delivered,dropped,zones,zone_count,"
         "zone_max_size,zone_a_max_max,realized_intra_max,"
         "realized_cross_max,drift,drift_epochs,drift_window_max,"
-        "drift_bound_max,drift_slope_max\n";
+        "drift_bound_max,drift_slope_max,byz,byz_epochs,byz_detected,"
+        "byz_violations,byz_lied_stamps,byz_quorum_dropped\n";
   for (const CellStats& c : report.cells) {
     os << c.cell << ',' << csv_field(c.topology) << ',' << c.nodes << ','
        << csv_field(c.mix) << ',' << csv_field(c.faults) << ',' << c.tasks
@@ -304,17 +329,20 @@ void write_report_csv(std::ostream& os, const CampaignReport& report) {
        << fmt(c.realized_intra_max) << ',' << fmt(c.realized_cross_max)
        << ',' << csv_field(c.drift) << ',' << c.drift_epochs << ','
        << fmt(c.drift_window_max) << ',' << fmt(c.drift_bound_max) << ','
-       << fmt(c.drift_slope_max) << '\n';
+       << fmt(c.drift_slope_max) << ',' << csv_field(c.byz) << ','
+       << c.byz_epochs << ',' << c.byz_detected << ',' << c.byz_violations
+       << ',' << c.byz_lied_stamps << ',' << c.byz_quorum_dropped << '\n';
   }
 }
 
 void print_report(std::ostream& os, const CampaignReport& report,
                   bool include_timing) {
-  Table table({"cell", "topology", "mix", "faults", "zones", "drift", "tasks",
-               "fail", "bounded", "A^max p50", "ratio p95", "thm4.6 gap"});
+  Table table({"cell", "topology", "mix", "faults", "zones", "drift", "byz",
+               "tasks", "fail", "bounded", "A^max p50", "ratio p95",
+               "thm4.6 gap"});
   for (const CellStats& c : report.cells)
     table.add_row({std::to_string(c.cell), c.topology, c.mix, c.faults,
-                   c.zones, c.drift, std::to_string(c.tasks),
+                   c.zones, c.drift, c.byz, std::to_string(c.tasks),
                    std::to_string(c.failures), std::to_string(c.bounded),
                    Table::num(c.claimed.quantiles.quantile(0.50), 6),
                    Table::num(c.ratio.quantiles.quantile(0.95), 3),

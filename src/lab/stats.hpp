@@ -62,7 +62,7 @@ struct SeriesStats {
 };
 
 /// Aggregated statistics of one campaign cell
-/// (topology x mix x faults x zones x drift).
+/// (topology x mix x faults x zones x drift x byz).
 struct CellStats {
   std::size_t cell{0};
   std::string topology;
@@ -70,9 +70,11 @@ struct CellStats {
   std::string faults;
   std::string zones;     ///< zones-axis arm ("none" on dense arms)
   std::string drift;     ///< drift-axis arm ("none" on drift-free arms)
+  std::string byz;       ///< byz-axis arm ("none" on honest arms)
   bool faulty{false};
   bool zoned{false};     ///< zone-hierarchical arm (Thm 5.5/5.6 composition)
   bool drifting{false};  ///< drifting-oscillator arm (src/drift)
+  bool byzantine{false}; ///< Byzantine-adversary arm (src/byz)
   std::size_t nodes{0};
 
   std::size_t tasks{0};
@@ -100,6 +102,15 @@ struct CellStats {
   double drift_window_max{0.0};     ///< max effective estimation window W
   double drift_bound_max{0.0};      ///< max drift-adjusted bound over tasks
   double drift_slope_max{0.0};      ///< max fitted |rate difference| seen
+
+  // Byz-axis columns (zero on honest arms).  Soundness is scored over the
+  // honest subgraph (campaign.hpp's TaskResult byz block); byz_detected
+  // epochs are synchronization outages and fail report_ok like violations.
+  std::size_t byz_epochs{0};          ///< total epochs over the cell's tasks
+  std::size_t byz_detected{0};        ///< total detection outages
+  std::size_t byz_violations{0};      ///< total unsound honest-claim epochs
+  std::size_t byz_lied_stamps{0};     ///< total corrupted timestamps
+  std::size_t byz_quorum_dropped{0};  ///< max quorum-removed edges per epoch
 
   std::size_t events{0};
   std::size_t delivered{0};
@@ -130,8 +141,9 @@ struct CampaignReport {
 CampaignReport aggregate(const CampaignResult& result);
 
 /// True iff the campaign validates: no failed tasks, no soundness
-/// violations anywhere, and Theorem 4.6 equality within `tolerance` on
-/// every bounded task of every fault-free cell.
+/// violations anywhere, no Byzantine detection outages (a detected epoch
+/// means honest agents got no corrections), and Theorem 4.6 equality
+/// within `tolerance` on every bounded task of every fault-free cell.
 bool report_ok(const CampaignReport& report,
                double tolerance = kThm46Tolerance);
 

@@ -205,7 +205,7 @@ TopoSpec parse_topo_spec(const std::string& text) {
 
   const std::string& f = spec.family;
   if (f == "line" || f == "ring" || f == "star" || f == "complete" ||
-      f == "tree" || f == "wan") {
+      f == "circulant" || f == "tree" || f == "wan") {
     want(1, "N");
     spec.dims = {parse_size(params[0], "node count")};
   } else if (f == "grid" || f == "torus") {
@@ -248,6 +248,10 @@ Topology make_topology(const TopoSpec& spec, Rng& rng) {
   if (f == "ring") return make_ring(spec.dims.at(0));
   if (f == "star") return make_star(spec.dims.at(0));
   if (f == "complete") return make_complete(spec.dims.at(0));
+  if (f == "circulant") {
+    static constexpr std::size_t kStrides[] = {1, 2, 3};
+    return make_circulant(spec.dims.at(0), kStrides);
+  }
   if (f == "tree") return make_random_tree(spec.dims.at(0), rng);
   if (f == "wan")
     return make_wan(spec.dims.at(0),
@@ -265,8 +269,9 @@ Topology make_topology(const TopoSpec& spec, Rng& rng) {
 }
 
 std::vector<std::string> topo_families() {
-  return {"line", "ring",      "star", "complete", "tree", "wan", "grid",
-          "torus", "toroid", "hypercube", "er",   "ba",       "dc"};
+  return {"line",  "ring",   "star",      "complete", "circulant",
+          "tree",  "wan",    "grid",      "torus",    "toroid",
+          "hypercube", "er", "ba",        "dc"};
 }
 
 }  // namespace cs::lab

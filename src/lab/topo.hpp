@@ -58,7 +58,9 @@ Topology make_datacenter(std::size_t spines, std::size_t racks,
 /// A parsed one-line topology description.  Grammar (family first, then
 /// positional parameters):
 ///
-///   line N | ring N | star N | complete N | tree N | wan N
+///   line N | ring N | star N | complete N | circulant N | tree N | wan N
+///       (circulant: ring of N nodes with stride-{1,2,3} chords — the
+///        6-connected shape the quorum estimator's path diversity needs)
 ///   grid WxH            2-D open grid
 ///   torus WxH           2-D torus
 ///   toroid K1xK2x...    m-dimensional torus

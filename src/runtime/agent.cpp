@@ -1,5 +1,6 @@
 #include "runtime/agent.hpp"
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -65,6 +66,15 @@ class SyncAgentAutomaton final : public Automaton {
   SyncAgentAutomaton(ProcessorId self, const SystemModel* model,
                      const SyncAgentParams& params, LiveResults* results)
       : self_(self), model_(model), params_(params), results_(results) {
+    if (params_.byz != nullptr) {
+      const byz::AgentPlan* a = params_.byz->agent(self_);
+      if (a != nullptr && a->lies()) {
+        liar_ = a;
+        // Same per-pid stream split as the simulator's ByzInjector, so a
+        // live liar and a simulated one draw identical noise.
+        byz_rng_ = Rng(params_.byz->seed).split(self_);
+      }
+    }
     if (self_ == params_.leader) {
       SyncOptions sync = params_.sync;
       sync.root = params_.leader;
@@ -108,7 +118,7 @@ class SyncAgentAutomaton final : public Automaton {
         ingest(ctx, msg);
         Payload echo;
         echo.tag = kTagLiveEcho;
-        echo.data = {ctx.now().sec};
+        echo.data = {stamp_for(ctx, msg.from)};
         ctx.send(msg.from, echo);
         break;
       }
@@ -145,12 +155,26 @@ class SyncAgentAutomaton final : public Automaton {
   }
 
   void do_probe(Context& ctx, std::size_t epoch) {
-    Payload probe;
-    probe.tag = kTagLiveProbe;
-    probe.data = {ctx.now().sec};
-    for (ProcessorId nb : ctx.neighbors()) ctx.send(nb, probe);
+    // Per-neighbor payloads: honest agents stamp identical values, an
+    // equivocator tells each neighbor its own story.
+    for (ProcessorId nb : ctx.neighbors()) {
+      Payload probe;
+      probe.tag = kTagLiveProbe;
+      probe.data = {stamp_for(ctx, nb)};
+      ctx.send(nb, probe);
+    }
     if (++rounds_sent_ < params_.rounds)
       arm(ctx, ctx.now() + params_.spacing, Timer::kProbe, epoch);
+  }
+
+  /// The clock stamp written into a payload addressed to `peer`; truthful
+  /// unless this agent is assigned a lie (byz/plan.hpp).
+  double stamp_for(Context& ctx, ProcessorId peer) {
+    const ClockTime truth = ctx.now();
+    if (liar_ == nullptr) return truth.sec;
+    return byz::lie_payload_stamp(*liar_, params_.byz->seed, truth, peer,
+                                  byz_rng_, byz_last_truth_)
+        .sec;
   }
 
   // Report payload: [origin, epoch, ndirs, then per direction: peer, count,
@@ -275,18 +299,36 @@ class SyncAgentAutomaton final : public Automaton {
     computed_through_ = epoch;
 
     Digraph mls = mls_graph_from_traffic(*model_, traffic_);
-    const SyncOutcome out = synchronizer_->step_mls(std::move(mls));
-
     LiveEpoch& result = results_->epoch(epoch);
-    result.corrections = out.corrections;
-    result.claimed_precision = out.optimal_precision.value();
+    SyncOutcome out;
+    bool detected = false;
+    try {
+      out = synchronizer_->step_mls(std::move(mls));
+    } catch (const InvalidAssumption&) {
+      // The cumulative traffic contradicts the declared delay assumptions —
+      // either the bounds are wrong or someone is lying (byz/plan.hpp).
+      // Treat it as a detected outage, not a crash: the epoch computes no
+      // corrections, the outage is flooded so every agent acks and the
+      // protocol terminates, and the next boundary retries from a clean
+      // synchronizer (step_mls resets on failure).
+      detected = true;
+    }
+
+    result.detected = detected;
     result.degraded = degraded;
+    if (detected) {
+      result.claimed_precision = std::numeric_limits<double>::infinity();
+    } else {
+      result.corrections = out.corrections;
+      result.claimed_precision = out.optimal_precision.value();
+    }
     results_->ack(epoch, self_);
 
     Payload corr;
     corr.tag = kTagLiveCorrections;
-    corr.data = {static_cast<double>(epoch), degraded ? 1.0 : 0.0,
-                 out.optimal_precision.value(),
+    corr.data = {static_cast<double>(epoch),
+                 (degraded ? 1.0 : 0.0) + (detected ? 2.0 : 0.0),
+                 *result.claimed_precision,
                  static_cast<double>(out.corrections.size())};
     corr.data.insert(corr.data.end(), out.corrections.begin(),
                      out.corrections.end());
@@ -317,6 +359,11 @@ class SyncAgentAutomaton final : public Automaton {
   OnlineEstimator estimator_;
   std::set<std::uint64_t> seen_reports_;
   std::set<std::size_t> seen_corrections_;
+
+  // Byzantine payload-lie state (set iff this agent is assigned a lie).
+  const byz::AgentPlan* liar_{nullptr};
+  Rng byz_rng_{0};
+  ClockTime byz_last_truth_{};
 
   // Leader-only state.
   std::optional<IncrementalSynchronizer> synchronizer_;

@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "byz/plan.hpp"
 #include "core/synchronizer.hpp"
 #include "sim/simulator.hpp"
 
@@ -63,6 +64,14 @@ struct SyncAgentParams {
   /// Pipeline options for the leader's compute (root is forced to
   /// `leader`, match to kDropOrphans — the epoch-cut pairing policy).
   SyncOptions sync;
+  /// Optional Byzantine plan (byz/plan.hpp): lying agents corrupt the
+  /// clock stamps they write into probe/echo *payloads* — the values their
+  /// peers' online estimators consume — via lie_payload_stamp.  The host's
+  /// own event records stay truthful (lies are reports, never physics), so
+  /// the offline cross-check over recorded views diverges by design;
+  /// run_live skips the bitwise comparison when the plan is dishonest.
+  /// Not owned; must outlive the run.  nullptr = all honest.
+  const byz::ByzPlan* byz{nullptr};
 };
 
 /// One epoch's converged state in the shared results sink.
@@ -72,6 +81,12 @@ struct LiveEpoch {
   std::vector<double> corrections;  ///< empty until computed
   std::optional<double> claimed_precision;  ///< +inf encodes unbounded
   bool degraded{false};
+  /// The leader's pipeline hit a negative m̃ls cycle at this boundary: the
+  /// traffic contradicts the declared assumptions (wrong bounds, or a lying
+  /// agent — byz/plan.hpp).  The epoch is an outage: no corrections, the
+  /// claimed precision is +inf, and the outage notice was flooded so the
+  /// protocol still terminates.
+  bool detected{false};
   std::size_t reports_absorbed{0};
   std::size_t acks{0};  ///< agents that saw the corrections flood
 

@@ -70,6 +70,12 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
   agent.period = resync.period;
   agent.epochs = resync.epochs;
 
+  // Resolve the Byzantine plan against this model's processor count; the
+  // plan must outlive the run (the agents hold a pointer).
+  const byz::ByzPlan byz_plan = byz::resolve_byz_plan(config.byz, n);
+  const bool dishonest = !byz_plan.honest();
+  if (dishonest) agent.byz = &byz_plan;
+
   LiveResults results(n, agent);
   const AutomatonFactory factory = make_sync_agents(&model, agent, &results);
 
@@ -145,6 +151,11 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
   report.dispatched = stats.dispatched;
   report.timed_out = stats.timed_out;
   report.converged = results.all_complete();
+  report.byzantine = dishonest;
+  report.byz_liars = byz_plan.liar_count();
+  if (dishonest)
+    report.metrics.observe("runtime.byz.liars",
+                           static_cast<double>(byz_plan.liar_count()));
 
   // Per-epoch report rows with ground-truth realized precision.
   for (const LiveEpoch& live : results.epochs()) {
@@ -154,6 +165,11 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
     row.corrections = live.corrections;
     row.claimed_precision = live.claimed_precision;
     row.degraded = live.degraded;
+    row.detected = live.detected;
+    if (live.detected) {
+      ++report.detected_epochs;
+      report.metrics.increment("runtime.detected_epochs");
+    }
     row.reports_absorbed = live.reports_absorbed;
     row.acks = live.acks;
     if (live.computed() && config.drift.active() &&
@@ -193,12 +209,19 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
   epoch_options.sync.match = MatchPolicy::kDropOrphans;
   epoch_options.sync.metrics = &pipeline_metrics;
 
+  // On a dishonest run the recorded views carry the *true* stamps while
+  // the live leader computed from lied payloads, so the bitwise comparison
+  // is meaningless by construction — skip it (report.checked stays false)
+  // and let the realized_precision rows carry the damage report.  A run
+  // with detected outages skips it too: the offline pipeline would reject
+  // the same inadmissible traffic by throwing instead of reporting.
+  const bool skip_offline = dishonest || report.detected_epochs > 0;
   std::vector<EpochOutcome> offline;
-  if (config.offline_check || writer) {
+  if (!skip_offline && (config.offline_check || writer)) {
     offline = epochal_synchronize_incremental(model, host.views(),
                                               boundaries, epoch_options);
   }
-  if (config.offline_check) {
+  if (config.offline_check && !skip_offline) {
     report.checked = true;
     report.all_match = true;
     for (std::size_t k = 0; k < offline.size(); ++k) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "byz/plan.hpp"
 #include "common/metrics.hpp"
 #include "drift/scheduler.hpp"
 #include "runtime/agent.hpp"
@@ -68,6 +69,16 @@ struct LiveConfig {
   /// re-synchronizations.  The fitted schedule, per-epoch drift-adjusted
   /// bounds and "runtime.drift.*" metrics land in the report.
   drift::DriftBudget drift;
+
+  /// Optional Byzantine plan (--byz-plan grammar; byz/plan.hpp).  Lying
+  /// agents corrupt the stamps in their probe/echo payloads, so the
+  /// leader's computed corrections are built from poisoned d̃ streams.
+  /// The recorded views keep the *true* stamps (lies are reports, not
+  /// physics), so the offline bitwise cross-check is skipped on dishonest
+  /// runs — it would compare against an execution the liars never showed
+  /// anyone.  The ground-truth realized_precision rows still tell you what
+  /// the adversary cost.
+  byz::ByzPlanSpec byz;
 };
 
 struct LiveEpochReport {
@@ -76,6 +87,10 @@ struct LiveEpochReport {
   std::vector<double> corrections;
   std::optional<double> claimed_precision;
   bool degraded{false};
+  /// Detected outage: the leader's pipeline rejected the epoch's traffic
+  /// (negative m̃ls cycle — wrong declared bounds or a lying agent).  No
+  /// corrections; claimed_precision is +inf.
+  bool detected{false};
   std::size_t reports_absorbed{0};
   std::size_t acks{0};
 
@@ -115,6 +130,12 @@ struct LiveReport {
   /// Offline cross-check ran and every computed epoch matched bit-for-bit.
   bool checked{false};
   bool all_match{false};
+  /// The run had lying agents (LiveConfig::byz); the offline cross-check
+  /// was skipped even if requested.
+  bool byzantine{false};
+  std::size_t byz_liars{0};
+  /// Epochs the leader rejected as inadmissible (LiveEpochReport::detected).
+  std::size_t detected_epochs{0};
 
   std::size_t dispatched{0};
   bool timed_out{false};

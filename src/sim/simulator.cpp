@@ -128,8 +128,9 @@ class SimulatorImpl {
     // design; checking the trace against them would (rightly) throw, so the
     // check is meaningful only for omission-only fault plans.
     const bool checkable =
-        options_.faults == nullptr ||
-        options_.faults->admissibility_preserving();
+        (options_.faults == nullptr ||
+         options_.faults->admissibility_preserving()) &&
+        (options_.tamper == nullptr || options_.tamper->honest());
     if (options_.check_admissible && checkable &&
         !model_.admissible(result.execution))
       throw InvalidExecution(
@@ -176,6 +177,15 @@ class SimulatorImpl {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  /// The stamp a history event records: the true clock time, or whatever
+  /// the tamper (a Byzantine behavior model) reports instead.
+  ClockTime stamped(ProcessorId pid, EventKind kind, ClockTime truth,
+                    ProcessorId peer) {
+    return options_.tamper == nullptr
+               ? truth
+               : options_.tamper->stamp(pid, kind, truth, peer);
+  }
+
   void dispatch(const SimEvent& ev) {
     Proc& proc = procs_[ev.processor];
     Ctx ctx(*this, ev.processor);
@@ -199,7 +209,8 @@ class SimulatorImpl {
         }
         ViewEvent ve;
         ve.kind = EventKind::kReceive;
-        ve.when = proc.clock.at(now_);
+        ve.when = stamped(ev.processor, EventKind::kReceive,
+                          proc.clock.at(now_), ev.message.from);
         ve.msg = ev.message.id;
         ve.peer = ev.message.from;
         proc.history.append(ve);
@@ -220,7 +231,8 @@ class SimulatorImpl {
         }
         ViewEvent ve;
         ve.kind = EventKind::kTimerFire;
-        ve.when = proc.clock.at(now_);
+        ve.when = stamped(ev.processor, EventKind::kTimerFire,
+                          proc.clock.at(now_), ev.processor);
         ve.timer_at = ev.timer_at;
         proc.history.append(ve);
         ++fired_timers_;
@@ -246,7 +258,7 @@ class SimulatorImpl {
 
     ViewEvent ve;
     ve.kind = EventKind::kSend;
-    ve.when = sender.clock.at(now_);
+    ve.when = stamped(from, EventKind::kSend, sender.clock.at(now_), to);
     ve.msg = msg.id;
     ve.peer = to;
     sender.history.append(ve);
@@ -317,7 +329,7 @@ class SimulatorImpl {
 
     ViewEvent ve;
     ve.kind = EventKind::kTimerSet;
-    ve.when = now_clock;
+    ve.when = stamped(pid, EventKind::kTimerSet, now_clock, pid);
     ve.timer_at = at;
     proc.history.append(ve);
     if (trace_ != nullptr)

@@ -17,6 +17,7 @@
 #include "sim/automaton.hpp"
 #include "sim/delay_sampler.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/tamper.hpp"
 
 namespace cs {
 
@@ -65,6 +66,14 @@ struct SimOptions {
   /// (drops, duplication, spikes, link outages, processor crashes).  Must
   /// outlive the simulate() call.  nullptr = fault-free.
   const FaultPlan* faults{nullptr};
+
+  /// Optional stamp tamper (sim/tamper.hpp): every history stamp is routed
+  /// through it, which is how Byzantine lying agents (src/byz) corrupt the
+  /// recorded timeline without touching the physical execution.  Must
+  /// outlive the simulate() call.  A dishonest tamper disables the
+  /// post-hoc admissibility check (the recorded execution lies by design).
+  /// nullptr = every processor honest.
+  StampTamper* tamper{nullptr};
 
   /// Optional instrumentation sink for the "fault.*" counters and any
   /// future sim-side series.  nullptr = off.

@@ -1,0 +1,52 @@
+// Stamp tampering: the seam through which Byzantine behavior enters the
+// simulator.
+//
+// The paper's processors are honest: every view event carries the clock
+// time at which it really happened.  A Byzantine processor instead
+// *reports* whatever serves it — its history (and hence its view, and
+// hence everything the estimators see) carries corrupted stamps while the
+// underlying execution is unchanged.  StampTamper is exactly that
+// distinction made mechanical: the simulator computes the true clock stamp
+// of every history event and routes it through the tamper, which returns
+// the stamp to record.  Honest processors pass stamps through untouched.
+//
+// Contract:
+//   * The returned stamp must be nondecreasing per processor (History
+//     enforces monotone clock order); implementations clamp.
+//   * Tampering must not change *behavior* — timers still fire at their
+//     true clock times, messages still leave when they leave.  Only the
+//     recorded timeline lies.  (A liar that also delayed its sends would
+//     just be a slow honest node; the interesting adversary is the one
+//     whose lies are invisible in the physical execution.)
+//   * honest() == true promises stamps are always returned unchanged, so
+//     the simulator keeps its post-hoc admissibility check.  A lying
+//     tamper makes the recorded execution inadmissible by design (the
+//     recorded d̃ no longer obeys the declared bounds), so the check is
+//     skipped, mirroring FaultPlan::admissibility_preserving.
+//
+// The concrete Byzantine implementation (behavior models on split RNG
+// streams) lives in src/byz/injector.hpp; sim depends only on this
+// interface.
+#pragma once
+
+#include "common/time.hpp"
+#include "model/ids.hpp"
+#include "model/step.hpp"
+
+namespace cs {
+
+class StampTamper {
+ public:
+  virtual ~StampTamper() = default;
+
+  /// The clock stamp to record in `pid`'s history for an event of `kind`
+  /// whose true local clock time is `truth`.  `peer` is the counterparty:
+  /// kSend — destination, kReceive — source, timer events — `pid` itself.
+  virtual ClockTime stamp(ProcessorId pid, EventKind kind, ClockTime truth,
+                          ProcessorId peer) = 0;
+
+  /// True iff this tamper provably never alters a stamp.
+  virtual bool honest() const = 0;
+};
+
+}  // namespace cs

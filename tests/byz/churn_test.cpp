@@ -1,0 +1,148 @@
+// Link churn (byz/churn.hpp): duty-cycle compilation into FaultPlan down
+// windows, composition over existing plans, and the census regression —
+// a disappeared link is absent, whatever stale traffic the window holds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "byz/churn.hpp"
+#include "common/error.hpp"
+#include "core/degraded.hpp"
+#include "delaymodel/link_stats.hpp"
+#include "support/builders.hpp"
+
+namespace cs::byz {
+namespace {
+
+TEST(Churn, CompilesDutyCycleDownWindows) {
+  const Topology topo = make_ring(4);
+  ChurnSpec spec;
+  spec.period = 10.0;
+  spec.duty = 0.6;
+  spec.horizon = 30.0;
+  FaultPlan plan;
+  apply_churn(spec, topo, plan);
+
+  // Every link churns (links defaults to all); the duty cycle is exact, so
+  // sampling the horizon finds each link dark (1 - duty) of the time.
+  for (auto [a, b] : topo.links) {
+    const LinkFaults& lf = plan.link_faults(a, b);
+    ASSERT_FALSE(lf.down.empty());
+    const int samples = 3000;
+    int dark = 0;
+    for (int i = 0; i < samples; ++i)
+      if (lf.down_at(RealTime{spec.horizon * i / samples})) ++dark;
+    EXPECT_NEAR(static_cast<double>(dark) / samples, 1.0 - spec.duty, 0.01);
+  }
+}
+
+TEST(Churn, DeterministicAndPhaseStaggered) {
+  const Topology topo = make_complete(5);
+  ChurnSpec spec;
+  spec.period = 8.0;
+  spec.duty = 0.5;
+  spec.horizon = 16.0;
+  spec.links = 4;
+  FaultPlan a, b;
+  apply_churn(spec, topo, a);
+  apply_churn(spec, topo, b);
+
+  std::size_t churning = 0;
+  bool phases_differ = false;
+  double first_phase = -1.0;
+  for (auto [p, q] : topo.links) {
+    const LinkFaults& fa = a.link_faults(p, q);
+    const LinkFaults& fb = b.link_faults(p, q);
+    ASSERT_EQ(fa.down.size(), fb.down.size());
+    for (std::size_t i = 0; i < fa.down.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fa.down[i].from.sec, fb.down[i].from.sec);
+      EXPECT_DOUBLE_EQ(fa.down[i].until.sec, fb.down[i].until.sec);
+    }
+    if (!fa.down.empty()) {
+      ++churning;
+      if (first_phase < 0.0)
+        first_phase = fa.down.front().from.sec;
+      else if (fa.down.front().from.sec != first_phase)
+        phases_differ = true;
+    }
+  }
+  EXPECT_EQ(churning, 4u);
+  EXPECT_TRUE(phases_differ);
+}
+
+TEST(Churn, LayersOverAnExistingPlanWithoutTouchingIt) {
+  const Topology topo = make_ring(4);
+  FaultPlan plan;
+  plan.default_link.drop_probability = 0.1;
+  plan.link(0, 1).duplicate_probability = 0.2;
+
+  ChurnSpec spec;
+  spec.period = 10.0;
+  spec.duty = 0.5;
+  spec.horizon = 20.0;
+  apply_churn(spec, topo, plan);
+
+  EXPECT_DOUBLE_EQ(plan.link_faults(0, 1).duplicate_probability, 0.2);
+  EXPECT_DOUBLE_EQ(plan.link_faults(1, 2).drop_probability, 0.1);
+  EXPECT_FALSE(plan.link_faults(0, 1).down.empty());
+}
+
+TEST(Churn, RejectsInvalidSpecs) {
+  const Topology topo = make_ring(3);
+  FaultPlan plan;
+  ChurnSpec bad;
+  bad.period = 5.0;
+  bad.duty = 0.0;  // nothing would ever be up
+  bad.horizon = 10.0;
+  EXPECT_THROW(apply_churn(bad, topo, plan), Error);
+  bad.duty = 1.5;
+  EXPECT_THROW(apply_churn(bad, topo, plan), Error);
+  bad.duty = 0.5;
+  bad.horizon = 0.0;  // active churn with no horizon
+  EXPECT_THROW(apply_churn(bad, topo, plan), Error);
+}
+
+TEST(Churn, LinksDownAtMatchesTheCompiledWindows) {
+  const Topology topo = make_ring(4);
+  ChurnSpec spec;
+  spec.period = 10.0;
+  spec.duty = 0.5;
+  spec.horizon = 20.0;
+  FaultPlan plan;
+  apply_churn(spec, topo, plan);
+  for (double t : {0.0, 3.0, 7.0, 12.0, 19.0}) {
+    const std::vector<bool> down =
+        links_down_at(plan, topo, RealTime{t});
+    ASSERT_EQ(down.size(), topo.link_count());
+    for (std::size_t i = 0; i < topo.link_count(); ++i) {
+      const auto [a, b] = topo.links[i];
+      EXPECT_EQ(down[i], plan.link_faults(a, b).down_at(RealTime{t}));
+    }
+  }
+}
+
+TEST(ChurnCensus, DisappearedLinkIsAbsentNotStale) {
+  // Satellite regression: traffic still holds observations for a link that
+  // churned dark — the census must report the link absent anyway, both
+  // directions, rather than counting the stale window as coverage.
+  const SystemModel model = test::bounded_model(make_complete(4), 0.0, 1.0);
+  const SimResult sim = test::run_ping_pong(model, 31, 0.2);
+  const std::vector<View> views = sim.execution.views();
+  const LinkTraffic traffic = LinkTraffic::estimated_from_views(
+      views, MatchPolicy::kDropOrphans);
+
+  const LinkCoverage full = link_coverage(model, traffic);
+  ASSERT_EQ(full.absent_directions, 0u);
+  ASSERT_EQ(full.observed_directions, full.total_directions);
+
+  std::vector<bool> down(model.topology().link_count(), false);
+  down[2] = true;
+  const LinkCoverage censored = link_coverage(model, traffic, down);
+  EXPECT_EQ(censored.absent_directions, 2u);
+  EXPECT_EQ(censored.observed_directions, full.observed_directions - 2);
+  EXPECT_LT(censored.fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace cs::byz

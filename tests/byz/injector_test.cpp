@@ -1,0 +1,183 @@
+// ByzInjector inside the simulator: monotone histories, the gauge
+// invariance of consistent lies, and the RNG-composition contract with
+// FaultPlan (independent streams, any order, no double-consumed draws).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "byz/injector.hpp"
+#include "core/synchronizer.hpp"
+#include "proto/ping_pong.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "support/builders.hpp"
+
+namespace cs::byz {
+namespace {
+
+SimOptions base_options(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  SimOptions opts;
+  opts.start_offsets = random_start_offsets(n, 0.2, rng);
+  opts.seed = seed;
+  opts.delay_scale = 0.05;
+  return opts;
+}
+
+SimResult run(const SystemModel& model, SimOptions opts) {
+  PingPongParams params;
+  params.warmup = Duration{0.3};
+  params.rounds = 4;
+  return simulate(model, make_ping_pong(params), opts);
+}
+
+ByzPlan const_liar(ProcessorId pid, double mag) {
+  ByzPlan plan;
+  plan.seed = 0xB12A;
+  AgentPlan a;
+  a.pid = pid;
+  a.behavior = Behavior::kLieConst;
+  a.magnitude = mag;
+  plan.add(a);
+  return plan;
+}
+
+TEST(ByzInjector, HonestPlanPassesStampsThrough) {
+  const SystemModel model = test::bounded_model(make_complete(4), 0.0, 1.0);
+  SimOptions honest = base_options(4, 21);
+  const SimResult ref = run(model, honest);
+
+  ByzPlan plan;  // empty = honest
+  ByzInjector tamper(plan, 4);
+  EXPECT_TRUE(tamper.honest());
+  SimOptions tampered = base_options(4, 21);
+  tampered.tamper = &tamper;
+  const SimResult out = run(model, tampered);
+  EXPECT_EQ(tamper.lied_stamps(), 0u);
+  EXPECT_EQ(out.execution.views(), ref.execution.views());
+}
+
+TEST(ByzInjector, HistoriesStayMonotoneUnderEveryBehavior) {
+  const SystemModel model = test::bounded_model(make_complete(4), 0.0, 1.0);
+  for (const Behavior b : {Behavior::kLieConst, Behavior::kLieRamp,
+                           Behavior::kLieRandom, Behavior::kReplay,
+                           Behavior::kEquivocate}) {
+    ByzPlan plan;
+    plan.seed = 0xB12A;
+    AgentPlan a;
+    a.pid = 1;
+    a.behavior = b;
+    a.magnitude = 0.2;
+    plan.add(a);
+    ByzInjector tamper(plan, 4);
+    SimOptions opts = base_options(4, 22);
+    opts.tamper = &tamper;
+    // Histories enforce monotone clock order on insertion, so a rewinding
+    // tamper would throw inside simulate(); finishing is the assertion.
+    const SimResult out = run(model, opts);
+    EXPECT_GT(out.delivered_messages, 0u);
+  }
+}
+
+TEST(ByzInjector, ConsistentConstLieIsGaugeInvariant) {
+  // lie-const shifts every stamp of the liar by the same amount — exactly
+  // an honest processor whose clock started `mag` earlier (Lemma 4.1 on
+  // the clock axis).  The instance optimum must not move, and the liar's
+  // correction must absorb the shift.
+  const SystemModel model = test::bounded_model(make_complete(5), 0.0, 1.0);
+  SimOptions honest = base_options(5, 23);
+  const SimResult ref = run(model, honest);
+
+  const double mag = 0.05;
+  const ByzPlan plan = const_liar(2, mag);
+  ByzInjector tamper(plan, 5);
+  SimOptions tampered = base_options(5, 23);
+  tampered.tamper = &tamper;
+  const SimResult out = run(model, tampered);
+  EXPECT_GT(tamper.lied_stamps(), 0u);
+
+  const SyncOutcome a = synchronize(model, ref.execution.views(), {});
+  const SyncOutcome b = synchronize(model, out.execution.views(), {});
+  ASSERT_TRUE(a.bounded());
+  ASSERT_TRUE(b.bounded());
+  EXPECT_NEAR(a.optimal_precision.finite(), b.optimal_precision.finite(),
+              1e-9);
+  // Corrections are root-anchored; relative to any honest agent the liar's
+  // correction moves by exactly -mag while honest pairs stay put.
+  ASSERT_EQ(a.corrections.size(), b.corrections.size());
+  for (std::size_t p = 0; p < a.corrections.size(); ++p) {
+    const double shift =
+        (b.corrections[p] - b.corrections[0]) -
+        (a.corrections[p] - a.corrections[0]);
+    EXPECT_NEAR(shift, p == 2 ? -mag : 0.0, 1e-9) << "processor " << p;
+  }
+}
+
+TEST(ByzInjector, ByzDoesNotPerturbDelaysOrFaultDecisions) {
+  // Satellite regression: the Byzantine streams are split from the plan's
+  // own seed, so turning lies on must not move a single delay draw or
+  // fault decision.  Honest agents' views are untouched records of the
+  // physical run — bitwise equality proves the schedule did not move.
+  const SystemModel model = test::bounded_model(make_complete(5), 0.0, 1.0);
+  FaultPlan faults;
+  faults.seed = 0xFA17;
+  faults.default_link.drop_probability = 0.2;
+
+  SimOptions plain = base_options(5, 24);
+  plain.faults = &faults;
+  const SimResult ref = run(model, plain);
+
+  ByzPlan plan;
+  plan.seed = 0xB12A;
+  AgentPlan a;
+  a.pid = 3;
+  a.behavior = Behavior::kLieRandom;
+  a.magnitude = 0.03;
+  plan.add(a);
+  ByzInjector tamper(plan, 5);
+  SimOptions lying = base_options(5, 24);
+  lying.faults = &faults;
+  lying.tamper = &tamper;
+  const SimResult out = run(model, lying);
+
+  EXPECT_GT(ref.fault_dropped_messages, 0u);
+  EXPECT_EQ(out.fault_dropped_messages, ref.fault_dropped_messages);
+  EXPECT_EQ(out.delivered_messages, ref.delivered_messages);
+  const std::vector<View> va = ref.execution.views();
+  const std::vector<View> vb = out.execution.views();
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t p = 0; p < va.size(); ++p) {
+    if (p == 3) continue;  // the liar's own record differs by design
+    EXPECT_EQ(va[p], vb[p]) << "honest processor " << p;
+  }
+  EXPECT_NE(va[3], vb[3]);
+}
+
+TEST(ByzInjector, FaultPlanPresenceDoesNotPerturbTheLies) {
+  // The mirror image: a fault plan that never fires (zero probabilities)
+  // must leave every tampered stamp bit-identical — the Byzantine streams
+  // never read from the fault streams.
+  const SystemModel model = test::bounded_model(make_complete(5), 0.0, 1.0);
+  const ByzPlan plan = const_liar(1, 0.04);
+
+  ByzInjector t1(plan, 5);
+  SimOptions alone = base_options(5, 25);
+  alone.tamper = &t1;
+  const SimResult a = run(model, alone);
+
+  FaultPlan quiet;
+  quiet.seed = 0xDEAD;  // different fault seed, zero effect
+  ByzInjector t2(plan, 5);
+  SimOptions with_faults = base_options(5, 25);
+  with_faults.faults = &quiet;
+  with_faults.tamper = &t2;
+  const SimResult b = run(model, with_faults);
+
+  EXPECT_EQ(t1.lied_stamps(), t2.lied_stamps());
+  EXPECT_EQ(a.execution.views(), b.execution.views());
+}
+
+}  // namespace
+}  // namespace cs::byz

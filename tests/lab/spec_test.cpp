@@ -375,5 +375,107 @@ TEST(CampaignSpecDrift, DriftPresetsSweepBothOscillatorModels) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Byzantine axis
+
+TEST(CampaignSpecByz, ParsesAndRoundTripsEveryArmKind) {
+  const CampaignSpec spec = parse(
+      std::string(kMinimalSpec) +
+      "byz none\n"
+      "byz lie-const f=1 mag=0.01\n"
+      "byz equivocate f=2 mag=0.09 est=quorum tol=0.003\n"
+      "byz replay f=1 mag=0.05 est=trimmed\n");
+  ASSERT_EQ(spec.byz.size(), 4u);
+  EXPECT_EQ(spec.byz[0].kind, "none");
+  EXPECT_FALSE(spec.byz[0].byzantine());
+  EXPECT_EQ(spec.byz[1].kind, "lie-const");
+  EXPECT_TRUE(spec.byz[1].byzantine());
+  EXPECT_EQ(spec.byz[1].f, 1u);
+  EXPECT_DOUBLE_EQ(spec.byz[1].magnitude, 0.01);
+  EXPECT_EQ(spec.byz[1].estimator, "naive");  // the default
+  EXPECT_EQ(spec.byz[2].kind, "equivocate");
+  EXPECT_EQ(spec.byz[2].f, 2u);
+  EXPECT_EQ(spec.byz[2].estimator, "quorum");
+  EXPECT_DOUBLE_EQ(spec.byz[2].quorum_tolerance, 0.003);
+  EXPECT_EQ(spec.byz[3].kind, "replay");
+  EXPECT_EQ(spec.byz[3].estimator, "trimmed");
+
+  std::ostringstream os;
+  save_campaign(os, spec);
+  const CampaignSpec back = parse(os.str());
+  ASSERT_EQ(back.byz.size(), spec.byz.size());
+  for (std::size_t i = 0; i < spec.byz.size(); ++i)
+    EXPECT_EQ(back.byz[i].describe(), spec.byz[i].describe()) << i;
+}
+
+TEST(CampaignSpecByz, NoByzLineKeepsThePreByzExpansion) {
+  const CampaignSpec spec = parse(kMinimalSpec);
+  EXPECT_TRUE(spec.byz.empty());
+  EXPECT_EQ(spec.byz_arm_count(), 1u);
+  EXPECT_FALSE(spec.byz_arm(0).byzantine());
+  // 2 topologies x 2 mixes x 2 faults x 1 zone x 1 drift x 1 byz x 2 seeds.
+  EXPECT_EQ(expand(spec).size(), 16u);
+}
+
+TEST(CampaignSpecByz, ByzIsTheInnermostCellAxis) {
+  const CampaignSpec spec = parse(
+      std::string(kMinimalSpec) + "byz none\nbyz lie-const f=1 mag=0.01\n");
+  const std::vector<TaskSpec> tasks = expand(spec);
+  ASSERT_EQ(tasks.size(), 32u);
+  // Seeds cycle fastest, then byz, then drift (absent), then faults.
+  EXPECT_EQ(tasks[0].byz_id, 0u);
+  EXPECT_EQ(tasks[1].byz_id, 0u);
+  EXPECT_EQ(tasks[2].byz_id, 1u);
+  EXPECT_EQ(tasks[2].drift_id, tasks[0].drift_id);
+  EXPECT_EQ(tasks[2].fault_id, tasks[0].fault_id);
+  EXPECT_EQ(tasks[4].fault_id, 1u);
+  for (const TaskSpec& t : tasks) EXPECT_EQ(t.cell_id(spec), t.index / 2);
+}
+
+TEST(CampaignSpecByz, MalformedByzLinesAreDiagnosed) {
+  const std::string base(kMinimalSpec);
+  EXPECT_NE(expect_error(base + "byz banana f=1 mag=0.1\n").find("line 14"),
+            std::string::npos);
+  expect_error(base + "byz\n");                              // no behavior
+  expect_error(base + "byz none extra\n");
+  expect_error(base + "byz lie-const mag=0.1\n");            // no f
+  expect_error(base + "byz lie-const f=0 mag=0.1\n");        // f must be >= 1
+  expect_error(base + "byz lie-const f=1\n");                // no mag
+  expect_error(base + "byz lie-const f=1 mag=-0.1\n");       // bad magnitude
+  expect_error(base + "byz lie-const f=1 0.1\n");            // not key=value
+  expect_error(base + "byz lie-const f=1 mag=0.1 est=median\n");
+  expect_error(base + "byz lie-const f=1 mag=0.1 tol=0\n");
+  expect_error(base + "byz lie-const f=1 mag=0.1 window=2\n");
+}
+
+TEST(CampaignSpecByz, ByzPresetsPitNaiveAgainstQuorum) {
+  // "byz" leaves the adversary undefended and must fail --check; the
+  // quorum preset runs the identical arms defended and must pass.
+  const CampaignSpec naive = preset_campaign("byz");
+  EXPECT_EQ(naive.topologies.size(), 2u);
+  ASSERT_EQ(naive.byz.size(), 2u);
+  for (const ByzAxisSpec& b : naive.byz) {
+    EXPECT_EQ(b.kind, "equivocate");
+    EXPECT_TRUE(b.byzantine());
+    EXPECT_EQ(b.estimator, "naive");
+    EXPECT_GT(b.magnitude, 0.0);
+  }
+  EXPECT_EQ(naive.byz[0].f, 1u);
+  EXPECT_EQ(naive.byz[1].f, 2u);
+
+  const CampaignSpec quorum = preset_campaign("byz-quorum");
+  // Clique only: the chorded ring's path diversity is too thin against
+  // adjacent equivocators for the quorum majority (see preset comment).
+  EXPECT_EQ(quorum.topologies.size(), 1u);
+  ASSERT_EQ(quorum.byz.size(), 2u);
+  for (const ByzAxisSpec& b : quorum.byz) {
+    EXPECT_EQ(b.estimator, "quorum");
+    EXPECT_GT(b.quorum_tolerance, 0.0);
+  }
+  // Same adversary, same seeds — only the defense differs.
+  EXPECT_EQ(quorum.seed, naive.seed);
+  EXPECT_DOUBLE_EQ(quorum.byz[0].magnitude, naive.byz[0].magnitude);
+}
+
 }  // namespace
 }  // namespace cs::lab

@@ -321,5 +321,69 @@ TEST(AggregateZones, ZoneColumnsAppendAfterThePinnedPrefix) {
   EXPECT_NE(js.str().find("\"realized_cross_max\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Byzantine axis
+
+CampaignSpec byz_cells_campaign() {
+  // A consistent lie-const liar is gauge-equivalent to an honest agent
+  // whose clock started earlier (Lemma 4.1), so the adversarial cell stays
+  // clean — the test exercises the byz bookkeeping, not detection.
+  std::istringstream is(
+      "chronosync-campaign v1\n"
+      "name bstats\n"
+      "seed 46\n"
+      "seeds 2\n"
+      "protocol pingpong 3\n"
+      "skew 0.25\n"
+      "delay-scale 0.05\n"
+      "topology complete 4\n"
+      "mix bounds 0.001 0.101\n"
+      "faults none\n"
+      "byz none\n"
+      "byz lie-const f=1 mag=0.01\n");
+  return load_campaign(is);
+}
+
+TEST(AggregateByz, CellsSplitByByzArmInOdometerOrder) {
+  const CampaignSpec spec = byz_cells_campaign();
+  const CampaignReport report = aggregate(run_campaign(spec, {}));
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.cells[0].byz, "none");
+  EXPECT_FALSE(report.cells[0].byzantine);
+  EXPECT_EQ(report.cells[0].byz_epochs, 0u);
+  EXPECT_EQ(report.cells[0].byz_lied_stamps, 0u);
+  EXPECT_TRUE(report.cells[1].byzantine);
+  EXPECT_EQ(report.cells[1].tasks, 2u);
+  // Harness schedule: 3 epoch boundaries per task, summed over the cell.
+  EXPECT_EQ(report.cells[1].byz_epochs, 6u);
+  EXPECT_GT(report.cells[1].byz_lied_stamps, 0u);
+}
+
+TEST(AggregateByz, ByzColumnsAppendAfterTheDriftBlock) {
+  const CampaignReport report =
+      aggregate(run_campaign(byz_cells_campaign(), {}));
+  std::ostringstream os;
+  write_report_csv(os, report);
+  std::istringstream is(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(is, header));
+  // The pinned downstream interface stays put; byz columns go at the end.
+  EXPECT_EQ(header.rfind("cell,topology,nodes,mix,faults,tasks", 0), 0u);
+  EXPECT_NE(header.find(",byz,byz_epochs,byz_detected,byz_violations,"
+                        "byz_lied_stamps,byz_quorum_dropped"),
+            std::string::npos);
+  const std::vector<std::string> head = parse_csv_line(header);
+  std::string row;
+  while (std::getline(is, row)) {
+    if (row.empty()) continue;
+    EXPECT_EQ(parse_csv_line(row).size(), head.size());
+  }
+
+  std::ostringstream js;
+  write_report_json(js, report, /*include_timing=*/false);
+  EXPECT_NE(js.str().find("\"byzantine\": true"), std::string::npos);
+  EXPECT_NE(js.str().find("\"byz_lied_stamps\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cs::lab

@@ -127,6 +127,18 @@ TEST(BarabasiAlbert, PreferentialAttachmentGrowsAHeavyTail) {
   EXPECT_GE(max, 4u * median); // hubs dominate
 }
 
+TEST(Circulant, StrideChordsMakeASixRegularRing) {
+  // The lab's circulant family is the ring plus stride-2 and stride-3
+  // chords; for n > 6 no stride wraps onto another, so the graph is
+  // 6-regular with exactly 3n links (the byz presets' 9-node instance).
+  Rng rng(1);
+  const Topology t = make_topology(parse_topo_spec("circulant 9"), rng);
+  EXPECT_EQ(t.node_count, 9u);
+  EXPECT_EQ(t.links.size(), 27u);
+  EXPECT_TRUE(no_duplicate_links(t));
+  for (std::size_t d : degrees(t)) EXPECT_EQ(d, 6u);
+}
+
 TEST(Datacenter, SpineTorHostFabric) {
   const Topology t = make_datacenter(2, 3, 4);
   EXPECT_EQ(t.node_count, 2u + 3u + 12u);

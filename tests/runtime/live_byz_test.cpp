@@ -1,0 +1,83 @@
+// Live runtime under a Byzantine plan (docs/BYZ.md): payload lies are
+// one-sided — the liar corrupts the stamps it *sends*, while every honest
+// receive report stays truthful — so the leader's m̃ls graph goes
+// inadmissible as soon as the lie exceeds the per-2-cycle slack, and the
+// epoch becomes a loud detection outage instead of a silent bad bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "byz/plan.hpp"
+#include "runtime/daemon.hpp"
+#include "support/builders.hpp"
+
+namespace cs {
+namespace {
+
+TEST(LiveByz, OversizedEquivocationIsDetectedEveryEpoch) {
+  // mag = 0.05 dwarfs the slack the middle of a 100 ms band leaves, so
+  // each epoch's GLOBAL ESTIMATES throws and the leader floods an outage
+  // notice: the protocol still terminates, nobody is handed a bound.
+  SystemModel model = test::bounded_model(make_complete(6), 0.001, 0.101);
+  LiveConfig config;
+  config.seed = 42;
+  config.agent.epochs = 2;
+  config.byz = byz::parse_byz_plan("equivocate f=1 mag=0.05");
+
+  const LiveReport report = run_live(model, config);
+  EXPECT_TRUE(report.byzantine);
+  EXPECT_EQ(report.byz_liars, 1u);
+  ASSERT_EQ(report.epochs.size(), 2u);
+  EXPECT_EQ(report.detected_epochs, 2u);
+  for (const LiveEpochReport& ep : report.epochs) {
+    EXPECT_TRUE(ep.detected);
+    ASSERT_TRUE(ep.claimed_precision.has_value());
+    EXPECT_TRUE(std::isinf(*ep.claimed_precision));
+  }
+  // Recorded views carry the ground truth, not the lies, so the offline
+  // cross-check is meaningless on dishonest runs and must be skipped.
+  EXPECT_FALSE(report.checked);
+  EXPECT_GT(report.metrics.counter("runtime.detected_epochs"), 0u);
+}
+
+TEST(LiveByz, SubSlackLieStaysAdmissibleButUnchecked) {
+  // A 2 ms lie hides inside the slack of a wide band: every epoch stays
+  // admissible and converges.  The run is still flagged Byzantine and the
+  // offline comparison is still skipped — admissible does not mean honest.
+  SystemModel model = test::bounded_model(make_complete(6), 0.0, 0.5);
+  LiveConfig config;
+  config.seed = 42;
+  config.agent.epochs = 2;
+  config.byz = byz::parse_byz_plan("lie-const f=1 mag=0.002");
+
+  const LiveReport report = run_live(model, config);
+  EXPECT_TRUE(report.byzantine);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.detected_epochs, 0u);
+  EXPECT_FALSE(report.checked);
+  for (const LiveEpochReport& ep : report.epochs) {
+    EXPECT_FALSE(ep.detected);
+    ASSERT_TRUE(ep.claimed_precision.has_value());
+    EXPECT_TRUE(std::isfinite(*ep.claimed_precision));
+  }
+}
+
+TEST(LiveByz, HonestPlanLeavesTheRunUnflaggedAndChecked) {
+  SystemModel model = test::bounded_model(make_complete(6), 0.001, 0.101);
+  LiveConfig config;
+  config.seed = 42;
+  config.agent.epochs = 2;
+  config.byz = byz::parse_byz_plan("none");
+
+  const LiveReport report = run_live(model, config);
+  EXPECT_FALSE(report.byzantine);
+  EXPECT_EQ(report.byz_liars, 0u);
+  EXPECT_EQ(report.detected_epochs, 0u);
+  ASSERT_TRUE(report.converged);
+  ASSERT_TRUE(report.checked);
+  EXPECT_TRUE(report.all_match);
+}
+
+}  // namespace
+}  // namespace cs

@@ -162,8 +162,11 @@ int cmd_run(const Args& args) {
   }
 
   if (args.on("--check") && !report_ok(report)) {
+    std::size_t byz_detected = 0;
+    for (const CellStats& cell : report.cells) byz_detected += cell.byz_detected;
     std::cout << "check FAILED: failures=" << report.failures
               << " soundness_violations=" << report.soundness_violations
+              << " byz_detection_outages=" << byz_detected
               << " thm46_max_gap=" << report.thm46_max_gap << " (tolerance "
               << kThm46Tolerance << ")\n";
     return kExitCheckFailed;
@@ -262,7 +265,7 @@ int cmd_report(const Args& args) {
 void print_usage(std::ostream& os) {
   os << "cs_lab " << kVersion << " — experiment-campaign engine\n\n"
      << "  cs_lab run <spec-file | --preset smoke|toroid|zones|fabric100k|\n"
-     << "              drift|drift-noresync> [flags]\n"
+     << "              drift|drift-noresync|byz|byz-quorum> [flags]\n"
      << "      --threads N    worker threads (0 = all cores)\n"
      << "      --task-threads N  threads *inside* each task (zoned solves;\n"
      << "                     byte-identical results for any value)\n"

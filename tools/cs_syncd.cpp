@@ -12,6 +12,7 @@
 // Exit codes match cs_sync: 0 converged (and, unless --no-check, the
 // deterministic-loopback corrections matched the offline pipeline),
 // 1 not converged or live/offline mismatch, 2 usage error, 3 error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +63,13 @@ usage: cs_syncd [flags]
                            re-syncs never spends more than S, and each
                            epoch reports its drift-adjusted bound
                            (docs/DRIFT.md)
+  --byz-plan "SPEC"        Byzantine plan: lying agents corrupt the stamps
+                           in their probe/echo payloads.  SPEC is the
+                           byz/plan.hpp grammar, e.g.
+                           "equivocate f=2 mag=0.05" or
+                           "lie-const agents=3 mag=0.02 from=1 until=3";
+                           dishonest runs skip the offline cross-check
+                           (docs/BYZ.md)
   --leader N --deadline S --trace FILE
   --no-check               skip the offline cross-check
   --json                   machine-readable report
@@ -179,6 +187,8 @@ int main(int argc, char** argv) {
                    "cs_syncd: --drift-ppm and --drift-slack go together\n");
       return kExitUsage;
     }
+    if (flags.count("--byz-plan") != 0)
+      config.byz = byz::parse_byz_plan(flags.at("--byz-plan"));
 
     std::optional<ZonePlan> zone_plan;
     if (flags.count("--zones") != 0) {
@@ -193,8 +203,11 @@ int main(int argc, char** argv) {
     }
 
     const LiveReport report = run_live(model, config);
-    const bool ok =
-        report.converged && (!report.checked || report.all_match);
+    // A detected epoch is a synchronization outage: the leader rejected the
+    // traffic as inadmissible (wrong bounds or a lying agent) and computed
+    // no corrections.  That is a failure exit, same as the lab's --check.
+    const bool ok = report.converged && report.detected_epochs == 0 &&
+                    (!report.checked || report.all_match);
 
     if (flags.count("--json") != 0) {
       std::string out = "{\"transport\": \"" + report.transport + "\"";
@@ -203,6 +216,13 @@ int main(int argc, char** argv) {
       out += report.converged ? "true" : "false";
       out += ", \"all_match\": ";
       out += report.checked ? (report.all_match ? "true" : "false") : "null";
+      if (report.byzantine) {
+        out += ", \"byzantine\": true, \"byz_liars\": " +
+               std::to_string(report.byz_liars);
+      }
+      if (report.detected_epochs > 0)
+        out += ", \"detected_epochs\": " +
+               std::to_string(report.detected_epochs);
       if (config.drift.active()) {
         out += ", \"resync_period\": " + fmt(report.resync_period.sec);
         out += ", \"resync_epochs\": " + std::to_string(report.resync_epochs);
@@ -216,7 +236,8 @@ int main(int argc, char** argv) {
         out += "{\"epoch\": " + std::to_string(ep.epoch);
         out += ", \"degraded\": ";
         out += ep.degraded ? "true" : "false";
-        if (ep.claimed_precision)
+        if (ep.detected) out += ", \"detected\": true";
+        if (ep.claimed_precision && std::isfinite(*ep.claimed_precision))
           out += ", \"precision\": " + fmt(*ep.claimed_precision);
         if (ep.drift_bound)
           out += ", \"drift_bound\": " + fmt(*ep.drift_bound);
@@ -241,6 +262,11 @@ int main(int argc, char** argv) {
     std::printf("cs_syncd: %zu agents over %s (%zu events)%s\n",
                 report.agents, report.transport.c_str(), report.dispatched,
                 report.timed_out ? ", deadline hit" : "");
+    if (report.byzantine)
+      std::printf("  byzantine: %zu lying agent%s (%s); offline cross-check "
+                  "skipped\n",
+                  report.byz_liars, report.byz_liars == 1 ? "" : "s",
+                  config.byz.describe().c_str());
     if (config.drift.active())
       std::printf("  drift budget: rho %s, slack %s -> period %s, %zu "
                   "epochs%s\n",
@@ -252,6 +278,12 @@ int main(int argc, char** argv) {
       if (!ep.claimed_precision.has_value()) {
         std::printf("  epoch %zu: not computed (%zu/%zu reports)\n", ep.epoch,
                     ep.reports_absorbed, report.agents);
+        continue;
+      }
+      if (ep.detected) {
+        std::printf("  epoch %zu: DETECTED — traffic inadmissible under the "
+                    "declared assumptions; no corrections\n",
+                    ep.epoch);
         continue;
       }
       std::string split;
@@ -269,7 +301,10 @@ int main(int argc, char** argv) {
                                             : " [OFFLINE MISMATCH]")
                       : "");
     }
-    std::printf("%s\n", ok ? "converged" : "NOT CONVERGED or mismatch");
+    std::printf("%s\n", ok ? "converged"
+                           : report.detected_epochs > 0
+                                 ? "DETECTED: inadmissible traffic"
+                                 : "NOT CONVERGED or mismatch");
     return ok ? kExitOk : kExitDivergence;
   } catch (const Error& e) {
     std::fprintf(stderr, "cs_syncd: error: %s\n", e.what());
