@@ -1,0 +1,62 @@
+#include "net/address.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cs::net {
+
+SocketAddress loopback(std::uint16_t port) {
+  return SocketAddress{INADDR_LOOPBACK, port};
+}
+
+std::uint32_t parse_ipv4(const std::string& text) {
+  if (text == "*") return INADDR_ANY;
+  in_addr parsed{};
+  if (inet_pton(AF_INET, text.c_str(), &parsed) != 1)
+    throw Error("net: invalid IPv4 address '" + text + "'");
+  return ntohl(parsed.s_addr);
+}
+
+SocketAddress parse_hostport(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos)
+    throw Error("net: expected addr:port, got '" + text + "'");
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  if (host.empty() || port_text.empty())
+    throw Error("net: expected addr:port, got '" + text + "'");
+
+  long port = 0;
+  for (char ch : port_text) {
+    if (ch < '0' || ch > '9')
+      throw Error("net: invalid port in '" + text + "'");
+    port = port * 10 + (ch - '0');
+    if (port > 65535) throw Error("net: port out of range in '" + text + "'");
+  }
+  return SocketAddress{parse_ipv4(host), static_cast<std::uint16_t>(port)};
+}
+
+std::string to_string(const SocketAddress& addr) {
+  in_addr ia{};
+  ia.s_addr = htonl(addr.ip);
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &ia, buf, sizeof buf);
+  return std::string(buf) + ":" + std::to_string(addr.port);
+}
+
+void to_sockaddr(const SocketAddress& addr, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(addr.port);
+  out.sin_addr.s_addr = htonl(addr.ip);
+}
+
+SocketAddress from_sockaddr(const sockaddr_in& sa) {
+  return SocketAddress{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace cs::net

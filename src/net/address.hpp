@@ -1,0 +1,46 @@
+// Socket addresses: parsing, formatting, and sockaddr conversion.
+//
+// The one place "addr:port" strings become validated addresses.  Every
+// parse failure is a cs::Error with the offending input quoted — never a
+// silent fallback to loopback (the historical UdpTransport behavior this
+// subsystem retires).  IPv4 only, matching the transport layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+struct sockaddr_in;
+
+namespace cs::net {
+
+struct SocketAddress {
+  /// IPv4 address in host byte order; 0 == INADDR_ANY ("*" / "0.0.0.0").
+  std::uint32_t ip{0};
+  /// Port in host byte order; 0 lets the kernel pick an ephemeral port.
+  std::uint16_t port{0};
+
+  bool operator==(const SocketAddress&) const = default;
+  /// Total order for session-table keys.
+  auto operator<=>(const SocketAddress&) const = default;
+};
+
+/// The loopback address with the given port.
+SocketAddress loopback(std::uint16_t port = 0);
+
+/// Parses "a.b.c.d" or "*" (INADDR_ANY).  Throws cs::Error on anything
+/// else (hostnames are intentionally not resolved — daemons bind and dial
+/// explicit addresses).
+std::uint32_t parse_ipv4(const std::string& text);
+
+/// Parses "addr:port" ("127.0.0.1:7000", "*:7000", "0.0.0.0:0").  Throws
+/// cs::Error when either half is malformed or the port is out of range.
+SocketAddress parse_hostport(const std::string& text);
+
+/// "a.b.c.d:port" (INADDR_ANY renders as 0.0.0.0).
+std::string to_string(const SocketAddress& addr);
+
+/// Conversions to/from the kernel's sockaddr_in.
+void to_sockaddr(const SocketAddress& addr, sockaddr_in& out);
+SocketAddress from_sockaddr(const sockaddr_in& sa);
+
+}  // namespace cs::net

@@ -1,0 +1,198 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/error.hpp"
+
+namespace cs::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw Error("EventLoop: fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+EventLoop::EventLoop(LoopBackend backend) {
+#ifdef __linux__
+  if (backend != LoopBackend::kPoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0 && backend == LoopBackend::kEpoll)
+      throw Error("EventLoop: epoll_create1 failed");
+  }
+#else
+  if (backend == LoopBackend::kEpoll)
+    throw Error("EventLoop: epoll is not available on this platform");
+#endif
+  (void)backend;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    throw Error("EventLoop: pipe() failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_read_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) != 0)
+      throw Error("EventLoop: epoll_ctl(wake pipe) failed");
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void EventLoop::apply(int fd, const Entry& entry, bool adding) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (entry.want_read ? EPOLLIN : 0u) |
+                (entry.want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    const int op = adding ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+    if (::epoll_ctl(epoll_fd_, op, fd, &ev) != 0)
+      throw Error(std::string("EventLoop: epoll_ctl failed: ") +
+                  std::strerror(errno));
+    return;
+  }
+#endif
+  (void)fd;
+  (void)entry;
+  (void)adding;  // poll backend rebuilds its pollfd set per wait
+}
+
+void EventLoop::add(int fd, bool want_read, bool want_write, IoFn fn) {
+  if (fd < 0) throw Error("EventLoop: add of negative fd");
+  if (entries_.count(fd) != 0)
+    throw Error("EventLoop: fd " + std::to_string(fd) + " already watched");
+  Entry entry{want_read, want_write, std::move(fn)};
+  apply(fd, entry, /*adding=*/true);
+  entries_.emplace(fd, std::move(entry));
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end())
+    throw Error("EventLoop: modify of unwatched fd " + std::to_string(fd));
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  apply(fd, it->second, /*adding=*/false);
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  entries_.erase(it);
+}
+
+int EventLoop::wait_epoll(int timeout_ms,
+                          std::vector<std::pair<int, int>>& ready) {
+#ifdef __linux__
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  for (int i = 0; i < n; ++i) {
+    // Error conditions (EPOLLERR/EPOLLHUP) surface as readable so the
+    // owner's read path observes the failure and can unregister.
+    const bool r = (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+    const bool w = (events[i].events & EPOLLOUT) != 0;
+    const int fd = events[i].data.fd;  // copy out of the packed struct
+    ready.emplace_back(fd, (r ? 1 : 0) | (w ? 2 : 0));
+  }
+  return n;
+#else
+  (void)timeout_ms;
+  (void)ready;
+  return -1;
+#endif
+}
+
+int EventLoop::wait_poll(int timeout_ms,
+                         std::vector<std::pair<int, int>>& ready) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size() + 1);
+  fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+  for (const auto& [fd, entry] : entries_)
+    fds.push_back(pollfd{fd,
+                         static_cast<short>((entry.want_read ? POLLIN : 0) |
+                                            (entry.want_write ? POLLOUT : 0)),
+                         0});
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  for (const pollfd& pfd : fds) {
+    const bool r =
+        (pfd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0;
+    const bool w = (pfd.revents & POLLOUT) != 0;
+    if (r || w) ready.emplace_back(pfd.fd, (r ? 1 : 0) | (w ? 2 : 0));
+  }
+  return n;
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  std::vector<std::pair<int, int>> ready;
+  const int n = epoll_fd_ >= 0 ? wait_epoll(timeout_ms, ready)
+                               : wait_poll(timeout_ms, ready);
+  if (n < 0)
+    throw Error(std::string("EventLoop: wait failed: ") +
+                std::strerror(errno));
+
+  int dispatched = 0;
+  for (const auto& [fd, mask] : ready) {
+    if (fd == wake_read_fd_) {
+      drain_wake_pipe();
+      continue;
+    }
+    // Re-check registration: an earlier callback this round may have
+    // removed this fd.
+    const auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;
+    ++dispatched;
+    if (it->second.fn) {
+      // Invoke a copy: the callback may remove() its own fd, which erases
+      // the entry and would destroy the closure out from under this call.
+      const IoFn fn = it->second.fn;
+      fn((mask & 1) != 0, (mask & 2) != 0);
+    }
+  }
+  return dispatched;
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::drain_wake_pipe() {
+  char buf[64];
+  while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace cs::net

@@ -1,0 +1,89 @@
+// The I/O multiplexer behind the multi-client daemon.
+//
+// One EventLoop watches any number of descriptors and dispatches readable/
+// writable callbacks from poll_once() — the single-threaded reactor that
+// lets one cs_syncd process multiplex thousands of concurrent agent
+// sessions over a handful of sockets (one today) instead of a
+// thread-per-endpoint.
+//
+// Backend: epoll on Linux (O(ready) dispatch, the only sane choice at
+// thousands of sessions), with a poll(2) fallback that is always compiled
+// and selectable — kPoll exists for portability and so tests exercise both
+// paths on the same machine.  kAuto picks epoll where available.
+//
+// Threading: add/modify/remove/poll_once belong to the loop thread.
+// wake() is the one cross-thread entry point — it writes a self-pipe the
+// loop watches internally, so a blocked poll_once() returns promptly
+// (how stop() interrupts a daemon sleeping in epoll_wait).
+//
+// Reentrancy: a callback may remove() any descriptor, including its own.
+// Dispatch collects the ready set first and re-checks registration before
+// each callback, so a removal mid-dispatch is safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace cs::net {
+
+enum class LoopBackend : std::uint8_t {
+  kAuto,   ///< epoll where available, else poll
+  kEpoll,  ///< require epoll; throws cs::Error where unsupported
+  kPoll,   ///< force the poll(2) fallback
+};
+
+class EventLoop {
+ public:
+  /// (readable, writable) — both may be true in one dispatch.
+  using IoFn = std::function<void(bool readable, bool writable)>;
+
+  explicit EventLoop(LoopBackend backend = LoopBackend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with its interest set.  Throws cs::Error on duplicate
+  /// registration or kernel refusal.
+  void add(int fd, bool want_read, bool want_write, IoFn fn);
+
+  /// Updates the interest set of a registered fd (typically toggling write
+  /// interest as send queues fill and drain).
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Unregisters; unknown fds are ignored (close() may race an error path).
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely, 0 = nonblocking), then
+  /// dispatches every ready callback.  Returns the number of descriptors
+  /// dispatched (wake() pipe excluded).  Throws cs::Error only on
+  /// unrecoverable kernel errors; EINTR retries internally.
+  int poll_once(int timeout_ms);
+
+  /// Thread-safe: makes a concurrent or future poll_once() return early.
+  void wake();
+
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+  std::size_t watched() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool want_read{false};
+    bool want_write{false};
+    IoFn fn;
+  };
+
+  void apply(int fd, const Entry& entry, bool adding);
+  int wait_epoll(int timeout_ms, std::vector<std::pair<int, int>>& ready);
+  int wait_poll(int timeout_ms, std::vector<std::pair<int, int>>& ready);
+  void drain_wake_pipe();
+
+  std::map<int, Entry> entries_;
+  int epoll_fd_{-1};      ///< -1 = poll backend
+  int wake_read_fd_{-1};  ///< self-pipe, watched internally
+  int wake_write_fd_{-1};
+};
+
+}  // namespace cs::net

@@ -1,0 +1,73 @@
+#include "net/session.hpp"
+
+#include <utility>
+
+namespace cs::net {
+
+Session* SessionTable::find(const SocketAddress& peer) {
+  const auto it = sessions_.find(peer);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Session* SessionTable::find_or_create(const SocketAddress& peer, double now) {
+  const auto it = sessions_.find(peer);
+  if (it != sessions_.end()) {
+    it->second.last_seen = now;
+    return &it->second;
+  }
+  if (sessions_.size() >= config_.max_sessions) return nullptr;
+  Session session;
+  session.peer = peer;
+  session.last_seen = now;
+  auto [inserted, _] = sessions_.emplace(peer, std::move(session));
+  peak_ = std::max(peak_, sessions_.size());
+  return &inserted->second;
+}
+
+bool SessionTable::close(const SocketAddress& peer) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end()) return false;
+  total_queued_ -= it->second.queued_bytes;
+  sessions_.erase(it);
+  return true;
+}
+
+std::size_t SessionTable::expire_idle(
+    double now, const std::function<void(Session&)>& on_expire) {
+  if (config_.idle_timeout.sec <= 0.0) return 0;
+  std::size_t expired = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_seen > config_.idle_timeout.sec) {
+      if (on_expire) on_expire(it->second);
+      total_queued_ -= it->second.queued_bytes;
+      it = sessions_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+bool SessionTable::enqueue(Session& session,
+                           std::vector<std::uint8_t> datagram) {
+  if (session.queued_bytes + datagram.size() > config_.max_queue_bytes) {
+    ++session.dropped_backpressure;
+    return false;
+  }
+  session.queued_bytes += datagram.size();
+  total_queued_ += datagram.size();
+  session.send_queue.push_back(std::move(datagram));
+  return true;
+}
+
+std::vector<std::uint8_t> SessionTable::dequeue(Session& session) {
+  if (session.send_queue.empty()) return {};
+  std::vector<std::uint8_t> datagram = std::move(session.send_queue.front());
+  session.send_queue.pop_front();
+  session.queued_bytes -= datagram.size();
+  total_queued_ -= datagram.size();
+  return datagram;
+}
+
+}  // namespace cs::net

@@ -1,0 +1,120 @@
+// Per-client session state for the multi-client daemon.
+//
+// A session is everything the daemon remembers about one remote agent,
+// keyed by its socket address.  Lifecycle (docs/NET.md):
+//
+//   (datagram from unknown peer)
+//        │ Hello ──────────────► kEstablished   (clock window verified)
+//        │ ProbeBatch ─────────► kImplicit      (probe-before-hello is
+//        │                                       served, but flagged)
+//   kImplicit ── Hello ────────► kEstablished
+//   any ─────── Bye ───────────► closed (erased immediately)
+//   any ─────── idle > timeout ► expired (erased by the sweep)
+//
+// Backpressure: each session owns a bounded send queue.  When the socket
+// will not take a reply synchronously (EAGAIN), the datagram is queued
+// against the session's byte budget; a full budget drops the *new* frame
+// and counts it — a slow or dead client can never grow daemon memory
+// unboundedly nor stall other sessions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/address.hpp"
+
+namespace cs::net {
+
+struct SessionConfig {
+  /// Sessions idle longer than this are expired by the sweep; <= 0 never
+  /// expires (the multihost daemons manage their own peers).
+  Duration idle_timeout{30.0};
+  /// Hard cap on concurrent sessions; find_or_create refuses past it.
+  std::size_t max_sessions{100'000};
+  /// Per-session send-queue budget in bytes.
+  std::size_t max_queue_bytes{256 * 1024};
+};
+
+struct Session {
+  enum class State : std::uint8_t {
+    kImplicit,     ///< traffic before any Hello
+    kEstablished,  ///< Hello accepted
+  };
+
+  SocketAddress peer;
+  State state{State::kImplicit};
+  std::uint32_t agent{0};  ///< peer's claimed agent id (Hello)
+  double last_seen{0.0};   ///< daemon clock, seconds
+
+  /// Peer clock minus local clock at Hello time, in ticks — the measured
+  /// offset the 24-bit window assumption is checked against.
+  std::int64_t hello_skew_ticks{0};
+
+  /// Pending datagrams the socket would not take synchronously.
+  std::deque<std::vector<std::uint8_t>> send_queue;
+  std::size_t queued_bytes{0};
+
+  std::uint64_t frames_in{0};
+  std::uint64_t frames_out{0};
+  std::uint64_t echo_seq{0};  ///< next outgoing EchoBatch eseq
+  std::uint64_t dropped_backpressure{0};
+};
+
+/// Address-keyed session registry with idle expiry and queue accounting.
+/// Single-threaded: owned and touched only by the daemon's loop thread.
+class SessionTable {
+ public:
+  explicit SessionTable(SessionConfig config) : config_(config) {}
+
+  const SessionConfig& config() const { return config_; }
+
+  /// nullptr when the peer has no session.
+  Session* find(const SocketAddress& peer);
+
+  /// Existing session (touched) or a fresh kImplicit one; nullptr when the
+  /// table is at max_sessions and the peer is unknown.
+  Session* find_or_create(const SocketAddress& peer, double now);
+
+  /// Marks activity (refreshes the idle clock).
+  void touch(Session& session, double now) { session.last_seen = now; }
+
+  /// Erases the peer's session; false when none existed.
+  bool close(const SocketAddress& peer);
+
+  /// Erases every session idle since before `now - idle_timeout`; calls
+  /// `on_expire` (when set) for each just before erasure.  Returns the
+  /// number expired.  No-op when idle_timeout <= 0.
+  std::size_t expire_idle(double now,
+                          const std::function<void(Session&)>& on_expire = {});
+
+  /// Queues `datagram` against the session's byte budget.  False (and
+  /// dropped_backpressure++) when the budget cannot take it.
+  bool enqueue(Session& session, std::vector<std::uint8_t> datagram);
+
+  /// Pops the oldest queued datagram; empty vector when the queue is dry.
+  std::vector<std::uint8_t> dequeue(Session& session);
+
+  std::size_t size() const { return sessions_.size(); }
+  std::size_t peak_size() const { return peak_; }
+
+  /// Total bytes queued across all sessions (write-interest bookkeeping).
+  std::size_t total_queued_bytes() const { return total_queued_; }
+
+  /// Iterate all sessions (drain scheduling, diagnostics).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [addr, session] : sessions_) fn(session);
+  }
+
+ private:
+  SessionConfig config_;
+  std::map<SocketAddress, Session> sessions_;
+  std::size_t peak_{0};
+  std::size_t total_queued_{0};
+};
+
+}  // namespace cs::net

@@ -1,0 +1,35 @@
+#include "net/timestamp.hpp"
+
+#include <cmath>
+
+namespace cs::net {
+
+std::int64_t to_ticks(double seconds) {
+  return std::llround(seconds / kTickSeconds);
+}
+
+double from_ticks(std::int64_t ticks) {
+  return static_cast<double>(ticks) * kTickSeconds;
+}
+
+Reconstructed reconstruct24(std::uint32_t stamp24, std::int64_t ref_ticks,
+                            std::int64_t guard_ticks) {
+  // Signed difference of the low 24 bits, mapped into [-2^23, 2^23):
+  // delta = ((stamp - ref) mod 2^24), then recentered.
+  const std::uint32_t ref24 = compress24(ref_ticks);
+  std::int64_t delta =
+      static_cast<std::int64_t>((stamp24 - ref24) & kTimestampMask);
+  if (delta >= kTimestampHalfWindow) delta -= kTimestampWindow;
+
+  Reconstructed out;
+  out.ticks = ref_ticks + delta;
+  // |delta| within `guard` of the half-window edge: a true stamp just past
+  // the wrap would reconstruct to the same bits.  Both edges are hot —
+  // delta == -2^23 is the wrap image of +2^23.
+  const std::int64_t margin =
+      kTimestampHalfWindow - (delta < 0 ? -delta : delta);
+  out.ambiguous = margin <= guard_ticks;
+  return out;
+}
+
+}  // namespace cs::net

@@ -1,0 +1,69 @@
+// LEB128 variable-length integers — the id encoding of chronosync-wire v1.
+//
+// Unsigned base-128, little-endian groups, continuation bit 0x80: the
+// canonical LEB128 every wire format since DWARF uses.  Small ids (the
+// common case — processor ids, tags, sample counts) cost one byte instead
+// of the fixed four or eight of the legacy ad-hoc header.
+//
+// Decoding is total: every byte string either yields a value and a
+// consumed-byte count, or a zero consumed count meaning "not a varint here"
+// (truncated input, or a value that would overflow 64 bits).  Decoders
+// never throw and never read past `size` — the property the wire fuzz
+// suite pins down (tests/net/varint_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cs::net {
+
+/// Longest legal encoding of a 64-bit value: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Encoded size of `v` in bytes (for datagram budgeting).
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+struct VarintResult {
+  std::uint64_t value{0};
+  /// Bytes consumed; 0 means decode failure (truncated or 64-bit overflow).
+  std::size_t consumed{0};
+
+  bool ok() const { return consumed != 0; }
+};
+
+/// Decodes one varint from the front of [data, data+size).  On failure
+/// (`consumed == 0`) no bytes past `size` were read.  The tenth byte of a
+/// maximal encoding may contribute only one bit (64 = 9*7 + 1); anything
+/// larger is an overflow, as is a continuation bit on the tenth byte.
+inline VarintResult get_varint(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (std::size_t i = 0; i < size && i < kMaxVarintBytes; ++i) {
+    const std::uint8_t byte = data[i];
+    const std::uint64_t group = byte & 0x7F;
+    if (shift == 63 && group > 1) return {};  // would overflow 64 bits
+    value |= group << shift;
+    if ((byte & 0x80) == 0) return {value, i + 1};
+    shift += 7;
+  }
+  return {};  // truncated, or continuation past the 10th byte
+}
+
+}  // namespace cs::net

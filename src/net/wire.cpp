@@ -1,0 +1,317 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace cs::net {
+
+namespace {
+
+// ---- primitive writers -------------------------------------------------
+
+void put_u24(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// ---- primitive readers -------------------------------------------------
+//
+// A Cursor walks the frame body; every read checks the remaining size and
+// latches the first error.  Once failed, every later read reports failure
+// too, so decode bodies read straight-line without per-field branching.
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos{0};
+  DecodeError error{DecodeError::kNone};
+
+  bool fail(DecodeError e) {
+    if (error == DecodeError::kNone) error = e;
+    return false;
+  }
+
+  bool ok() const { return error == DecodeError::kNone; }
+  std::size_t remaining() const { return size - pos; }
+
+  std::uint64_t varint() {
+    if (!ok()) return 0;
+    const VarintResult r = get_varint(data + pos, remaining());
+    if (!r.ok()) {
+      // Distinguish "ran off the end" from "10 well-formed bytes that
+      // overflow": both are refusals, but the corpus tests pin the types.
+      fail(remaining() < kMaxVarintBytes ? DecodeError::kShortFrame
+                                         : DecodeError::kVarintOverflow);
+      return 0;
+    }
+    pos += r.consumed;
+    return r.value;
+  }
+
+  std::uint32_t varint32() {
+    const std::uint64_t v = varint();
+    if (ok() && v > UINT32_MAX) fail(DecodeError::kVarintOverflow);
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::uint32_t u24() {
+    if (!ok()) return 0;
+    if (remaining() < 3) {
+      fail(DecodeError::kShortFrame);
+      return 0;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                            static_cast<std::uint32_t>(data[pos + 1]) << 8 |
+                            static_cast<std::uint32_t>(data[pos + 2]) << 16;
+    pos += 3;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ok()) return 0;
+    if (remaining() < 8) {
+      fail(DecodeError::kShortFrame);
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Validates a declared element count against the bytes actually left:
+  /// every element needs at least `min_bytes`, so a count the buffer
+  /// cannot possibly hold is rejected before any allocation.
+  std::size_t count(std::size_t min_bytes) {
+    const std::uint64_t n = varint();
+    if (!ok()) return 0;
+    if (n > remaining() / min_bytes) {
+      fail(DecodeError::kCountOverflow);
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+};
+
+// ---- per-type bodies ---------------------------------------------------
+
+void encode_body(const FullMessage& m, std::vector<std::uint8_t>& out) {
+  put_varint(out, m.id);
+  put_varint(out, m.from);
+  put_varint(out, m.to);
+  put_varint(out, m.tag);
+  put_varint(out, m.data.size());
+  for (double d : m.data) put_double(out, d);
+}
+
+void encode_body(const ProbeBatch& b, std::vector<std::uint8_t>& out) {
+  put_varint(out, b.from);
+  put_varint(out, b.to);
+  put_varint(out, b.samples.size());
+  for (const ProbeSample& s : b.samples) {
+    put_varint(out, s.seq);
+    put_u24(out, s.t_send24 & kTimestampMask);
+  }
+}
+
+void encode_body(const EchoBatch& b, std::vector<std::uint8_t>& out) {
+  put_varint(out, b.from);
+  put_varint(out, b.to);
+  put_varint(out, b.eseq);
+  put_u24(out, b.t_reply24 & kTimestampMask);
+  put_varint(out, b.samples.size());
+  for (const EchoSample& s : b.samples) {
+    put_varint(out, s.seq);
+    put_u24(out, s.t_send24 & kTimestampMask);
+    put_u24(out, s.t_recv24 & kTimestampMask);
+  }
+}
+
+void encode_body(const Hello& h, std::vector<std::uint8_t>& out) {
+  put_varint(out, h.agent);
+  put_u64(out, static_cast<std::uint64_t>(h.clock_ticks));
+}
+
+void encode_body(const HelloAck& h, std::vector<std::uint8_t>& out) {
+  put_varint(out, h.agent);
+  put_u64(out, static_cast<std::uint64_t>(h.clock_ticks));
+}
+
+void encode_body(const Bye& b, std::vector<std::uint8_t>& out) {
+  put_varint(out, b.agent);
+}
+
+FullMessage decode_full(Cursor& c) {
+  FullMessage m;
+  m.id = c.varint();
+  m.from = c.varint32();
+  m.to = c.varint32();
+  m.tag = c.varint32();
+  const std::size_t n = c.count(sizeof(double));
+  if (!c.ok()) return m;
+  m.data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) m.data[i] = c.f64();
+  return m;
+}
+
+ProbeBatch decode_probe(Cursor& c) {
+  ProbeBatch b;
+  b.from = c.varint32();
+  b.to = c.varint32();
+  const std::size_t n = c.count(1 + 3);  // min: 1-byte seq + u24 stamp
+  if (!c.ok()) return b;
+  b.samples.resize(n);
+  for (ProbeSample& s : b.samples) {
+    s.seq = c.varint();
+    s.t_send24 = c.u24();
+  }
+  return b;
+}
+
+EchoBatch decode_echo(Cursor& c) {
+  EchoBatch b;
+  b.from = c.varint32();
+  b.to = c.varint32();
+  b.eseq = c.varint();
+  b.t_reply24 = c.u24();
+  const std::size_t n = c.count(1 + 3 + 3);
+  if (!c.ok()) return b;
+  b.samples.resize(n);
+  for (EchoSample& s : b.samples) {
+    s.seq = c.varint();
+    s.t_send24 = c.u24();
+    s.t_recv24 = c.u24();
+  }
+  return b;
+}
+
+Hello decode_hello(Cursor& c) {
+  Hello h;
+  h.agent = c.varint32();
+  h.clock_ticks = static_cast<std::int64_t>(c.u64());
+  return h;
+}
+
+HelloAck decode_hello_ack(Cursor& c) {
+  HelloAck h;
+  h.agent = c.varint32();
+  h.clock_ticks = static_cast<std::int64_t>(c.u64());
+  return h;
+}
+
+Bye decode_bye(Cursor& c) {
+  Bye b;
+  b.agent = c.varint32();
+  return b;
+}
+
+}  // namespace
+
+const char* to_string(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kShortFrame: return "short-frame";
+    case DecodeError::kBadMagic: return "bad-magic";
+    case DecodeError::kBadVersion: return "bad-version";
+    case DecodeError::kBadType: return "bad-type";
+    case DecodeError::kVarintOverflow: return "varint-overflow";
+    case DecodeError::kCountOverflow: return "count-overflow";
+    case DecodeError::kTrailingBytes: return "trailing-bytes";
+  }
+  return "?";
+}
+
+FrameType Frame::type() const {
+  struct Visitor {
+    FrameType operator()(const FullMessage&) { return FrameType::kFull; }
+    FrameType operator()(const ProbeBatch&) { return FrameType::kProbeBatch; }
+    FrameType operator()(const EchoBatch&) { return FrameType::kEchoBatch; }
+    FrameType operator()(const Hello&) { return FrameType::kHello; }
+    FrameType operator()(const HelloAck&) { return FrameType::kHelloAck; }
+    FrameType operator()(const Bye&) { return FrameType::kBye; }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+std::size_t encode(const Frame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type()));
+  std::visit([&out](const auto& body) { encode_body(body, out); },
+             frame.body);
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  encode(frame, out);
+  return out;
+}
+
+DecodeResult decode_prefix(std::span<const std::uint8_t> bytes) {
+  DecodeResult result;
+  if (bytes.size() < kHeaderBytes) {
+    result.error = DecodeError::kShortFrame;
+    return result;
+  }
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    result.error = DecodeError::kBadMagic;
+    return result;
+  }
+  if (bytes[2] != kWireVersion) {
+    result.error = DecodeError::kBadVersion;
+    return result;
+  }
+
+  Cursor c{bytes.data(), bytes.size(), kHeaderBytes};
+  switch (static_cast<FrameType>(bytes[3])) {
+    case FrameType::kFull: result.frame.body = decode_full(c); break;
+    case FrameType::kProbeBatch: result.frame.body = decode_probe(c); break;
+    case FrameType::kEchoBatch: result.frame.body = decode_echo(c); break;
+    case FrameType::kHello: result.frame.body = decode_hello(c); break;
+    case FrameType::kHelloAck: result.frame.body = decode_hello_ack(c); break;
+    case FrameType::kBye: result.frame.body = decode_bye(c); break;
+    default: result.error = DecodeError::kBadType; return result;
+  }
+  if (!c.ok()) {
+    result.error = c.error;
+    return result;
+  }
+  result.consumed = c.pos;
+  return result;
+}
+
+DecodeResult decode(std::span<const std::uint8_t> bytes) {
+  DecodeResult result = decode_prefix(bytes);
+  if (result.ok() && result.consumed != bytes.size())
+    result.error = DecodeError::kTrailingBytes;
+  return result;
+}
+
+std::size_t max_full_frame_bytes(std::size_t doubles) {
+  // Header + five worst-case varints + the doubles.
+  return kHeaderBytes + 5 * kMaxVarintBytes + doubles * sizeof(double);
+}
+
+std::size_t max_full_doubles(std::size_t datagram_bytes) {
+  const std::size_t overhead = kHeaderBytes + 5 * kMaxVarintBytes;
+  if (datagram_bytes <= overhead) return 0;
+  return (datagram_bytes - overhead) / sizeof(double);
+}
+
+}  // namespace cs::net

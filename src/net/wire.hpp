@@ -1,0 +1,194 @@
+// chronosync-wire v1 — the versioned binary wire format.
+//
+// Every frame opens with a fixed 4-byte header:
+//
+//   offset  size  field
+//   0       1     magic0 = 0xC5
+//   1       1     magic1 = 0x77
+//   2       1     version = 0x01
+//   3       1     type (FrameType)
+//
+// followed by a type-specific body built from three primitives: LEB128
+// varints (varint.hpp), 24-bit compressed timestamps (timestamp.hpp, 3
+// bytes little-endian), and full-width IEEE-754 doubles (8 bytes, bit
+// pattern little-endian — exact round-trip, no text formatting).  A
+// datagram may carry several frames back to back; every frame is
+// self-delimiting, so a decoder walks them with decode_prefix().
+// docs/NET.md specifies each body byte for byte.
+//
+// Two encodings of clock stamps coexist by design:
+//   * compact — ProbeBatch / EchoBatch carry 24-bit stamps and amortize
+//     the header over many samples; this is the hot probing path and the
+//     ≥3× bytes-per-epoch win BENCH_net.json records.
+//   * canonical full-width — the Full frame carries any (id, from, to,
+//     tag, doubles) message verbatim.  It is the self-describing fallback
+//     (anything expressible in the runtime's Payload travels uncompressed),
+//     the UdpTransport encoding, and the report/corrections carrier where
+//     bit-exactness is non-negotiable.
+//
+// Decoding is TOTAL: decode() never throws and never reads out of bounds;
+// every malformed input maps to a typed DecodeError (bad magic, bad
+// version, short frame, varint overflow, count overflow, trailing bytes).
+// Sample counts are validated against the remaining byte budget *before*
+// any allocation, so a hostile count cannot force an OOM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/timestamp.hpp"
+#include "net/varint.hpp"
+
+namespace cs::net {
+
+inline constexpr std::uint8_t kMagic0 = 0xC5;
+inline constexpr std::uint8_t kMagic1 = 0x77;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 4;
+
+/// Largest safe UDP payload (IPv4, no fragmentation headroom games).
+inline constexpr std::size_t kMaxDatagramBytes = 65507;
+
+enum class FrameType : std::uint8_t {
+  kFull = 1,        ///< canonical full-width message
+  kProbeBatch = 2,  ///< compact probe samples, one link direction
+  kEchoBatch = 3,   ///< compact echo records + reply stamp
+  kHello = 4,       ///< session open: agent id + full-width clock stamp
+  kHelloAck = 5,    ///< session accept: server agent id + clock stamp
+  kBye = 6,         ///< session close
+};
+
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kShortFrame,      ///< ran out of bytes mid-frame
+  kBadMagic,        ///< first two bytes are not C5 77
+  kBadVersion,      ///< version byte != 1
+  kBadType,         ///< type byte names no known frame
+  kVarintOverflow,  ///< varint truncated or wider than 64 bits
+  kCountOverflow,   ///< declared count cannot fit the remaining bytes
+  kTrailingBytes,   ///< decode() consumed the frame but bytes remain
+};
+
+const char* to_string(DecodeError error);
+
+/// Canonical full-width message — mirrors the runtime's WireMessage
+/// (id/from/to/tag/doubles) without depending on the runtime layer.
+struct FullMessage {
+  std::uint64_t id{0};
+  std::uint32_t from{0};
+  std::uint32_t to{0};
+  std::uint32_t tag{0};
+  std::vector<double> data;
+
+  bool operator==(const FullMessage&) const = default;
+};
+
+/// One probe observation-to-be: sequence number + compressed send stamp.
+struct ProbeSample {
+  std::uint64_t seq{0};
+  std::uint32_t t_send24{0};  ///< low 24 bits of the sender's send ticks
+
+  bool operator==(const ProbeSample&) const = default;
+};
+
+struct ProbeBatch {
+  std::uint32_t from{0};
+  std::uint32_t to{0};
+  std::vector<ProbeSample> samples;
+
+  bool operator==(const ProbeBatch&) const = default;
+};
+
+/// One echoed probe: the original sequence and send stamp plus the
+/// echoer's banked receive stamp.
+struct EchoSample {
+  std::uint64_t seq{0};
+  std::uint32_t t_send24{0};
+  std::uint32_t t_recv24{0};
+
+  bool operator==(const EchoSample&) const = default;
+};
+
+struct EchoBatch {
+  std::uint32_t from{0};
+  std::uint32_t to{0};
+  /// Dedup id for this echo frame (the reverse-direction observation it
+  /// carries must be banked once even if the datagram is duplicated).
+  std::uint64_t eseq{0};
+  /// Echoer's send clock for THIS frame, compressed — the receiver banks
+  /// the reverse-direction delay  d̃ = t_arrival − reconstruct(t_reply24).
+  std::uint32_t t_reply24{0};
+  std::vector<EchoSample> samples;
+
+  bool operator==(const EchoBatch&) const = default;
+};
+
+struct Hello {
+  std::uint32_t agent{0};
+  /// Full-width local clock in ticks at send time: lets the peer verify
+  /// the 24-bit reconstruction window assumption before any compact
+  /// traffic flows (timestamp.hpp failure mode).
+  std::int64_t clock_ticks{0};
+
+  bool operator==(const Hello&) const = default;
+};
+
+struct HelloAck {
+  std::uint32_t agent{0};
+  std::int64_t clock_ticks{0};
+
+  bool operator==(const HelloAck&) const = default;
+};
+
+struct Bye {
+  std::uint32_t agent{0};
+
+  bool operator==(const Bye&) const = default;
+};
+
+using FrameBody =
+    std::variant<FullMessage, ProbeBatch, EchoBatch, Hello, HelloAck, Bye>;
+
+struct Frame {
+  FrameBody body;
+
+  FrameType type() const;
+  bool operator==(const Frame&) const = default;
+};
+
+/// Appends the encoding of `frame` to `out` (frames concatenate into one
+/// datagram).  Returns the encoded size in bytes.
+std::size_t encode(const Frame& frame, std::vector<std::uint8_t>& out);
+
+/// Convenience single-frame encode.
+std::vector<std::uint8_t> encode(const Frame& frame);
+
+struct DecodeResult {
+  DecodeError error{DecodeError::kNone};
+  Frame frame;
+  /// Bytes this frame occupied (valid when error == kNone).
+  std::size_t consumed{0};
+
+  bool ok() const { return error == DecodeError::kNone; }
+};
+
+/// Decodes the first frame of `bytes`, leaving any following frames for
+/// the next call.  Never throws; malformed input yields a typed error.
+DecodeResult decode_prefix(std::span<const std::uint8_t> bytes);
+
+/// Decodes exactly one frame spanning all of `bytes`
+/// (kTrailingBytes otherwise).
+DecodeResult decode(std::span<const std::uint8_t> bytes);
+
+/// Encoded size of a Full frame carrying `doubles` payload doubles, with
+/// worst-case varint widths — the datagram budget check transports use.
+std::size_t max_full_frame_bytes(std::size_t doubles);
+
+/// Largest payload (in doubles) a Full frame can carry in one datagram of
+/// `datagram_bytes`, under worst-case varint widths.
+std::size_t max_full_doubles(std::size_t datagram_bytes = kMaxDatagramBytes);
+
+}  // namespace cs::net

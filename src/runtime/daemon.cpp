@@ -117,7 +117,7 @@ LiveReport run_live(const SystemModel& model, const LiveConfig& config) {
       break;
     }
     case LiveTransportKind::kUdp:
-      transport = std::make_unique<UdpTransport>(n);
+      transport = std::make_unique<UdpTransport>(n, config.udp);
       break;
   }
 

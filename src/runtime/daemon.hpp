@@ -16,6 +16,7 @@
 #include "common/metrics.hpp"
 #include "drift/scheduler.hpp"
 #include "runtime/agent.hpp"
+#include "runtime/udp_transport.hpp"
 
 namespace cs {
 
@@ -39,6 +40,9 @@ struct LiveConfig {
   /// Loopback delay/drop knobs (ignored by UDP, which has real delays).
   double delay_scale{0.01};
   double drop_probability{0.0};
+  /// UDP endpoint options (bind address, receive buffer); ignored by the
+  /// loopback transports.  A bad bind address throws cs::Error at setup.
+  UdpTransportOptions udp;
 
   /// Protocol schedule and pipeline options.
   SyncAgentParams agent;

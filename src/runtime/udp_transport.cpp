@@ -13,24 +13,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
 
 namespace cs {
 
 namespace {
-
-// Wire layout: header then payload.data doubles.  65507 bytes is the
-// largest safe UDP payload; the header is 24 bytes.
-struct WireHeader {
-  std::uint64_t id;
-  std::uint32_t from;
-  std::uint32_t to;
-  std::uint32_t tag;
-  std::uint32_t count;
-};
-
-constexpr std::size_t kMaxDatagram = 65507;
-constexpr std::size_t kMaxDoubles =
-    (kMaxDatagram - sizeof(WireHeader)) / sizeof(double);
 
 // Receive-path errors beyond this many in a row mean the socket is gone for
 // good (EBADF, shutdown-under-us); the loop then surfaces the failure and
@@ -38,19 +26,20 @@ constexpr std::size_t kMaxDoubles =
 // gives up after ~250 ms of a persistent error.
 constexpr int kMaxConsecutiveRecvErrors = 8;
 
-sockaddr_in loopback_addr(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  return addr;
-}
-
 }  // namespace
 
-std::size_t UdpTransport::max_payload_doubles() { return kMaxDoubles; }
+std::size_t UdpTransport::max_payload_doubles() {
+  return net::max_full_doubles();
+}
 
-UdpTransport::UdpTransport(std::size_t agents) : endpoints_(agents) {}
+UdpTransport::UdpTransport(std::size_t agents, UdpTransportOptions options)
+    : options_(std::move(options)), endpoints_(agents) {
+  // Validate the bind address up front: a typo is a loud cs::Error here,
+  // not a silent loopback fallback discovered in production.
+  bind_ip_ = net::parse_ipv4(options_.bind_address);
+  if (options_.recv_buffer_bytes < net::kHeaderBytes)
+    throw Error("UdpTransport: recv_buffer_bytes smaller than a frame header");
+}
 
 UdpTransport::~UdpTransport() {
   stop();
@@ -75,24 +64,23 @@ void UdpTransport::open(ProcessorId pid, DeliverFn sink) {
   Endpoint& ep = endpoints_[pid];
   if (ep.fd >= 0) throw Error("UdpTransport: endpoint opened twice");
 
-  ep.fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (ep.fd < 0) throw Error("UdpTransport: socket() failed");
-  sockaddr_in addr = loopback_addr(0);
-  if (::bind(ep.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0)
-    throw Error("UdpTransport: bind() failed");
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(ep.fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
-    throw Error("UdpTransport: getsockname() failed");
-  ep.port = ntohs(bound.sin_port);
+  net::SocketAddress addr{bind_ip_, 0};
+  ep.fd = net::open_udp_socket(addr);  // binds, resolves the ephemeral port
+  // Sends target the bound address; a wildcard bind is reachable via
+  // loopback.
+  if (addr.ip == INADDR_ANY) addr.ip = INADDR_LOOPBACK;
+  ep.addr = addr;
   ep.sink = std::move(sink);
 }
 
-std::uint16_t UdpTransport::port_of(ProcessorId pid) const {
+net::SocketAddress UdpTransport::address_of(ProcessorId pid) const {
   if (pid >= endpoints_.size())
     throw Error("UdpTransport: endpoint id out of range");
-  return endpoints_[pid].port;
+  return endpoints_[pid].addr;
+}
+
+std::uint16_t UdpTransport::port_of(ProcessorId pid) const {
+  return address_of(pid).port;
 }
 
 void UdpTransport::start() {
@@ -114,22 +102,27 @@ void UdpTransport::stop() {
 bool UdpTransport::send(const WireMessage& msg) {
   if (msg.from >= endpoints_.size() || msg.to >= endpoints_.size())
     throw Error("UdpTransport: send endpoint out of range");
-  if (msg.payload.data.size() > kMaxDoubles) return false;  // would truncate
+  if (msg.payload.data.size() > net::max_full_doubles())
+    return false;  // would exceed one datagram
 
-  WireHeader header{msg.id, msg.from, msg.to, msg.payload.tag,
-                    static_cast<std::uint32_t>(msg.payload.data.size())};
-  std::vector<char> buf(sizeof header +
-                        msg.payload.data.size() * sizeof(double));
-  std::memcpy(buf.data(), &header, sizeof header);
-  if (!msg.payload.data.empty())
-    std::memcpy(buf.data() + sizeof header, msg.payload.data.data(),
-                msg.payload.data.size() * sizeof(double));
+  net::FullMessage full;
+  full.id = msg.id;
+  full.from = msg.from;
+  full.to = msg.to;
+  full.tag = msg.payload.tag;
+  full.data = msg.payload.data;
+  const std::vector<std::uint8_t> buf =
+      net::encode(net::Frame{std::move(full)});
 
-  const sockaddr_in dst = loopback_addr(endpoints_[msg.to].port);
+  sockaddr_in dst;
+  net::to_sockaddr(endpoints_[msg.to].addr, dst);
   const ssize_t sent =
       ::sendto(endpoints_[msg.from].fd, buf.data(), buf.size(), 0,
                reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
-  return sent == static_cast<ssize_t>(buf.size());
+  if (sent != static_cast<ssize_t>(buf.size())) return false;
+  metrics_increment(metrics_, "runtime.udp.bytes_sent", buf.size());
+  metrics_increment(metrics_, "runtime.udp.datagrams_sent");
+  return true;
 }
 
 bool UdpTransport::note_recv_error(ProcessorId pid, const char* what, int err,
@@ -154,7 +147,7 @@ bool UdpTransport::note_recv_error(ProcessorId pid, const char* what, int err,
 
 void UdpTransport::recv_loop(ProcessorId pid) {
   Endpoint& ep = endpoints_[pid];
-  std::vector<char> buf(kMaxDatagram);
+  std::vector<std::uint8_t> buf(options_.recv_buffer_bytes);
   int consecutive_errors = 0;
   while (running_.load(std::memory_order_acquire)) {
     pollfd pfd{ep.fd, POLLIN, 0};
@@ -173,7 +166,10 @@ void UdpTransport::recv_loop(ProcessorId pid) {
         return;
       continue;
     }
-    const ssize_t got = ::recvfrom(ep.fd, buf.data(), buf.size(), 0,
+    // MSG_TRUNC makes recvfrom report the datagram's REAL size even when
+    // it exceeded the buffer — the only reliable truncation signal UDP
+    // offers.
+    const ssize_t got = ::recvfrom(ep.fd, buf.data(), buf.size(), MSG_TRUNC,
                                    nullptr, nullptr);
     if (got < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
@@ -182,25 +178,36 @@ void UdpTransport::recv_loop(ProcessorId pid) {
       continue;
     }
     consecutive_errors = 0;
-    if (got < static_cast<ssize_t>(sizeof(WireHeader))) continue;
+    if (static_cast<std::size_t>(got) > buf.size()) {
+      // Truncated: the kernel discarded the tail; decoding the torso would
+      // at best yield a short-frame error and at worst a wrong-but-valid
+      // prefix.  Drop and count.
+      metrics_increment(metrics_, "runtime.udp.recv_truncated");
+      continue;
+    }
+    metrics_increment(metrics_, "runtime.udp.bytes_received",
+                      static_cast<std::uint64_t>(got));
 
-    WireHeader header;
-    std::memcpy(&header, buf.data(), sizeof header);
-    const std::size_t want =
-        sizeof header + header.count * sizeof(double);
-    if (header.count > kMaxDoubles ||
-        static_cast<std::size_t>(got) != want)
-      continue;  // malformed datagram: drop
+    const net::DecodeResult result = net::decode(std::span<const std::uint8_t>(
+        buf.data(), static_cast<std::size_t>(got)));
+    if (!result.ok()) {
+      metrics_increment(metrics_, "runtime.udp.decode_error");
+      continue;
+    }
+    const auto* full = std::get_if<net::FullMessage>(&result.frame.body);
+    if (full == nullptr) {
+      // A valid compact frame aimed at the wrong port; this transport
+      // speaks Full only.
+      metrics_increment(metrics_, "runtime.udp.unexpected_frame");
+      continue;
+    }
 
     WireMessage msg;
-    msg.id = header.id;
-    msg.from = header.from;
-    msg.to = header.to;
-    msg.payload.tag = header.tag;
-    msg.payload.data.resize(header.count);
-    if (header.count > 0)
-      std::memcpy(msg.payload.data.data(), buf.data() + sizeof header,
-                  header.count * sizeof(double));
+    msg.id = full->id;
+    msg.from = full->from;
+    msg.to = full->to;
+    msg.payload.tag = full->tag;
+    msg.payload.data = full->data;
     if (ep.sink) ep.sink(std::move(msg));
   }
 }

@@ -1,4 +1,4 @@
-// Real datagram transport: one AF_INET UDP socket per agent on 127.0.0.1.
+// Real datagram transport: one AF_INET UDP socket per agent.
 //
 // This is the production-shaped path of the runtime — real sockets, real
 // kernel queues, real (tiny) localhost delays, one receive thread per
@@ -7,10 +7,14 @@
 // collide.  start() publishes the pid→address table and spawns the receive
 // threads; stop() flags them down and they exit on their poll timeout.
 //
-// The wire format is a fixed little header plus the payload doubles,
-// memcpy'd — both ends are the same process on the same machine, so no
-// byte-order or layout negotiation is needed (documented limitation; this
-// is a localhost lab transport, not an internet protocol).
+// The wire format is chronosync-wire v1 (net/wire.hpp): every WireMessage
+// travels as one canonical Full frame — explicit framing, versioned header,
+// varint ids, doubles as exact little-endian bit patterns.  A frame encoded
+// here decodes identically anywhere (cs_syncd --serve, the multihost
+// daemons, another architecture); the old memcpy'd struct-layout datagrams
+// are gone.  Inbound datagrams that do not decode are dropped and counted
+// ("runtime.udp.decode_error"), truncated ones likewise
+// ("runtime.udp.recv_truncated") — never delivered, never UB.
 #pragma once
 
 #include <atomic>
@@ -20,9 +24,21 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "net/address.hpp"
 #include "runtime/transport.hpp"
 
 namespace cs {
+
+struct UdpTransportOptions {
+  /// Bind address for every endpoint, parsed with net::parse_ipv4 ("*" =
+  /// INADDR_ANY).  Invalid input throws cs::Error at construction — the
+  /// transport never silently falls back to loopback.
+  std::string bind_address{"127.0.0.1"};
+  /// Receive buffer per endpoint.  Datagrams larger than this surface as
+  /// MSG_TRUNC and are dropped + counted, not decoded.  The default fits
+  /// any legal datagram; tests shrink it to exercise the truncation path.
+  std::size_t recv_buffer_bytes{65507};
+};
 
 class UdpTransport final : public Transport {
  public:
@@ -30,8 +46,9 @@ class UdpTransport final : public Transport {
   /// receive loop gives up after persistent socket errors.
   using ErrorFn = std::function<void(ProcessorId, const std::string&)>;
 
-  /// `agents` endpoints, ids 0..agents-1.
-  explicit UdpTransport(std::size_t agents);
+  /// `agents` endpoints, ids 0..agents-1.  Throws cs::Error on a malformed
+  /// bind address or a recv buffer too small for any frame.
+  explicit UdpTransport(std::size_t agents, UdpTransportOptions options = {});
   ~UdpTransport() override;
 
   void open(ProcessorId pid, DeliverFn sink) override;
@@ -41,8 +58,9 @@ class UdpTransport final : public Transport {
   const char* name() const override { return "udp"; }
 
   /// Error-path instrumentation sink ("runtime.udp.poll_error",
-  /// "runtime.udp.endpoint_failed").  Must outlive the transport; set
-  /// before start().  nullptr = off.
+  /// "runtime.udp.endpoint_failed", "runtime.udp.recv_truncated",
+  /// "runtime.udp.decode_error", byte counters).  Must outlive the
+  /// transport; set before start().  nullptr = off.
   void set_metrics(Metrics* metrics) { metrics_ = metrics; }
 
   /// Failure notification for the host; set before start().
@@ -61,10 +79,14 @@ class UdpTransport final : public Transport {
   /// produces (POLLNVAL / EBADF); the destructor will not double-close it.
   void close_endpoint(ProcessorId pid);
 
+  /// Bound address of an endpoint (valid after its open()).
+  net::SocketAddress address_of(ProcessorId pid) const;
+
   /// Bound port of an endpoint (valid after its open()).
   std::uint16_t port_of(ProcessorId pid) const;
 
-  /// Largest payload (in doubles) that fits one datagram.
+  /// Largest payload (in doubles) that fits one datagram, under the wire
+  /// codec's worst-case framing overhead (net::max_full_doubles).
   static std::size_t max_payload_doubles();
 
  private:
@@ -79,12 +101,14 @@ class UdpTransport final : public Transport {
 
   struct Endpoint {
     int fd{-1};
-    std::uint16_t port{0};
+    net::SocketAddress addr;
     DeliverFn sink;
     std::thread reader;
     bool injected_close{false};
   };
 
+  UdpTransportOptions options_;
+  std::uint32_t bind_ip_{0};  ///< host order, parsed once in the ctor
   std::vector<Endpoint> endpoints_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> failed_{0};

@@ -1,0 +1,176 @@
+// EventLoop reactor: dispatch, interest updates, removal-during-callback
+// safety, and the cross-thread wake — on both backends where available.
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace cs::net {
+namespace {
+
+struct Pipe {
+  Pipe() { EXPECT_EQ(::pipe(fds.data()), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int read_end() const { return fds[0]; }
+  int write_end() const { return fds[1]; }
+  void put(char c) { EXPECT_EQ(::write(fds[1], &c, 1), 1); }
+  char get() {
+    char c = 0;
+    EXPECT_EQ(::read(fds[0], &c, 1), 1);
+    return c;
+  }
+  std::array<int, 2> fds{-1, -1};
+};
+
+class EventLoopBackends : public ::testing::TestWithParam<LoopBackend> {};
+
+TEST_P(EventLoopBackends, DispatchesReadableCallback) {
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  int reads = 0;
+  loop.add(pipe.read_end(), /*want_read=*/true, /*want_write=*/false,
+           [&](bool readable, bool) {
+             EXPECT_TRUE(readable);
+             ++reads;
+             pipe.get();
+           });
+  EXPECT_EQ(loop.watched(), 1u);
+
+  EXPECT_EQ(loop.poll_once(0), 0);  // nothing pending
+  pipe.put('x');
+  EXPECT_EQ(loop.poll_once(1000), 1);
+  EXPECT_EQ(reads, 1);
+  EXPECT_EQ(loop.poll_once(0), 0);  // drained
+}
+
+TEST_P(EventLoopBackends, ModifyTogglesWriteInterest) {
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  int writables = 0;
+  // A fresh pipe's write end is immediately writable.
+  loop.add(pipe.write_end(), /*want_read=*/false, /*want_write=*/false,
+           [&](bool, bool writable) {
+             if (writable) ++writables;
+           });
+  EXPECT_EQ(loop.poll_once(0), 0);  // no interest, no dispatch
+
+  loop.modify(pipe.write_end(), /*want_read=*/false, /*want_write=*/true);
+  EXPECT_EQ(loop.poll_once(1000), 1);
+  EXPECT_EQ(writables, 1);
+
+  loop.modify(pipe.write_end(), /*want_read=*/false, /*want_write=*/false);
+  EXPECT_EQ(loop.poll_once(0), 0);
+  EXPECT_EQ(writables, 1);
+}
+
+TEST_P(EventLoopBackends, RemoveDuringOwnCallbackIsSafe) {
+  EventLoop loop(GetParam());
+  Pipe a;
+  Pipe b;
+  int a_calls = 0;
+  int b_calls = 0;
+  // a's callback removes BOTH descriptors while both are ready; b's
+  // callback must then be skipped even though b was in the ready set.
+  loop.add(a.read_end(), true, false, [&](bool, bool) {
+    ++a_calls;
+    loop.remove(a.read_end());
+    loop.remove(b.read_end());
+  });
+  loop.add(b.read_end(), true, false, [&](bool, bool) { ++b_calls; });
+  a.put('1');
+  b.put('2');
+  loop.poll_once(1000);
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 0);
+  EXPECT_EQ(loop.watched(), 0u);
+
+  // The loop keeps working after the mid-dispatch removals.
+  Pipe c;
+  int c_calls = 0;
+  loop.add(c.read_end(), true, false, [&](bool, bool) {
+    ++c_calls;
+    c.get();
+  });
+  c.put('3');
+  EXPECT_EQ(loop.poll_once(1000), 1);
+  EXPECT_EQ(c_calls, 1);
+}
+
+TEST_P(EventLoopBackends, RemoveUnknownFdIsIgnored) {
+  EventLoop loop(GetParam());
+  loop.remove(12345);  // no throw, no effect
+  EXPECT_EQ(loop.watched(), 0u);
+}
+
+TEST_P(EventLoopBackends, DuplicateAddThrows) {
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  loop.add(pipe.read_end(), true, false, [](bool, bool) {});
+  EXPECT_THROW(loop.add(pipe.read_end(), true, false, [](bool, bool) {}),
+               Error);
+}
+
+TEST_P(EventLoopBackends, WakeInterruptsBlockedPoll) {
+  EventLoop loop(GetParam());
+  Pipe pipe;  // watched but never written: poll would block full timeout
+  loop.add(pipe.read_end(), true, false, [](bool, bool) {});
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    loop.wake();
+  });
+  const int dispatched = loop.poll_once(10'000);
+  waker.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(dispatched, 0);  // wake pipe is not counted
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST_P(EventLoopBackends, WakeBeforePollReturnsImmediately) {
+  EventLoop loop(GetParam());
+  loop.wake();
+  const auto start = std::chrono::steady_clock::now();
+  loop.poll_once(10'000);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  // The wake is consumed: the next nonblocking poll has nothing.
+  EXPECT_EQ(loop.poll_once(0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackends,
+#ifdef __linux__
+                         ::testing::Values(LoopBackend::kEpoll,
+                                           LoopBackend::kPoll),
+#else
+                         ::testing::Values(LoopBackend::kPoll),
+#endif
+                         [](const auto& info) {
+                           return info.param == LoopBackend::kEpoll
+                                      ? "Epoll"
+                                      : "Poll";
+                         });
+
+#ifdef __linux__
+TEST(EventLoopBackend, AutoPicksEpollOnLinux) {
+  EventLoop loop(LoopBackend::kAuto);
+  EXPECT_TRUE(loop.using_epoll());
+}
+#endif
+
+TEST(EventLoopBackend, PollBackendReportsNoEpoll) {
+  EventLoop loop(LoopBackend::kPoll);
+  EXPECT_FALSE(loop.using_epoll());
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -1,0 +1,277 @@
+// SyncServer over real loopback sockets: handshake, probe echoing, typed
+// refusal of garbage, window rejection, and many concurrent clients.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "net/timestamp.hpp"
+#include "net/wire.hpp"
+
+namespace cs::net {
+namespace {
+
+// A raw UDP client: one loopback socket with a short receive timeout.
+struct Client {
+  int fd{-1};
+  SocketAddress addr = loopback(0);
+
+  Client() {
+    fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in sa;
+    to_sockaddr(addr, sa);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len),
+              0);
+    addr.port = ntohs(bound.sin_port);
+    timeval tv{0, 200'000};  // 200ms
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send(const SocketAddress& to, const std::vector<std::uint8_t>& bytes) {
+    sockaddr_in dst;
+    to_sockaddr(to, dst);
+    EXPECT_EQ(::sendto(fd, bytes.data(), bytes.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&dst), sizeof dst),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void send(const SocketAddress& to, const Frame& frame) {
+    send(to, encode(frame));
+  }
+
+  std::optional<Frame> recv_frame() {
+    std::vector<std::uint8_t> buf(kMaxDatagramBytes);
+    const ssize_t got = ::recv(fd, buf.data(), buf.size(), 0);
+    if (got <= 0) return std::nullopt;  // timeout
+    const DecodeResult result = decode(
+        std::span<const std::uint8_t>(buf.data(),
+                                      static_cast<std::size_t>(got)));
+    if (!result.ok()) return std::nullopt;
+    return result.frame;
+  }
+};
+
+class SyncServerTest : public ::testing::Test {
+ protected:
+  // Injectable clock so idle expiry is driven, not slept through.
+  double clock_now_ = 100.0;
+
+  std::unique_ptr<SyncServer> make_server(SyncServerConfig config = {}) {
+    config.agent = 42;
+    config.metrics = &metrics_;
+    config.clock = [this] { return clock_now_; };
+    return std::make_unique<SyncServer>(std::move(config));
+  }
+
+  // Exchange: send, let the server run one iteration, read the reply.
+  std::optional<Frame> roundtrip(SyncServer& server, Client& client,
+                                 const Frame& frame) {
+    client.send(server.local_address(), frame);
+    server.step(200);
+    return client.recv_frame();
+  }
+
+  Hello good_hello(std::uint32_t agent) const {
+    return Hello{agent, to_ticks(clock_now_)};
+  }
+
+  Metrics metrics_;
+};
+
+TEST_F(SyncServerTest, HelloHandshakeEstablishesSession) {
+  auto server = make_server();
+  Client client;
+  const auto reply = roundtrip(*server, client, Frame{good_hello(7)});
+  ASSERT_TRUE(reply.has_value());
+  const auto* ack = std::get_if<HelloAck>(&reply->body);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->agent, 42u);
+  // The ack's stamp is the server's own clock — within the window of ours.
+  EXPECT_LT(std::abs(ack->clock_ticks - to_ticks(clock_now_)),
+            kTimestampHalfWindow / 4);
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_created"), 1u);
+  EXPECT_EQ(metrics_.counter("runtime.net.hello_window_reject"), 0u);
+}
+
+TEST_F(SyncServerTest, ProbeBatchIsEchoedSampleForSample) {
+  auto server = make_server();
+  Client client;
+  ASSERT_TRUE(roundtrip(*server, client, Frame{good_hello(7)}).has_value());
+
+  ProbeBatch probe;
+  probe.from = 7;
+  probe.to = 42;
+  const std::int64_t send_ticks = to_ticks(clock_now_);
+  probe.samples = {{101, compress24(send_ticks)},
+                   {102, compress24(send_ticks + 3)},
+                   {103, compress24(send_ticks + 9)}};
+  const auto reply = roundtrip(*server, client, Frame{probe});
+  ASSERT_TRUE(reply.has_value());
+  const auto* echo = std::get_if<EchoBatch>(&reply->body);
+  ASSERT_NE(echo, nullptr);
+  EXPECT_EQ(echo->from, 42u);
+  EXPECT_EQ(echo->to, 7u);
+  // N:M amortization: one reply frame echoes every sample of the probe
+  // datagram, each keeping its seq + send stamp and sharing one recv stamp.
+  ASSERT_EQ(echo->samples.size(), probe.samples.size());
+  for (std::size_t i = 0; i < probe.samples.size(); ++i) {
+    EXPECT_EQ(echo->samples[i].seq, probe.samples[i].seq);
+    EXPECT_EQ(echo->samples[i].t_send24, probe.samples[i].t_send24);
+    EXPECT_EQ(echo->samples[i].t_recv24, echo->samples[0].t_recv24);
+  }
+}
+
+TEST_F(SyncServerTest, ProbeBeforeHelloIsServed) {
+  // kImplicit sessions: probing without a handshake still gets echoes (the
+  // window check is the client's loss in that case, not a protocol error).
+  auto server = make_server();
+  Client client;
+  ProbeBatch probe;
+  probe.from = 3;
+  probe.to = 42;
+  probe.samples = {{1, compress24(to_ticks(clock_now_))}};
+  const auto reply = roundtrip(*server, client, Frame{probe});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(std::get_if<EchoBatch>(&reply->body), nullptr);
+}
+
+TEST_F(SyncServerTest, GarbageDatagramLeavesNoSessionBehind) {
+  auto server = make_server();
+  Client client;
+  client.send(server->local_address(),
+              std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF, 0x00});
+  server->step(200);
+  EXPECT_EQ(metrics_.counter("runtime.net.decode_error"), 1u);
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_created"), 0u);
+  EXPECT_FALSE(client.recv_frame().has_value());
+
+  // The provisional session was dropped: a sweep sees an empty table.
+  clock_now_ += 10.0;
+  server->step(0);
+  EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+TEST_F(SyncServerTest, HelloOutsideClockWindowIsRejected) {
+  auto server = make_server();
+  Client client;
+  // A clock a full window away would wrap compact stamps silently — the
+  // server must refuse at handshake time, loudly.
+  Hello skewed{7, to_ticks(clock_now_) + kTimestampWindow};
+  client.send(server->local_address(), Frame{skewed});
+  server->step(200);
+  EXPECT_FALSE(client.recv_frame().has_value());
+  EXPECT_EQ(metrics_.counter("runtime.net.hello_window_reject"), 1u);
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_created"), 0u);
+}
+
+TEST_F(SyncServerTest, ByeClosesTheSession) {
+  auto server = make_server();
+  Client client;
+  ASSERT_TRUE(roundtrip(*server, client, Frame{good_hello(7)}).has_value());
+  client.send(server->local_address(), Frame{Bye{7}});
+  server->step(200);
+  clock_now_ += 10.0;
+  server->step(0);  // sweep publishes the size
+  EXPECT_EQ(server->active_sessions(), 0u);
+
+  // The peer can come back: a fresh Hello re-establishes.
+  ASSERT_TRUE(roundtrip(*server, client, Frame{good_hello(7)}).has_value());
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_created"), 2u);
+}
+
+TEST_F(SyncServerTest, IdleSessionsAreSwept) {
+  SyncServerConfig config;
+  config.session.idle_timeout = Duration{5.0};
+  auto server = make_server(std::move(config));
+  Client client;
+  ASSERT_TRUE(roundtrip(*server, client, Frame{good_hello(7)}).has_value());
+
+  clock_now_ += 60.0;  // way past idle_timeout and the sweep period
+  server->step(0);
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_expired"), 1u);
+  EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+TEST_F(SyncServerTest, ManyConcurrentClientsAreMultiplexed) {
+  auto server = make_server();
+  constexpr std::size_t kClients = 64;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<Client>());
+    clients.back()->send(server->local_address(),
+                         Frame{good_hello(static_cast<std::uint32_t>(i))});
+  }
+  // Drain everything (several iterations: one step may batch many).
+  for (int i = 0; i < 50; ++i) server->step(10);
+
+  std::size_t acked = 0;
+  for (auto& client : clients) {
+    const auto reply = client->recv_frame();
+    if (reply.has_value() &&
+        std::get_if<HelloAck>(&reply->body) != nullptr)
+      ++acked;
+  }
+  EXPECT_EQ(acked, kClients);
+  EXPECT_EQ(metrics_.counter("runtime.net.sessions_created"), kClients);
+  clock_now_ += 2.0;  // past the sweep period: publishes the counters
+  server->step(0);
+  EXPECT_GE(server->peak_sessions(), kClients);
+}
+
+TEST_F(SyncServerTest, MultipleFramesInOneDatagramAllHandled) {
+  auto server = make_server();
+  Client client;
+  ProbeBatch probe;
+  probe.from = 7;
+  probe.to = 42;
+  probe.samples = {{1, compress24(to_ticks(clock_now_))}};
+  std::vector<std::uint8_t> datagram;
+  encode(Frame{good_hello(7)}, datagram);
+  encode(Frame{probe}, datagram);
+  client.send(server->local_address(), datagram);
+  server->step(200);
+
+  // Two replies: a HelloAck datagram and an EchoBatch datagram.
+  const auto first = client.recv_frame();
+  const auto second = client.recv_frame();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(std::get_if<HelloAck>(&first->body), nullptr);
+  EXPECT_NE(std::get_if<EchoBatch>(&second->body), nullptr);
+}
+
+TEST_F(SyncServerTest, TruncatedOversizeDatagramIsCountedAndDropped) {
+  auto server = make_server();
+  Client client;
+  // Larger than the server's receive buffer is impossible to trigger here
+  // (the buffer is max-datagram sized), but MSG_TRUNC accounting is covered
+  // at the transport layer; this test pins the decode path: a valid header
+  // with a torn-off body is a typed error, not a crash.
+  std::vector<std::uint8_t> torn = encode(Frame{good_hello(1)});
+  torn.resize(torn.size() / 2);
+  client.send(server->local_address(), torn);
+  server->step(200);
+  EXPECT_EQ(metrics_.counter("runtime.net.decode_error"), 1u);
+  EXPECT_FALSE(client.recv_frame().has_value());
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -1,0 +1,154 @@
+// SessionTable: capacity caps, idle expiry, and the per-session
+// backpressure byte budget behind the daemon's send queues.
+#include "net/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cs::net {
+namespace {
+
+SocketAddress peer(std::uint16_t port) { return loopback(port); }
+
+std::vector<std::uint8_t> datagram(std::size_t bytes) {
+  return std::vector<std::uint8_t>(bytes, 0xAB);
+}
+
+TEST(SessionTable, FindOrCreateThenFind) {
+  SessionTable table(SessionConfig{});
+  EXPECT_EQ(table.find(peer(1)), nullptr);
+
+  Session* s = table.find_or_create(peer(1), 10.0);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->state, Session::State::kImplicit);
+  EXPECT_EQ(s->last_seen, 10.0);
+  EXPECT_EQ(table.size(), 1u);
+
+  // Same peer: same session, idle clock refreshed.
+  Session* again = table.find_or_create(peer(1), 12.0);
+  EXPECT_EQ(again, s);
+  EXPECT_EQ(again->last_seen, 12.0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(peer(1)), s);
+}
+
+TEST(SessionTable, MaxSessionsRefusesNewPeersOnly) {
+  SessionConfig config;
+  config.max_sessions = 2;
+  SessionTable table(config);
+  ASSERT_NE(table.find_or_create(peer(1), 0.0), nullptr);
+  ASSERT_NE(table.find_or_create(peer(2), 0.0), nullptr);
+  EXPECT_EQ(table.find_or_create(peer(3), 0.0), nullptr);  // at cap
+  // Known peers still resolve at cap.
+  EXPECT_NE(table.find_or_create(peer(1), 1.0), nullptr);
+  // Closing frees a slot.
+  EXPECT_TRUE(table.close(peer(2)));
+  EXPECT_NE(table.find_or_create(peer(3), 1.0), nullptr);
+}
+
+TEST(SessionTable, CloseReportsWhetherSessionExisted) {
+  SessionTable table(SessionConfig{});
+  EXPECT_FALSE(table.close(peer(9)));
+  table.find_or_create(peer(9), 0.0);
+  EXPECT_TRUE(table.close(peer(9)));
+  EXPECT_FALSE(table.close(peer(9)));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SessionTable, PeakSizeTracksHighWaterMark) {
+  SessionTable table(SessionConfig{});
+  table.find_or_create(peer(1), 0.0);
+  table.find_or_create(peer(2), 0.0);
+  table.find_or_create(peer(3), 0.0);
+  table.close(peer(1));
+  table.close(peer(2));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.peak_size(), 3u);
+}
+
+TEST(SessionTable, ExpireIdleErasesOnlyStaleSessions) {
+  SessionConfig config;
+  config.idle_timeout = Duration{5.0};
+  SessionTable table(config);
+  table.find_or_create(peer(1), 0.0);   // stale at t=10
+  table.find_or_create(peer(2), 8.0);   // fresh
+  Session* touched = table.find_or_create(peer(3), 0.0);
+  table.touch(*touched, 9.0);           // refreshed → fresh
+
+  std::vector<std::uint16_t> expired_ports;
+  const std::size_t expired = table.expire_idle(
+      10.0, [&](Session& s) { expired_ports.push_back(s.peer.port); });
+  EXPECT_EQ(expired, 1u);
+  ASSERT_EQ(expired_ports.size(), 1u);
+  EXPECT_EQ(expired_ports[0], 1);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.find(peer(1)), nullptr);
+}
+
+TEST(SessionTable, NonPositiveIdleTimeoutNeverExpires) {
+  SessionConfig config;
+  config.idle_timeout = Duration{0.0};
+  SessionTable table(config);
+  table.find_or_create(peer(1), 0.0);
+  EXPECT_EQ(table.expire_idle(1e9), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SessionTable, EnqueueRespectsByteBudget) {
+  SessionConfig config;
+  config.max_queue_bytes = 100;
+  SessionTable table(config);
+  Session* s = table.find_or_create(peer(1), 0.0);
+  ASSERT_NE(s, nullptr);
+
+  EXPECT_TRUE(table.enqueue(*s, datagram(60)));
+  EXPECT_TRUE(table.enqueue(*s, datagram(40)));  // exactly at budget
+  EXPECT_EQ(s->queued_bytes, 100u);
+  EXPECT_EQ(table.total_queued_bytes(), 100u);
+
+  // One byte past the budget: the NEW datagram is dropped and counted —
+  // never the queued ones (they are already promised to the wire).
+  EXPECT_FALSE(table.enqueue(*s, datagram(1)));
+  EXPECT_EQ(s->dropped_backpressure, 1u);
+  EXPECT_EQ(s->send_queue.size(), 2u);
+  EXPECT_EQ(s->queued_bytes, 100u);
+}
+
+TEST(SessionTable, DequeueIsFifoAndSettlesAccounting) {
+  SessionTable table(SessionConfig{});
+  Session* s = table.find_or_create(peer(1), 0.0);
+  std::vector<std::uint8_t> first{1, 2, 3};
+  std::vector<std::uint8_t> second{4, 5};
+  ASSERT_TRUE(table.enqueue(*s, first));
+  ASSERT_TRUE(table.enqueue(*s, second));
+  EXPECT_EQ(table.total_queued_bytes(), 5u);
+
+  EXPECT_EQ(table.dequeue(*s), first);
+  EXPECT_EQ(table.total_queued_bytes(), 2u);
+  EXPECT_EQ(table.dequeue(*s), second);
+  EXPECT_EQ(table.total_queued_bytes(), 0u);
+  EXPECT_EQ(s->queued_bytes, 0u);
+  EXPECT_TRUE(table.dequeue(*s).empty());  // dry queue: empty vector
+}
+
+TEST(SessionTable, QueueAccountingSpansSessionsAndExpiry) {
+  SessionConfig config;
+  config.idle_timeout = Duration{1.0};
+  SessionTable table(config);
+  Session* a = table.find_or_create(peer(1), 0.0);
+  Session* b = table.find_or_create(peer(2), 100.0);
+  ASSERT_TRUE(table.enqueue(*a, datagram(30)));
+  ASSERT_TRUE(table.enqueue(*b, datagram(50)));
+  EXPECT_EQ(table.total_queued_bytes(), 80u);
+
+  // Expiring a session releases its queued bytes from the global count.
+  EXPECT_EQ(table.expire_idle(100.0), 1u);
+  EXPECT_EQ(table.total_queued_bytes(), 50u);
+  table.close(peer(2));
+  EXPECT_EQ(table.total_queued_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cs::net

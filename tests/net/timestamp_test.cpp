@@ -1,0 +1,104 @@
+// 24-bit compressed timestamps: exact reconstruction inside the window,
+// the ±1-tick edges of the guard band, and the documented wrap failure.
+#include "net/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace cs::net {
+namespace {
+
+TEST(Ticks, ConversionRoundTripsMicroseconds) {
+  EXPECT_EQ(to_ticks(0.0), 0);
+  EXPECT_EQ(to_ticks(1.0), 1'000'000);
+  EXPECT_EQ(to_ticks(-2.5), -2'500'000);
+  EXPECT_DOUBLE_EQ(from_ticks(to_ticks(1234.567891)), 1234.567891);
+  // Round-to-nearest, not truncation.
+  EXPECT_EQ(to_ticks(1e-6 * 0.6), 1);
+}
+
+TEST(Reconstruct, ExactWithinHalfWindow) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t ref =
+        static_cast<std::int64_t>(rng.uniform_int(1ull << 40));
+    // True stamps strictly inside the unambiguous zone.
+    const std::int64_t offset =
+        static_cast<std::int64_t>(
+            rng.uniform_int(2 * (kTimestampHalfWindow - kDefaultGuardTicks))) -
+        (kTimestampHalfWindow - kDefaultGuardTicks);
+    const std::int64_t truth = ref + offset;
+    const Reconstructed r = reconstruct24(compress24(truth), ref);
+    EXPECT_EQ(r.ticks, truth);
+    EXPECT_FALSE(r.ambiguous) << "offset " << offset;
+  }
+}
+
+TEST(Reconstruct, GuardBandEdgesPlusMinusOneTick) {
+  const std::int64_t ref = 987'654'321'000;
+  const std::int64_t guard = kDefaultGuardTicks;
+  // Innermost still-ambiguous offset: margin == guard.
+  const std::int64_t edge = kTimestampHalfWindow - guard;
+  struct Case {
+    std::int64_t offset;
+    bool ambiguous;
+  } cases[] = {
+      {edge - 1, false},  // margin = guard + 1: trusted
+      {edge, true},       // margin = guard: flagged
+      {edge + 1, true},   // deeper in: flagged
+      {-(edge - 1), false},
+      {-edge, true},
+      {-(edge + 1), true},
+  };
+  for (const Case& c : cases) {
+    const Reconstructed r = reconstruct24(compress24(ref + c.offset), ref);
+    EXPECT_EQ(r.ticks, ref + c.offset) << "offset " << c.offset;
+    EXPECT_EQ(r.ambiguous, c.ambiguous) << "offset " << c.offset;
+  }
+}
+
+TEST(Reconstruct, HalfWindowBoundaryWrapsToOtherSide) {
+  const std::int64_t ref = 50'000'000;
+  // +2^23 is indistinguishable from -2^23: the recentering maps it there.
+  const Reconstructed r =
+      reconstruct24(compress24(ref + kTimestampHalfWindow), ref);
+  EXPECT_EQ(r.ticks, ref - kTimestampHalfWindow);
+  EXPECT_TRUE(r.ambiguous);
+}
+
+TEST(Reconstruct, FullWrapIsSilentlyWrong) {
+  // The documented failure mode (docs/NET.md): a stamp a whole window away
+  // reconstructs to the wrong value with no flag.  The Hello full-width
+  // check exists precisely because this case cannot be detected here.
+  const std::int64_t ref = 300'000'000;
+  const std::int64_t truth = ref + kTimestampWindow + 5;
+  const Reconstructed r = reconstruct24(compress24(truth), ref);
+  EXPECT_EQ(r.ticks, ref + 5);  // window-shifted
+  EXPECT_FALSE(r.ambiguous);
+}
+
+TEST(Reconstruct, ZeroGuardTrustsEverythingButTheEdge) {
+  const std::int64_t ref = 1'000'000;
+  const Reconstructed inside =
+      reconstruct24(compress24(ref + kTimestampHalfWindow - 1), ref, 0);
+  EXPECT_FALSE(inside.ambiguous);
+  const Reconstructed edge =
+      reconstruct24(compress24(ref - kTimestampHalfWindow), ref, 0);
+  EXPECT_TRUE(edge.ambiguous);  // margin == 0 <= guard 0
+}
+
+TEST(Reconstruct, NegativeLocalClocksCompressConsistently) {
+  // Daemons start before their shared base: clocks go negative.  Two's
+  // complement truncation keeps reconstruction exact there too.
+  const std::int64_t ref = -1'234'567;
+  const std::int64_t truth = ref + 42;
+  const Reconstructed r = reconstruct24(compress24(truth), ref);
+  EXPECT_EQ(r.ticks, truth);
+  EXPECT_FALSE(r.ambiguous);
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -1,0 +1,103 @@
+// LEB128 varint codec: exact round-trips, boundary widths, and the typed
+// refusals (truncation, 64-bit overflow) the wire decoder builds on.
+#include "net/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cs::net {
+namespace {
+
+std::vector<std::uint8_t> enc(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, v);
+  return out;
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {
+      0,
+      1,
+      127,
+      128,
+      (1u << 14) - 1,
+      1u << 14,
+      (1u << 21) - 1,
+      1ull << 35,
+      (1ull << 63) - 1,
+      1ull << 63,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  for (const std::uint64_t v : cases) {
+    const auto bytes = enc(v);
+    EXPECT_EQ(bytes.size(), varint_size(v));
+    const VarintResult r = get_varint(bytes.data(), bytes.size());
+    ASSERT_TRUE(r.ok()) << v;
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.consumed, bytes.size());
+  }
+}
+
+TEST(Varint, WidthsMatchLeb128) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size((1u << 14) - 1), 2u);
+  EXPECT_EQ(varint_size(1u << 14), 3u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()),
+            kMaxVarintBytes);
+}
+
+TEST(Varint, RandomRoundTripProperty) {
+  Rng rng(20260809);
+  for (int i = 0; i < 20000; ++i) {
+    // Skew toward small values but cover the full width range.
+    const int shift = static_cast<int>(rng.uniform_int(64));
+    const std::uint64_t v = rng.next() >> shift;
+    const auto bytes = enc(v);
+    const VarintResult r = get_varint(bytes.data(), bytes.size());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.consumed, bytes.size());
+  }
+}
+
+TEST(Varint, EveryTruncationIsRefused) {
+  const auto bytes = enc(std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(bytes.size(), kMaxVarintBytes);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const VarintResult r = get_varint(bytes.data(), len);
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(Varint, OverflowBeyond64BitsIsRefused) {
+  // Ten continuation groups followed by more payload than bit 63 can hold.
+  std::vector<std::uint8_t> bytes(kMaxVarintBytes, 0xFF);
+  bytes.back() = 0x7F;  // terminated, but the 10th group carries > 1 bit
+  const VarintResult r = get_varint(bytes.data(), bytes.size());
+  EXPECT_FALSE(r.ok());
+
+  // An eleventh byte can never be legal, terminated or not.
+  std::vector<std::uint8_t> eleven(kMaxVarintBytes + 1, 0x80);
+  eleven.back() = 0x00;
+  EXPECT_FALSE(get_varint(eleven.data(), eleven.size()).ok());
+}
+
+TEST(Varint, MaxValueTenthByteIsAccepted) {
+  // uint64 max ends in a 10th group of exactly 0x01 — legal.
+  std::vector<std::uint8_t> bytes(kMaxVarintBytes, 0xFF);
+  bytes.back() = 0x01;
+  const VarintResult r = get_varint(bytes.data(), bytes.size());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -1,0 +1,312 @@
+// chronosync-wire v1 codec: round-trip property tests (including
+// timestamp-window edges), multi-frame datagram walking, the
+// malformed-frame corpus with its typed errors, and a mutation fuzz pass
+// asserting decoding never throws — the suites CI also runs under
+// ASan + UBSan.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cs::net {
+namespace {
+
+Frame random_frame(Rng& rng) {
+  switch (rng.uniform_int(6)) {
+    case 0: {
+      FullMessage m;
+      m.id = rng.next() >> rng.uniform_int(64);
+      m.from = static_cast<std::uint32_t>(rng.uniform_int(1 << 20));
+      m.to = static_cast<std::uint32_t>(rng.uniform_int(1 << 20));
+      m.tag = static_cast<std::uint32_t>(rng.uniform_int(256));
+      const std::size_t n = rng.uniform_int(17);
+      for (std::size_t i = 0; i < n; ++i) {
+        double v = rng.uniform(-1e12, 1e12);
+        if (rng.uniform_int(16) == 0)
+          v = std::numeric_limits<double>::infinity();
+        m.data.push_back(v);
+      }
+      return Frame{std::move(m)};
+    }
+    case 1: {
+      ProbeBatch b;
+      b.from = static_cast<std::uint32_t>(rng.uniform_int(1024));
+      b.to = static_cast<std::uint32_t>(rng.uniform_int(1024));
+      const std::size_t n = rng.uniform_int(32);
+      for (std::size_t i = 0; i < n; ++i)
+        b.samples.push_back(ProbeSample{
+            rng.next() >> rng.uniform_int(64),
+            static_cast<std::uint32_t>(rng.uniform_int(kTimestampMask + 1))});
+      return Frame{std::move(b)};
+    }
+    case 2: {
+      EchoBatch b;
+      b.from = static_cast<std::uint32_t>(rng.uniform_int(1024));
+      b.to = static_cast<std::uint32_t>(rng.uniform_int(1024));
+      b.eseq = rng.next() >> rng.uniform_int(64);
+      b.t_reply24 =
+          static_cast<std::uint32_t>(rng.uniform_int(kTimestampMask + 1));
+      const std::size_t n = rng.uniform_int(32);
+      for (std::size_t i = 0; i < n; ++i)
+        b.samples.push_back(EchoSample{
+            rng.next() >> rng.uniform_int(64),
+            static_cast<std::uint32_t>(rng.uniform_int(kTimestampMask + 1)),
+            static_cast<std::uint32_t>(rng.uniform_int(kTimestampMask + 1))});
+      return Frame{std::move(b)};
+    }
+    case 3:
+      return Frame{Hello{static_cast<std::uint32_t>(rng.uniform_int(1 << 16)),
+                         static_cast<std::int64_t>(rng.next())}};
+    case 4:
+      return Frame{
+          HelloAck{static_cast<std::uint32_t>(rng.uniform_int(1 << 16)),
+                   static_cast<std::int64_t>(rng.next())}};
+    default:
+      return Frame{Bye{static_cast<std::uint32_t>(rng.uniform_int(1 << 16))}};
+  }
+}
+
+TEST(WireCodec, RandomFramesRoundTripExactly) {
+  Rng rng(20260809);
+  for (int i = 0; i < 5000; ++i) {
+    const Frame frame = random_frame(rng);
+    const std::vector<std::uint8_t> bytes = encode(frame);
+    const DecodeResult result = decode(bytes);
+    ASSERT_TRUE(result.ok()) << to_string(result.error);
+    EXPECT_EQ(result.frame, frame);
+    EXPECT_EQ(result.consumed, bytes.size());
+  }
+}
+
+TEST(WireCodec, WindowEdgeStampsSurviveTheWire) {
+  // Stamps at and around the reconstruction window edges must round-trip
+  // bit-exactly; ambiguity is the *reconstruction* layer's concern, the
+  // codec may not disturb the bits (±1 tick checks truncation math).
+  const std::int64_t ref = 1'000'000'000;
+  for (const std::int64_t offset :
+       {std::int64_t{0}, kTimestampHalfWindow - 1, kTimestampHalfWindow,
+        kTimestampHalfWindow + 1, -kTimestampHalfWindow + 1,
+        -kTimestampHalfWindow, kTimestampWindow - 1}) {
+    ProbeBatch b;
+    b.from = 1;
+    b.to = 2;
+    b.samples.push_back(ProbeSample{9, compress24(ref + offset)});
+    const DecodeResult result = decode(encode(Frame{b}));
+    ASSERT_TRUE(result.ok());
+    const auto& probe = std::get<ProbeBatch>(result.frame.body);
+    EXPECT_EQ(probe.samples[0].t_send24, compress24(ref + offset))
+        << "offset " << offset;
+  }
+}
+
+TEST(WireCodec, DoublesTravelAsExactBitPatterns) {
+  FullMessage m;
+  m.data = {0.1, -0.0, std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::denorm_min(),
+            std::nextafter(1.0, 2.0)};
+  const DecodeResult result = decode(encode(Frame{m}));
+  ASSERT_TRUE(result.ok());
+  const auto& back = std::get<FullMessage>(result.frame.body);
+  ASSERT_EQ(back.data.size(), m.data.size());
+  for (std::size_t i = 0; i < m.data.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.data[i]),
+              std::bit_cast<std::uint64_t>(m.data[i]))
+        << i;
+  }
+}
+
+TEST(WireCodec, ConcatenatedFramesWalkWithDecodePrefix) {
+  Rng rng(99);
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> datagram;
+  for (int i = 0; i < 7; ++i) {
+    frames.push_back(random_frame(rng));
+    encode(frames.back(), datagram);
+  }
+  std::span<const std::uint8_t> view(datagram);
+  for (const Frame& expected : frames) {
+    const DecodeResult result = decode_prefix(view);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.frame, expected);
+    view = view.subspan(result.consumed);
+  }
+  EXPECT_TRUE(view.empty());
+}
+
+// ---- malformed-frame corpus -------------------------------------------
+
+TEST(WireCorpus, BadMagic) {
+  std::vector<std::uint8_t> bytes = encode(Frame{Bye{1}});
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(decode(bytes).error, DecodeError::kBadMagic);
+  std::vector<std::uint8_t> second = encode(Frame{Bye{1}});
+  second[1] ^= 0x01;
+  EXPECT_EQ(decode(second).error, DecodeError::kBadMagic);
+}
+
+TEST(WireCorpus, BadVersion) {
+  std::vector<std::uint8_t> bytes = encode(Frame{Bye{1}});
+  bytes[2] = 2;
+  EXPECT_EQ(decode(bytes).error, DecodeError::kBadVersion);
+}
+
+TEST(WireCorpus, BadType) {
+  std::vector<std::uint8_t> bytes = encode(Frame{Bye{1}});
+  bytes[3] = 0x7F;
+  EXPECT_EQ(decode(bytes).error, DecodeError::kBadType);
+  bytes[3] = 0;
+  EXPECT_EQ(decode(bytes).error, DecodeError::kBadType);
+}
+
+TEST(WireCorpus, EveryTruncationOfEveryFrameTypeIsRefusedTyped) {
+  // A truncated frame is kShortFrame when the cut lands mid-field, or
+  // kCountOverflow when it lands inside a batch whose declared count no
+  // longer fits the remaining bytes.  Either way: typed refusal, never a
+  // successful decode of a torso.
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const std::vector<std::uint8_t> bytes = encode(random_frame(rng));
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const DecodeResult result =
+          decode(std::span<const std::uint8_t>(bytes.data(), len));
+      ASSERT_FALSE(result.ok()) << "prefix " << len << "/" << bytes.size();
+      EXPECT_TRUE(result.error == DecodeError::kShortFrame ||
+                  result.error == DecodeError::kCountOverflow)
+          << "prefix " << len << "/" << bytes.size() << ": "
+          << to_string(result.error);
+    }
+  }
+}
+
+TEST(WireCorpus, VarintOverflowInBody) {
+  // Full frame whose id field is 10 bytes of 0xFF (overflow past 64 bits).
+  std::vector<std::uint8_t> bytes = {kMagic0, kMagic1, kWireVersion,
+                                     static_cast<std::uint8_t>(
+                                         FrameType::kFull)};
+  for (int i = 0; i < 10; ++i) bytes.push_back(0xFF);
+  bytes.push_back(0x7F);
+  // Ample tail so the failure cannot be classified as a short frame.
+  for (int i = 0; i < 16; ++i) bytes.push_back(0x00);
+  EXPECT_EQ(decode(bytes).error, DecodeError::kVarintOverflow);
+}
+
+TEST(WireCorpus, HostileSampleCountIsRefusedBeforeAllocation) {
+  // ProbeBatch claiming 2^40 samples with a 4-byte body: the count check
+  // must reject against the remaining byte budget, not allocate.
+  std::vector<std::uint8_t> bytes = {kMagic0, kMagic1, kWireVersion,
+                                     static_cast<std::uint8_t>(
+                                         FrameType::kProbeBatch)};
+  put_varint(bytes, 1);             // from
+  put_varint(bytes, 2);             // to
+  put_varint(bytes, 1ull << 40);    // samples "count"
+  put_varint(bytes, 3);             // a lone stray byte of body
+  EXPECT_EQ(decode(bytes).error, DecodeError::kCountOverflow);
+}
+
+TEST(WireCorpus, TrailingBytesOnlyFromWholeFrameDecode) {
+  std::vector<std::uint8_t> bytes = encode(Frame{Bye{3}});
+  bytes.push_back(0xAB);
+  EXPECT_EQ(decode(bytes).error, DecodeError::kTrailingBytes);
+  // decode_prefix leaves the tail for the next frame instead.
+  const DecodeResult prefix = decode_prefix(bytes);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.consumed, bytes.size() - 1);
+}
+
+TEST(WireCorpus, EmptyAndHeaderOnlyInputs) {
+  EXPECT_EQ(decode(std::span<const std::uint8_t>{}).error,
+            DecodeError::kShortFrame);
+  const std::uint8_t header[] = {kMagic0, kMagic1, kWireVersion,
+                                 static_cast<std::uint8_t>(FrameType::kBye)};
+  EXPECT_EQ(decode(std::span<const std::uint8_t>(header, 3)).error,
+            DecodeError::kShortFrame);
+}
+
+// ---- mutation fuzz ----------------------------------------------------
+
+TEST(WireFuzz, MutatedFramesNeverThrowAndNeverReadOutOfBounds) {
+  // Total decoding: any byte soup must come back as a typed error or a
+  // valid frame — never an exception, never UB (ASan/UBSan enforce the
+  // out-of-bounds half in the sanitizer CI job).
+  Rng rng(424242);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<std::uint8_t> bytes = encode(random_frame(rng));
+    const std::size_t mutations = 1 + rng.uniform_int(8);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      switch (rng.uniform_int(3)) {
+        case 0:  // flip a byte
+          if (!bytes.empty())
+            bytes[rng.uniform_int(bytes.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+          break;
+        case 1:  // truncate
+          bytes.resize(rng.uniform_int(bytes.size() + 1));
+          break;
+        default:  // append junk
+          bytes.push_back(static_cast<std::uint8_t>(rng.uniform_int(256)));
+          break;
+      }
+    }
+    const DecodeResult result = decode(bytes);  // must not throw
+    if (result.ok()) {
+      EXPECT_EQ(result.consumed, bytes.size());
+    }
+  }
+}
+
+TEST(WireFuzz, PureGarbageDatagramsDecodeToTypedErrors) {
+  Rng rng(1717);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.uniform_int(96));
+    for (std::uint8_t& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const DecodeResult result = decode(bytes);
+    if (result.ok()) {
+      EXPECT_EQ(result.consumed, bytes.size());
+    }
+  }
+}
+
+// ---- budgets ----------------------------------------------------------
+
+TEST(WireBudget, MaxFullDoublesFitsOneDatagram) {
+  const std::size_t doubles = max_full_doubles();
+  EXPECT_LE(max_full_frame_bytes(doubles), kMaxDatagramBytes);
+  EXPECT_GT(max_full_frame_bytes(doubles + 1), kMaxDatagramBytes);
+
+  FullMessage m;
+  m.id = std::numeric_limits<std::uint64_t>::max();  // worst-case varints
+  m.from = m.to = m.tag = std::numeric_limits<std::uint32_t>::max();
+  m.data.assign(doubles, 1.0);
+  EXPECT_LE(encode(Frame{m}).size(), kMaxDatagramBytes);
+}
+
+TEST(WireBudget, CompactBatchBeatsFullWidthPerSample) {
+  // The design point: N samples in one ProbeBatch must cost far less than
+  // N Full frames.  (BENCH_net.json quantifies the ≥3× epoch-level win.)
+  ProbeBatch batch;
+  batch.from = 1;
+  batch.to = 2;
+  std::size_t full_bytes = 0;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    batch.samples.push_back(ProbeSample{s, compress24(123456 + s)});
+    FullMessage m;
+    m.id = s;
+    m.from = 1;
+    m.to = 2;
+    m.tag = 20;
+    m.data = {1.5, 2.5};  // stamp + echo payload, legacy shape
+    full_bytes += encode(Frame{m}).size();
+  }
+  const std::size_t compact_bytes = encode(Frame{batch}).size();
+  EXPECT_LT(compact_bytes * 3, full_bytes);
+}
+
+}  // namespace
+}  // namespace cs::net

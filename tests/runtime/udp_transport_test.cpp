@@ -9,13 +9,20 @@
 #include "runtime/udp_transport.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "net/address.hpp"
 
 namespace cs {
 namespace {
@@ -82,6 +89,99 @@ TEST(UdpTransportErrors, HealthyEndpointsReportNoFailures) {
   EXPECT_EQ(transport.failed_endpoints(), 0u);
   EXPECT_EQ(metrics.counter("runtime.udp.poll_error"), 0u);
   transport.stop();
+}
+
+// Sends raw bytes at an endpoint, bypassing the wire codec — the hostile
+// peer the receive path must survive.
+void send_raw(const net::SocketAddress& to, const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dst;
+  net::to_sockaddr(to, dst);
+  EXPECT_EQ(::sendto(fd, bytes.data(), bytes.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&dst), sizeof dst),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fd);
+}
+
+TEST(UdpTransportWire, TruncatedDatagramIsCountedAndNeverDelivered) {
+  // ISSUE satellite (a): a datagram larger than the receive buffer arrives
+  // with MSG_TRUNC set.  Pre-fix the torso was decoded as if complete; now
+  // it must be dropped and counted, with nothing reaching the sink.
+  UdpTransportOptions options;
+  options.recv_buffer_bytes = 64;
+  UdpTransport transport(1, options);
+  Metrics metrics;
+  transport.set_metrics(&metrics);
+  std::atomic<int> delivered{0};
+  transport.open(0, [&](WireMessage) { delivered.fetch_add(1); });
+  transport.start();
+
+  send_raw(transport.address_of(0), std::vector<std::uint8_t>(200, 0x55));
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (metrics.counter("runtime.udp.recv_truncated") == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+
+  EXPECT_EQ(metrics.counter("runtime.udp.recv_truncated"), 1u);
+  // Dropped before decode: the torso is not a decode error, and the sink
+  // never saw it.
+  EXPECT_EQ(metrics.counter("runtime.udp.decode_error"), 0u);
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(transport.failed_endpoints(), 0u);
+  transport.stop();
+}
+
+TEST(UdpTransportWire, GarbageDatagramCountsDecodeErrorNotDelivery) {
+  UdpTransport transport(1);
+  Metrics metrics;
+  transport.set_metrics(&metrics);
+  std::atomic<int> delivered{0};
+  transport.open(0, [&](WireMessage) { delivered.fetch_add(1); });
+  transport.start();
+
+  send_raw(transport.address_of(0),
+           std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01});
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (metrics.counter("runtime.udp.decode_error") == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+
+  EXPECT_EQ(metrics.counter("runtime.udp.decode_error"), 1u);
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(transport.failed_endpoints(), 0u);
+  transport.stop();
+}
+
+TEST(UdpTransportWire, InvalidBindAddressThrowsInsteadOfFallingBack) {
+  // ISSUE satellite (b): a bad bind address must be a loud cs::Error at
+  // construction — never a silent loopback fallback.
+  UdpTransportOptions bad;
+  bad.bind_address = "999.1.2.3";
+  EXPECT_THROW(UdpTransport(1, bad), Error);
+  bad.bind_address = "not-an-address";
+  EXPECT_THROW(UdpTransport(1, bad), Error);
+
+  UdpTransportOptions tiny;
+  tiny.recv_buffer_bytes = 2;  // cannot hold even a frame header
+  EXPECT_THROW(UdpTransport(1, tiny), Error);
+}
+
+TEST(UdpTransportWire, BindsConfiguredAddress) {
+  UdpTransportOptions options;
+  options.bind_address = "127.0.0.1";
+  UdpTransport transport(1, options);
+  transport.open(0, [](WireMessage) {});
+  EXPECT_EQ(net::to_string(transport.address_of(0)),
+            "127.0.0.1:" + std::to_string(transport.port_of(0)));
+  // "*" (INADDR_ANY) is accepted too.
+  UdpTransportOptions any;
+  any.bind_address = "*";
+  UdpTransport wildcard(1, any);
+  wildcard.open(0, [](WireMessage) {});
+  EXPECT_NE(wildcard.port_of(0), 0);
 }
 
 }  // namespace

@@ -12,10 +12,14 @@
 // Exit codes match cs_sync: 0 converged (and, unless --no-check, the
 // deterministic-loopback corrections matched the offline pipeline),
 // 1 not converged or live/offline mismatch, 2 usage error, 3 error.
+#include <time.h>
+
+#include <csignal>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,6 +32,8 @@
 #include "delaymodel/constraint.hpp"
 #include "graph/topology.hpp"
 #include "io/views_io.hpp"
+#include "net/daemon.hpp"
+#include "net/server.hpp"
 #include "runtime/daemon.hpp"
 
 namespace {
@@ -75,6 +81,28 @@ usage: cs_syncd [flags]
   --json                   machine-readable report
   --version                print the release banner
 
+wire-protocol modes (chronosync-wire v1, docs/NET.md):
+  --bind ADDR              bind address for --transport udp endpoints
+                           ("127.0.0.1" default, "*" = all interfaces);
+                           invalid addresses are a hard error, not a
+                           silent loopback fallback
+  --listen ADDR:PORT --serve
+                           multi-client echo daemon: one epoll (or poll)
+                           event loop serving Hello/ProbeBatch sessions
+                           from any number of remote agents
+  --serve-seconds S        serve duration (0 = until SIGINT/SIGTERM)
+  --max-sessions N --idle-timeout S     session-table limits in --serve
+  --listen ADDR:PORT --id K --peers A0:P0,A1:P1,...
+                           multihost agent K of a LAN run: probe topology
+                           neighbors over UDP, report extremes to the
+                           leader, converge to the Thm 4.6 corrections
+  --base T                 shared clock origin, unix seconds (all daemons
+                           of one run must agree; default: next whole
+                           second + 1 — pass it explicitly in scripts)
+  --start-offset S         this daemon's start offset S_p (default 0)
+  --offsets s0,s1,...      leader only: the true offsets; enables the
+                           realized-vs-claimed precision check
+
 exit codes: 0 ok, 1 not converged / mismatch, 2 usage error, 3 error
 )");
 }
@@ -96,6 +124,210 @@ std::string fmt(double v) {
   return buf;
 }
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+double realtime_now() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+using FlagGet =
+    std::function<std::string(const std::string&, const std::string&)>;
+
+/// --serve: the multi-client echo daemon (net::SyncServer) on --listen.
+int run_serve(const std::map<std::string, std::string>& flags,
+              const FlagGet& get) {
+  net::SyncServerConfig config;
+  config.listen = net::parse_hostport(get("--listen", "127.0.0.1:0"));
+  config.agent = static_cast<ProcessorId>(num_flag("--id", get("--id", "0")));
+  config.session.max_sessions = static_cast<std::size_t>(
+      num_flag("--max-sessions", get("--max-sessions", "100000")));
+  config.session.idle_timeout =
+      Duration{num_flag("--idle-timeout", get("--idle-timeout", "30"))};
+  net::SyncServer server(config);
+
+  const double serve_seconds =
+      num_flag("--serve-seconds", get("--serve-seconds", "0"));
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::fprintf(stderr, "cs_syncd: serving chronosync-wire v1 on %s\n",
+               net::to_string(server.local_address()).c_str());
+  const double until =
+      serve_seconds > 0.0 ? realtime_now() + serve_seconds : 0.0;
+  while (g_stop == 0 && (until == 0.0 || realtime_now() < until))
+    server.step(100);
+
+  if (flags.count("--json") != 0) {
+    std::string out = "{\"mode\": \"serve\"";
+    out += ", \"listen\": \"" + net::to_string(server.local_address()) + "\"";
+    out += ", \"sessions\": " + std::to_string(server.active_sessions());
+    out += ", \"peak_sessions\": " + std::to_string(server.peak_sessions());
+    out += ", \"frames\": " + std::to_string(server.frames_received());
+    out += "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("cs_syncd: served %llu frames, %zu sessions (peak %zu)\n",
+                static_cast<unsigned long long>(server.frames_received()),
+                server.active_sessions(), server.peak_sessions());
+  }
+  return kExitOk;
+}
+
+/// --peers: one agent of a multihost LAN run (net::NetDaemon).
+int run_multihost(const std::map<std::string, std::string>& flags,
+                  const FlagGet& get, const SystemModel& model) {
+  net::NetDaemonConfig config;
+  config.model = &model;
+  config.id = static_cast<ProcessorId>(num_flag("--id", get("--id", "0")));
+  config.leader =
+      static_cast<ProcessorId>(num_flag("--leader", get("--leader", "0")));
+  for (const std::string& part : split_csv(flags.at("--peers")))
+    config.peers.push_back(net::parse_hostport(part));
+  if (flags.count("--listen") != 0 && config.id < config.peers.size())
+    config.peers[config.id] = net::parse_hostport(flags.at("--listen"));
+
+  // Shared schedule origin: every daemon of the run must use the same
+  // value.  The default only works when all daemons launch within the
+  // same second — scripts pass --base explicitly.
+  config.base = num_flag(
+      "--base", get("--base", fmt(std::floor(realtime_now()) + 2.0)));
+  config.start_offset =
+      Duration{num_flag("--start-offset", get("--start-offset", "0"))};
+  config.warmup = Duration{num_flag("--warmup", get("--warmup", "0.3"))};
+  config.spacing = Duration{num_flag("--spacing", get("--spacing", "0.05"))};
+  config.rounds =
+      static_cast<std::size_t>(num_flag("--rounds", get("--rounds", "6")));
+  config.report_at =
+      Duration{num_flag("--report-at", get("--report-at", "1.2"))};
+  config.deadline =
+      Duration{num_flag("--deadline", get("--deadline", "15"))};
+
+  net::NetDaemon daemon(config);
+  const net::NetDaemonReport report = daemon.run();
+
+  bool ok = report.converged && !report.window_violation;
+  std::string realized_note;
+  std::optional<double> realized;
+  const bool is_leader = config.id == config.leader;
+
+  if (is_leader && report.computed) {
+    // Offline cross-check: recompute from the collected (wire-transported,
+    // bit-exact) extremes table and compare corrections bitwise.
+    const SyncOutcome offline = net::synchronize_from_extremes(
+        model, report.collected, config.leader);
+    if (offline.corrections != report.corrections) {
+      ok = false;
+      realized_note = "offline recompute mismatch";
+    }
+    if (flags.count("--offsets") != 0) {
+      std::vector<double> offsets;
+      for (const std::string& part : split_csv(flags.at("--offsets")))
+        offsets.push_back(num_flag("--offsets", part));
+      if (offsets.size() != report.corrections.size()) {
+        std::fprintf(stderr, "cs_syncd: --offsets wants one value per agent\n");
+        return kExitUsage;
+      }
+      // Ground truth: corrected clock spread max_p (x_p - S_p) - min_p.
+      double lo = report.corrections[0] - offsets[0];
+      double hi = lo;
+      for (std::size_t p = 1; p < offsets.size(); ++p) {
+        const double v = report.corrections[p] - offsets[p];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      realized = hi - lo;
+      if (std::isfinite(report.precision) &&
+          *realized > report.precision + 1e-9) {
+        ok = false;
+        realized_note = "realized precision exceeds the claimed bound";
+      }
+    }
+  }
+
+  if (flags.count("--json") != 0) {
+    std::string out = "{\"mode\": \"multihost\"";
+    out += ", \"id\": " + std::to_string(config.id);
+    out += ", \"leader\": " + std::to_string(config.leader);
+    out += ", \"converged\": ";
+    out += report.converged ? "true" : "false";
+    if (is_leader) {
+      out += ", \"computed\": ";
+      out += report.computed ? "true" : "false";
+    }
+    if (report.detected) out += ", \"detected\": true";
+    if (report.window_violation) out += ", \"window_violation\": true";
+    if (report.converged) {
+      out += ", \"precision\": " + fmt(report.precision);
+      out += ", \"corrections\": [";
+      for (std::size_t p = 0; p < report.corrections.size(); ++p) {
+        if (p > 0) out += ", ";
+        out += fmt(report.corrections[p]);
+      }
+      out += "]";
+    }
+    if (realized) out += ", \"realized\": " + fmt(*realized);
+    out += ", \"probes_sent\": " + std::to_string(report.probes_sent);
+    out += ", \"observations\": " +
+           std::to_string(report.probe_obs + report.echo_obs);
+    out += ", \"ambiguous_dropped\": " +
+           std::to_string(report.ambiguous_dropped);
+    out += ", \"extremes\": [";
+    for (std::size_t i = 0; i < report.collected.size(); ++i) {
+      const net::ReportedExtremes& r = report.collected[i];
+      if (i > 0) out += ", ";
+      out += "{\"agent\": " + std::to_string(r.agent) + ", \"dirs\": [";
+      for (std::size_t j = 0; j < r.dirs.size(); ++j) {
+        const net::DirectionExtremes& d = r.dirs[j];
+        if (j > 0) out += ", ";
+        out += "[" + std::to_string(d.peer) + ", " + fmt(d.dmin) + ", " +
+               fmt(d.dmax) + ", " + std::to_string(d.count) + "]";
+      }
+      out += "]}";
+    }
+    out += "]";
+    if (!realized_note.empty()) out += ", \"error\": \"" + realized_note + "\"";
+    out += "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("cs_syncd: multihost agent %u/%zu (%s)\n", config.id,
+                config.peers.size(), is_leader ? "leader" : "follower");
+    if (report.converged) {
+      std::printf("  precision %s%s%s\n", fmt(report.precision).c_str(),
+                  realized ? (" realized " + fmt(*realized)).c_str() : "",
+                  report.window_violation ? " WINDOW VIOLATION" : "");
+    }
+    std::printf("  %llu probes, %llu observations, %llu ambiguous dropped\n",
+                static_cast<unsigned long long>(report.probes_sent),
+                static_cast<unsigned long long>(report.probe_obs +
+                                                report.echo_obs),
+                static_cast<unsigned long long>(report.ambiguous_dropped));
+    std::printf("%s\n", ok ? "converged"
+                           : report.detected ? "DETECTED: inadmissible traffic"
+                                             : "NOT CONVERGED");
+    if (!realized_note.empty())
+      std::printf("ERROR: %s\n", realized_note.c_str());
+  }
+  return ok ? kExitOk : kExitDivergence;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,7 +342,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", kVersionBanner);
       return kExitOk;
     }
-    if (arg == "--json" || arg == "--no-check") {
+    if (arg == "--json" || arg == "--no-check" || arg == "--serve") {
       flags[arg] = "1";
       continue;
     }
@@ -128,6 +360,8 @@ int main(int argc, char** argv) {
   };
 
   try {
+    if (flags.count("--serve") != 0) return run_serve(flags, get);
+
     const auto seed =
         static_cast<std::uint64_t>(num_flag("--seed", get("--seed", "1")));
     Rng rng(seed);
@@ -143,6 +377,8 @@ int main(int argc, char** argv) {
         m.set_constraint(make_bounds(a, b, lower, upper));
       return m;
     }();
+
+    if (flags.count("--peers") != 0) return run_multihost(flags, get, model);
 
     LiveConfig config;
     config.seed = seed;
@@ -162,6 +398,7 @@ int main(int argc, char** argv) {
     config.delay_scale =
         num_flag("--delay-scale", get("--delay-scale", "0.01"));
     config.drop_probability = num_flag("--drop", get("--drop", "0"));
+    config.udp.bind_address = get("--bind", "127.0.0.1");
     config.trace_path = get("--trace", "");
     config.offline_check = flags.count("--no-check") == 0;
     config.deadline = Duration{num_flag("--deadline", get("--deadline", "30"))};
